@@ -1,0 +1,78 @@
+// E4 "Figure 3" — the k*R adversarial bound.
+//
+// Paper Section 3: "if an adversary controls k <= f nodes, he can trigger a
+// new fault every R seconds and thus potentially force the system to produce
+// bad outputs for kR seconds." We let the adversary stage k sequential
+// faults, spaced to maximize damage, and verify cumulative bad-output time
+// never exceeds k*R (and report how much of the budget was actually used).
+
+#include "bench/bench_util.h"
+
+namespace btr {
+namespace {
+
+void Run() {
+  PrintHeader("E4 / Figure 3: cumulative disruption vs k sequential faults",
+              "bound: total bad-output time <= k * R");
+
+  constexpr SimDuration kBound = Milliseconds(500);
+  Table table({"k (faults)", "f", "cumulative bad time", "k*R budget", "budget used",
+               "Definition 3.1"});
+
+  for (uint32_t k = 1; k <= 3; ++k) {
+    const uint32_t f = k;
+    Scenario scenario = MakeAvionicsScenario(4 + 2 * f);
+    BtrSystem system(scenario, DefaultBtrConfig(f, kBound));
+    if (!system.Plan().ok()) {
+      continue;
+    }
+    // Stage k faults on distinct compute hosts, one per ~600 ms.
+    const Plan* root = system.strategy().Lookup(FaultSet());
+    std::vector<NodeId> victims;
+    const Dataflow& w = system.scenario().workload;
+    for (TaskId t : w.ComputeIds()) {
+      for (uint32_t rep : system.planner().graph().ReplicasOf(t)) {
+        const NodeId host = root->placement[rep];
+        if (host.valid() &&
+            std::find(victims.begin(), victims.end(), host) == victims.end()) {
+          victims.push_back(host);
+        }
+        if (victims.size() >= k) {
+          break;
+        }
+      }
+      if (victims.size() >= k) {
+        break;
+      }
+    }
+    const FaultBehavior behaviors[] = {FaultBehavior::kValueCorruption, FaultBehavior::kCrash,
+                                       FaultBehavior::kOmission};
+    for (uint32_t i = 0; i < k && i < victims.size(); ++i) {
+      FaultInjection injection;
+      injection.node = victims[i];
+      injection.manifest_at = Milliseconds(200) + static_cast<SimTime>(i) * Milliseconds(600);
+      injection.behavior = behaviors[i % 3];
+      system.AddFault(injection);
+    }
+    auto report = system.Run(100 + 60 * k * 2);
+    if (!report.ok()) {
+      std::printf("k=%u failed: %s\n", k, report.status().ToString().c_str());
+      continue;
+    }
+    const double budget = static_cast<double>(k) * static_cast<double>(kBound);
+    table.AddRow({CellInt(k), CellInt(f),
+                  CellDuration(static_cast<double>(report->correctness.total_bad_time)),
+                  CellDuration(budget),
+                  CellPercent(static_cast<double>(report->correctness.total_bad_time) / budget),
+                  report->correctness.btr_violated ? "VIOLATED" : "holds"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace btr
+
+int main() {
+  btr::Run();
+  return 0;
+}

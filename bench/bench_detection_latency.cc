@@ -1,0 +1,72 @@
+// E9 "Figure 7" — detection latency by fault type.
+//
+// Paper Section 4.2: BTR requires a *time bound* on detection. Commission
+// faults are caught by the next checker replay; omissions accumulate blame
+// over a couple of periods; crashes are caught by heartbeats. We measure
+// manifestation -> first honest conviction, and the extra time until every
+// honest node is convinced (evidence distribution, Section 4.3).
+
+#include "bench/bench_util.h"
+
+namespace btr {
+namespace {
+
+void Run() {
+  PrintHeader("E9 / Figure 7: detection and distribution latency by fault type",
+              "period = 10 ms; detection should be a small constant number of periods");
+
+  const FaultBehavior behaviors[] = {
+      FaultBehavior::kCrash,      FaultBehavior::kValueCorruption,
+      FaultBehavior::kOmission,   FaultBehavior::kEquivocate,
+      FaultBehavior::kDelay,
+  };
+  Table table({"fault type", "detection p50", "detection max", "distribution p50",
+               "distribution max", "detected"});
+
+  for (FaultBehavior behavior : behaviors) {
+    Samples detection;
+    Samples distribution;
+    int detected = 0;
+    int total = 0;
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      Scenario scenario = MakeAvionicsScenario(6);
+      BtrSystem system(scenario, DefaultBtrConfig(1, Milliseconds(500), seed));
+      if (!system.Plan().ok()) {
+        continue;
+      }
+      FaultInjection injection;
+      injection.node = MostCriticalPrimaryHost(system);
+      injection.manifest_at = Milliseconds(100) + static_cast<SimTime>(seed) * Milliseconds(3);
+      injection.behavior = behavior;
+      injection.delay = Milliseconds(6);
+      system.AddFault(injection);
+      auto report = system.Run(200);
+      if (!report.ok()) {
+        continue;
+      }
+      ++total;
+      if (report->faults[0].detection_latency >= 0) {
+        ++detected;
+        detection.Add(static_cast<double>(report->faults[0].detection_latency));
+        if (report->faults[0].distribution_latency >= 0) {
+          distribution.Add(static_cast<double>(report->faults[0].distribution_latency));
+        }
+      }
+    }
+    table.AddRow({FaultBehaviorName(behavior),
+                  detection.empty() ? "-" : CellDuration(detection.Percentile(0.5)),
+                  detection.empty() ? "-" : CellDuration(detection.Max()),
+                  distribution.empty() ? "-" : CellDuration(distribution.Percentile(0.5)),
+                  distribution.empty() ? "-" : CellDuration(distribution.Max()),
+                  std::to_string(detected) + "/" + std::to_string(total)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace btr
+
+int main() {
+  btr::Run();
+  return 0;
+}

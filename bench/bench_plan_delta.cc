@@ -1,0 +1,84 @@
+// E8 "Figure 6" — reassignment delta governs recovery time.
+//
+// Paper Section 4.1: a successor plan "should otherwise change as little as
+// possible. Any extra reassignments will consume resources... and can thus
+// prolong recovery." We compare the parent-stickiness heuristic against a
+// fresh-replan planner: per single-fault mode, the plan delta (tasks moved,
+// state bytes transferred) and the measured recovery time after that fault.
+
+#include "bench/bench_util.h"
+
+namespace btr {
+namespace {
+
+struct Aggregate {
+  double moved = 0;
+  double state = 0;
+  double recovery_ms = 0;
+  double worst_recovery_ms = 0;
+  int runs = 0;
+};
+
+Aggregate Measure(bool stickiness) {
+  Aggregate agg;
+  Scenario scenario = MakeAvionicsScenario(6);
+  BtrConfig config = DefaultBtrConfig(1, Milliseconds(500));
+  config.planner.parent_stickiness = stickiness;
+  // Give the fickle planner a reason to move: strong load weight.
+  config.planner.weight_load = 4.0;
+  BtrSystem system(scenario, config);
+  if (!system.Plan().ok()) {
+    return agg;
+  }
+  const Plan* root = system.strategy().Lookup(FaultSet());
+  for (uint32_t n = 4; n < scenario.topology.node_count(); ++n) {
+    const NodeId victim(n);
+    const Plan* next = system.strategy().Lookup(FaultSet({victim}));
+    if (next == nullptr) {
+      continue;
+    }
+    const PlanDelta delta = ComputeDelta(*root, *next, system.planner().graph());
+    system.ClearFaults();
+    system.AddFault({victim, Milliseconds(100), FaultBehavior::kCrash, 0, NodeId::Invalid(), 0});
+    auto report = system.Run(150);
+    if (!report.ok()) {
+      continue;
+    }
+    agg.moved += static_cast<double>(delta.tasks_moved + delta.tasks_started);
+    agg.state += static_cast<double>(delta.state_bytes_moved);
+    const double rec = ToMillisF(report->correctness.max_recovery);
+    agg.recovery_ms += rec;
+    agg.worst_recovery_ms = std::max(agg.worst_recovery_ms, rec);
+    ++agg.runs;
+  }
+  return agg;
+}
+
+void Run() {
+  PrintHeader("E8 / Figure 6: plan delta vs recovery time",
+              "claim C5: minimal-reassignment planning shortens recovery");
+
+  Table table({"planner", "avg tasks moved/started", "avg state moved", "avg recovery",
+               "worst recovery"});
+  for (bool stickiness : {true, false}) {
+    const Aggregate agg = Measure(stickiness);
+    if (agg.runs == 0) {
+      continue;
+    }
+    table.AddRow({stickiness ? "minimal-delta (stickiness on)" : "fresh replan (stickiness off)",
+                  CellDouble(agg.moved / agg.runs, 1),
+                  CellBytes(agg.state / agg.runs),
+                  CellDouble(agg.recovery_ms / agg.runs, 1) + " ms",
+                  CellDouble(agg.worst_recovery_ms, 1) + " ms"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("(averaged over crashing each flight computer once)\n\n");
+}
+
+}  // namespace
+}  // namespace btr
+
+int main() {
+  btr::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E7 "Table 2" — offline planner scalability.
+//
+// Planning is offline, but its cost still gates how large a system BTR can
+// target: the strategy has one plan per fault set up to size f. We sweep
+// node count, task count, and f, and report wall-clock planning time, mode
+// count, schedule attempts (degradation retries), and the strategy's
+// per-node memory footprint.
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+
+namespace btr {
+namespace {
+
+void Run() {
+  PrintHeader("E7 / Table 2: planner scalability",
+              "offline cost of computing the full strategy");
+
+  Table table({"nodes", "workload tasks", "f", "modes", "plan time", "attempts",
+               "strategy size/node"});
+
+  struct Case {
+    size_t compute_nodes;
+    size_t layers;
+    size_t per_layer;
+    uint32_t f;
+  };
+  const Case cases[] = {
+      {4, 2, 3, 1}, {8, 2, 3, 1}, {12, 3, 4, 1}, {16, 3, 4, 1},
+      {8, 2, 3, 2}, {12, 3, 4, 2}, {8, 2, 3, 3},
+  };
+  for (const Case& c : cases) {
+    Rng rng(42);
+    RandomDagParams params;
+    params.compute_nodes = c.compute_nodes;
+    params.layers = c.layers;
+    params.tasks_per_layer = c.per_layer;
+    params.period = Milliseconds(50);
+    Scenario scenario = MakeRandomScenario(&rng, params);
+
+    PlannerConfig config;
+    config.max_faults = c.f;
+    Planner planner(&scenario.topology, &scenario.workload, config);
+    const auto start = std::chrono::steady_clock::now();
+    auto strategy = planner.BuildStrategy();
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    if (!strategy.ok()) {
+      std::printf("case (%zu nodes, f=%u) failed: %s\n", c.compute_nodes, c.f,
+                  strategy.status().ToString().c_str());
+      continue;
+    }
+    table.AddRow({CellInt(static_cast<int64_t>(scenario.topology.node_count())),
+                  CellInt(static_cast<int64_t>(scenario.workload.task_count())), CellInt(c.f),
+                  CellInt(static_cast<int64_t>(strategy->mode_count())),
+                  CellDuration(static_cast<double>(elapsed) * 1e3),
+                  CellInt(static_cast<int64_t>(planner.metrics().schedule_attempts)),
+                  CellBytes(static_cast<double>(strategy->MemoryFootprintBytes()))});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace btr
+
+int main() {
+  btr::Run();
+  return 0;
+}

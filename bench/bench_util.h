@@ -1,0 +1,77 @@
+// Shared helpers for the experiment harness binaries.
+//
+// Every bench binary reproduces one experiment from EXPERIMENTS.md and
+// prints its rows as an ASCII table, so bench output and the experiment
+// index line up one-to-one.
+
+#ifndef BTR_BENCH_BENCH_UTIL_H_
+#define BTR_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/core/btr_system.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+
+inline void PrintHeader(const std::string& experiment, const std::string& claim) {
+  std::printf("=== %s ===\n%s\n\n", experiment.c_str(), claim.c_str());
+}
+
+inline BtrConfig DefaultBtrConfig(uint32_t f, SimDuration recovery_bound, uint64_t seed = 1) {
+  BtrConfig config;
+  config.planner.max_faults = f;
+  config.planner.recovery_bound = recovery_bound;
+  config.seed = seed;
+  return config;
+}
+
+// Host of the primary replica of `task_name` in the root plan.
+inline NodeId PrimaryHostOf(const BtrSystem& system, const std::string& task_name) {
+  const TaskId task = system.scenario().workload.FindTask(task_name);
+  const Plan* root = system.strategy().Lookup(FaultSet());
+  if (!task.valid() || root == nullptr) {
+    return NodeId::Invalid();
+  }
+  return root->placement[system.planner().graph().PrimaryOf(task)];
+}
+
+// Host of the primary of the most critical compute task, preferring hosts
+// that carry no pinned sensor/actuator (losing a sensor node sheds its flows
+// outright, which would make the recovery experiments trivially quiet).
+inline NodeId MostCriticalPrimaryHost(const BtrSystem& system) {
+  const Dataflow& w = system.scenario().workload;
+  const Plan* root = system.strategy().Lookup(FaultSet());
+  std::set<NodeId> io_nodes;
+  for (const TaskSpec& t : w.tasks()) {
+    if (t.pinned_node.valid()) {
+      io_nodes.insert(t.pinned_node);
+    }
+  }
+  std::vector<TaskId> by_criticality = w.ComputeIds();
+  std::stable_sort(by_criticality.begin(), by_criticality.end(), [&w](TaskId a, TaskId b) {
+    return w.task(a).criticality > w.task(b).criticality;
+  });
+  NodeId fallback;
+  for (TaskId t : by_criticality) {
+    const NodeId host = root->placement[system.planner().graph().PrimaryOf(t)];
+    if (!host.valid()) {
+      continue;
+    }
+    if (!fallback.valid()) {
+      fallback = host;
+    }
+    if (io_nodes.count(host) == 0) {
+      return host;
+    }
+  }
+  return fallback;
+}
+
+}  // namespace btr
+
+#endif  // BTR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,85 @@
+// Avionics mixed-criticality walkthrough: demonstrates fine-grained,
+// criticality-aware degradation (paper Section 1, "indirect advantage").
+//
+// We shrink the platform to 3 flight computers so resources are scarce, then
+// fail nodes one at a time and show which flows each mode keeps: BTR sheds
+// the in-flight entertainment long before it touches flight control, while a
+// black-box scheme would have to drop everything or nothing.
+
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/core/btr_system.h"
+#include "src/workload/generators.h"
+
+int main() {
+  using namespace btr;
+
+  Scenario scenario = MakeAvionicsScenario(/*compute_nodes=*/3);
+  BtrConfig config;
+  config.planner.max_faults = 2;
+  config.planner.recovery_bound = Milliseconds(500);
+  BtrSystem system(scenario, config);
+  const Status st = system.Plan();
+  if (!st.ok()) {
+    std::printf("planning failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const Dataflow& w = system.scenario().workload;
+  std::printf("workload flows by criticality:\n");
+  for (TaskId sink : w.SinkIds()) {
+    std::printf("  %-15s %s\n", w.task(sink).name.c_str(),
+                CriticalityName(w.task(sink).criticality));
+  }
+
+  // Show per-mode service as flight computers fail one after another.
+  Table table({"failed nodes", "elevator", "outflow_valve", "seatback", "telem_tx",
+               "utility", "kept replicas"});
+  std::vector<FaultSet> timeline{
+      FaultSet(),
+      FaultSet({NodeId(5)}),
+      FaultSet({NodeId(5), NodeId(6)}),
+  };
+  for (const FaultSet& faults : timeline) {
+    const Plan* plan = system.strategy().Lookup(faults);
+    if (plan == nullptr) {
+      continue;
+    }
+    auto served = [&](const char* name) {
+      return plan->ServesSink(w.FindTask(name)) ? "served" : "SHED";
+    };
+    size_t replicas = 0;
+    for (uint32_t rep : system.planner().graph().ReplicasOf(w.FindTask("control_law"))) {
+      if (plan->placement[rep].valid()) {
+        ++replicas;
+      }
+    }
+    table.AddRow({faults.empty() ? "(none)" : faults.ToString(), served("elevator"),
+                  served("outflow_valve"), served("seatback"), served("telem_tx"),
+                  CellDouble(plan->utility, 0), CellInt(static_cast<int64_t>(replicas))});
+  }
+  std::printf("\nper-mode service (degradation by criticality):\n%s", table.Render().c_str());
+
+  // Now actually run that double-fault timeline.
+  system.AddFault({NodeId(5), Milliseconds(300), FaultBehavior::kValueCorruption, 0,
+                   NodeId::Invalid(), 0});
+  system.AddFault({NodeId(6), Milliseconds(1200), FaultBehavior::kCrash, 0,
+                   NodeId::Invalid(), 0});
+  auto report = system.Run(250);
+  if (!report.ok()) {
+    std::printf("run failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntwo sequential faults, R = 500 ms each:\n");
+  for (const auto& fault : report->faults) {
+    std::printf("  %s at %.0f ms: detected +%.1f ms, recovery %.1f ms\n",
+                ToString(fault.node).c_str(), ToMillisF(fault.manifested_at),
+                ToMillisF(fault.detection_latency), ToMillisF(fault.recovery_time));
+  }
+  std::printf("  cumulative bad-output time: %.1f ms (k*R bound: 1000 ms)\n",
+              ToMillisF(report->correctness.total_bad_time));
+  std::printf("  Definition 3.1 violated: %s\n",
+              report->correctness.btr_violated ? "YES" : "no");
+  return report->correctness.btr_violated ? 1 : 0;
+}

@@ -1,0 +1,232 @@
+// btrsim — command-line driver for the BTR simulator.
+//
+//   btrsim [--scenario avionics|scada|convoy|random] [--nodes N] [--seed S]
+//          [--f F] [--recovery-ms R] [--periods P]
+//          [--fault BEHAVIOR] [--fault-node N] [--fault-at-ms T]
+//          [--analyze] [--save-strategy FILE] [--verbose]
+//
+// Examples:
+//   btrsim --scenario scada --fault value-corruption --fault-at-ms 500
+//   btrsim --scenario avionics --f 2 --analyze
+//   btrsim --scenario random --seed 9 --periods 500
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "src/common/log.h"
+#include "src/core/btr_system.h"
+#include "src/core/strategy_io.h"
+#include "src/workload/generators.h"
+
+namespace {
+
+using namespace btr;
+
+struct Options {
+  std::string scenario = "avionics";
+  size_t nodes = 6;
+  uint64_t seed = 1;
+  uint32_t f = 1;
+  int64_t recovery_ms = 500;
+  uint64_t periods = 200;
+  std::optional<std::string> fault;
+  std::optional<uint32_t> fault_node;
+  int64_t fault_at_ms = 200;
+  bool analyze = false;
+  std::optional<std::string> save_strategy;
+  bool verbose = false;
+};
+
+std::optional<FaultBehavior> ParseBehavior(const std::string& name) {
+  const struct {
+    const char* name;
+    FaultBehavior behavior;
+  } table[] = {
+      {"crash", FaultBehavior::kCrash},
+      {"value-corruption", FaultBehavior::kValueCorruption},
+      {"omission", FaultBehavior::kOmission},
+      {"selective-omission", FaultBehavior::kSelectiveOmission},
+      {"delay", FaultBehavior::kDelay},
+      {"equivocate", FaultBehavior::kEquivocate},
+      {"evidence-flood", FaultBehavior::kEvidenceFlood},
+  };
+  for (const auto& entry : table) {
+    if (name == entry.name) {
+      return entry.behavior;
+    }
+  }
+  return std::nullopt;
+}
+
+int Usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--scenario avionics|scada|convoy|random] [--nodes N]\n"
+      "          [--seed S] [--f F] [--recovery-ms R] [--periods P]\n"
+      "          [--fault crash|value-corruption|omission|selective-omission|\n"
+      "                   delay|equivocate|evidence-flood]\n"
+      "          [--fault-node N] [--fault-at-ms T]\n"
+      "          [--analyze] [--save-strategy FILE] [--verbose]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::printf("missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      opts.scenario = next("--scenario");
+    } else if (arg == "--nodes") {
+      opts.nodes = static_cast<size_t>(std::atoll(next("--nodes")));
+    } else if (arg == "--seed") {
+      opts.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
+    } else if (arg == "--f") {
+      opts.f = static_cast<uint32_t>(std::atoi(next("--f")));
+    } else if (arg == "--recovery-ms") {
+      opts.recovery_ms = std::atoll(next("--recovery-ms"));
+    } else if (arg == "--periods") {
+      opts.periods = static_cast<uint64_t>(std::atoll(next("--periods")));
+    } else if (arg == "--fault") {
+      opts.fault = next("--fault");
+    } else if (arg == "--fault-node") {
+      opts.fault_node = static_cast<uint32_t>(std::atoi(next("--fault-node")));
+    } else if (arg == "--fault-at-ms") {
+      opts.fault_at_ms = std::atoll(next("--fault-at-ms"));
+    } else if (arg == "--analyze") {
+      opts.analyze = true;
+    } else if (arg == "--save-strategy") {
+      opts.save_strategy = next("--save-strategy");
+    } else if (arg == "--verbose") {
+      opts.verbose = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (opts.verbose) {
+    SetLogLevel(LogLevel::kInfo);
+  }
+
+  Scenario scenario;
+  if (opts.scenario == "avionics") {
+    scenario = MakeAvionicsScenario(opts.nodes);
+  } else if (opts.scenario == "scada") {
+    scenario = MakeScadaScenario(opts.nodes);
+  } else if (opts.scenario == "convoy") {
+    scenario = MakeConvoyScenario(std::max<size_t>(opts.nodes / 2, 2));
+  } else if (opts.scenario == "random") {
+    Rng rng(opts.seed);
+    RandomDagParams params;
+    params.compute_nodes = opts.nodes;
+    scenario = MakeRandomScenario(&rng, params);
+  } else {
+    return Usage(argv[0]);
+  }
+
+  BtrConfig config;
+  config.planner.max_faults = opts.f;
+  config.planner.recovery_bound = Milliseconds(opts.recovery_ms);
+  config.seed = opts.seed;
+
+  BtrSystem system(scenario, config);
+  const Status plan_status = system.Plan();
+  if (!plan_status.ok()) {
+    std::printf("planning failed: %s\n", plan_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu nodes, %zu tasks, f=%u, R=%lld ms -> %zu modes (%.1f KB/node)\n",
+              opts.scenario.c_str(), system.scenario().topology.node_count(),
+              system.scenario().workload.task_count(), opts.f,
+              static_cast<long long>(opts.recovery_ms), system.strategy().mode_count(),
+              static_cast<double>(system.strategy().MemoryFootprintBytes()) / 1024.0);
+
+  if (opts.save_strategy.has_value()) {
+    std::ofstream out(*opts.save_strategy);
+    out << SaveStrategy(system.strategy(), system.planner().graph(),
+                        system.scenario().topology);
+    std::printf("strategy written to %s\n", opts.save_strategy->c_str());
+  }
+
+  if (opts.analyze) {
+    const TransitionAnalysis analysis = system.AnalyzeRecoveryBound();
+    std::printf("offline analysis: worst transition %.1f ms (detection bound %.1f ms) -> %s\n",
+                ToMillisF(analysis.worst_total), ToMillisF(analysis.detection_bound),
+                analysis.fits_recovery_bound ? "R is guaranteed" : "R is NOT guaranteed");
+    if (const TransitionBound* worst = analysis.Worst()) {
+      std::printf("  worst case entering mode %s: spread %.1f + boundary %.1f + "
+                  "transfer %.1f + settle %.1f ms\n",
+                  worst->to.ToString().c_str(), ToMillisF(worst->evidence_spread),
+                  ToMillisF(worst->boundary_wait), ToMillisF(worst->state_transfer),
+                  ToMillisF(worst->settle));
+    }
+  }
+
+  if (opts.fault.has_value()) {
+    const auto behavior = ParseBehavior(*opts.fault);
+    if (!behavior.has_value()) {
+      return Usage(argv[0]);
+    }
+    NodeId victim;
+    if (opts.fault_node.has_value()) {
+      victim = NodeId(*opts.fault_node);
+    } else {
+      // Default victim: host of the most critical compute task's primary.
+      const Dataflow& w = system.scenario().workload;
+      TaskId target;
+      for (TaskId t : w.ComputeIds()) {
+        if (!target.valid() || w.task(t).criticality > w.task(target).criticality) {
+          target = t;
+        }
+      }
+      victim = system.strategy().Lookup(FaultSet())->placement[system.planner().graph()
+                                                                   .PrimaryOf(target)];
+    }
+    FaultInjection injection;
+    injection.node = victim;
+    injection.manifest_at = Milliseconds(opts.fault_at_ms);
+    injection.behavior = *behavior;
+    injection.delay = system.scenario().workload.period() / 2;
+    system.AddFault(injection);
+    std::printf("fault: %s on %s at %lld ms\n", opts.fault->c_str(),
+                ToString(victim).c_str(), static_cast<long long>(opts.fault_at_ms));
+  }
+
+  auto report = system.Run(opts.periods);
+  if (!report.ok()) {
+    std::printf("run failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nran %llu periods (%.2f s simulated, %llu events)\n",
+              static_cast<unsigned long long>(report->periods),
+              ToSecondsF(report->simulated_time),
+              static_cast<unsigned long long>(report->events_executed));
+  const CorrectnessReport& c = report->correctness;
+  std::printf("sinks: %llu correct / %llu expected (%llu wrong, %llu late, %llu missing, "
+              "%llu shed)\n",
+              static_cast<unsigned long long>(c.correct_instances),
+              static_cast<unsigned long long>(c.total_instances),
+              static_cast<unsigned long long>(c.incorrect_value),
+              static_cast<unsigned long long>(c.incorrect_late),
+              static_cast<unsigned long long>(c.incorrect_missing),
+              static_cast<unsigned long long>(c.shed_instances));
+  for (const auto& fault : report->faults) {
+    std::printf("fault %s (%s): detection %+.2f ms, distribution %+.2f ms, recovery %.2f ms\n",
+                ToString(fault.node).c_str(), FaultBehaviorName(fault.behavior),
+                ToMillisF(fault.detection_latency), ToMillisF(fault.distribution_latency),
+                ToMillisF(fault.recovery_time));
+  }
+  std::printf("Definition 3.1 (R = %lld ms): %s\n", static_cast<long long>(opts.recovery_ms),
+              c.btr_violated ? "VIOLATED" : "holds");
+  return c.btr_violated ? 1 : 0;
+}

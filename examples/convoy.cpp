@@ -1,0 +1,72 @@
+// Vehicle convoy: multi-hop V2V communication and the omission problem.
+//
+// The convoy topology is a ring of vehicle computers, so messages relay
+// through other vehicles. A Byzantine relay that silently drops traffic is
+// the hardest fault in the paper's taxonomy: there is no provable evidence,
+// only path declarations and accumulated blame (Section 4.2). This example
+// shows blame-based conviction working, and routes healing around the relay.
+
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/core/btr_system.h"
+#include "src/workload/generators.h"
+
+int main() {
+  using namespace btr;
+
+  Scenario scenario = MakeConvoyScenario(/*vehicles=*/5);
+  BtrConfig config;
+  config.planner.max_faults = 1;
+  config.planner.recovery_bound = Seconds(1);
+  BtrSystem system(scenario, config);
+  if (!system.Plan().ok()) {
+    std::printf("planning failed\n");
+    return 1;
+  }
+  std::printf("convoy of 5 vehicles: %zu nodes, %zu tasks, %zu planned modes\n",
+              system.scenario().topology.node_count(),
+              system.scenario().workload.task_count(), system.strategy().mode_count());
+
+  // Vehicle 2's computer (node 5) turns Byzantine: it keeps sending its own
+  // traffic (and heartbeats!) but silently drops everything it relays, and
+  // omits its own task outputs.
+  const NodeId relay(5);
+  system.AddFault({relay, Milliseconds(400), FaultBehavior::kOmission, 0,
+                   NodeId::Invalid(), 0});
+  std::printf("attack: vehicle computer %s drops all outputs and relayed traffic "
+              "from t=400 ms\n",
+              ToString(relay).c_str());
+
+  auto report = system.Run(150);  // 3 s at 20 ms control period
+  if (!report.ok()) {
+    std::printf("run failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  const RunReport::FaultOutcome& fault = report->faults[0];
+  std::printf("\n--- outcome ---\n");
+  std::printf("path declarations:  %llu (no single one is proof)\n",
+              static_cast<unsigned long long>(report->total_node_stats.path_declarations));
+  if (fault.first_conviction != kSimTimeNever) {
+    std::printf("blame conviction:   +%.1f ms after manifestation\n",
+                ToMillisF(fault.detection_latency));
+  } else {
+    std::printf("blame conviction:   never (not enough distinct paths)\n");
+  }
+  std::printf("recovery:           %.1f ms of disturbed outputs (R = 1000 ms)\n",
+              ToMillisF(report->correctness.max_recovery));
+  std::printf("Definition 3.1:     %s\n",
+              report->correctness.btr_violated ? "VIOLATED" : "holds");
+
+  // Show where the throttle controllers moved.
+  const Plan* before = system.strategy().Lookup(FaultSet());
+  const Plan* after = system.strategy().Lookup(FaultSet({relay}));
+  if (after != nullptr) {
+    const PlanDelta delta = ComputeDelta(*before, *after, system.planner().graph());
+    std::printf("mode transition:    %zu tasks moved, %zu started, %zu stopped, %s state\n",
+                delta.tasks_moved, delta.tasks_started, delta.tasks_stopped,
+                CellBytes(static_cast<double>(delta.state_bytes_moved)).c_str());
+  }
+  return report->correctness.btr_violated ? 1 : 0;
+}

@@ -1,0 +1,87 @@
+// BFT state-machine-replication baselines (paper Sections 1 and 5).
+//
+// To quantify BTR's efficiency claim ("detection requires fewer replicas
+// than masking, and BTR can use the output of some replicas without waiting
+// for the others"), we implement the two classical comparators on the same
+// simulator, network, and workload:
+//
+//  * kPbft — a compact PBFT-style protocol: 3f+1 replicas each execute the
+//    whole compute DAG every period; the primary proposes the sink outputs;
+//    prepare and commit rounds (O(n^2) messages) mask up to f Byzantine
+//    replicas; sinks actuate on f+1 matching results. A silent or lying
+//    primary triggers a view change. Simplifications vs. real PBFT: one
+//    instance per workload period, digests instead of full requests, no
+//    checkpointing/garbage collection — none of which change the resource
+//    or latency shape being measured.
+//  * kZz — a ZZ-style reactive scheme: only f+1 replicas execute in the
+//    fault-free case; sinks actuate when all f+1 results match. On mismatch
+//    or timeout the f standby replicas are woken (boot delay), execute, and
+//    the sink takes the majority of 2f+1. Cheap normal case, recovery delay
+//    on fault — the closest relative of BTR's reactive philosophy.
+//
+// Both baselines treat the workload as a black box: every replica executes
+// everything, and no degradation by criticality is possible. That contrast
+// is exactly experiment E5.
+
+#ifndef BTR_SRC_BASELINES_BFT_SMR_H_
+#define BTR_SRC_BASELINES_BFT_SMR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/core/adversary.h"
+#include "src/net/network.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+
+enum class BftMode : int { kPbft = 0, kZz = 1 };
+
+struct BftConfig {
+  uint32_t f = 1;
+  BftMode mode = BftMode::kPbft;
+  uint64_t seed = 1;
+  // View-change / standby-wake timeout as a fraction of the period.
+  double timeout_fraction = 0.5;
+  // ZZ: standby boot delay.
+  SimDuration wake_delay = Milliseconds(30);
+  NetworkConfig network;
+};
+
+struct BftReport {
+  uint32_t replicas_total = 0;     // replicas provisioned
+  uint32_t replicas_active = 0;    // executing in the fault-free case
+  double bytes_per_period = 0.0;   // link-level bytes per period
+  double cpu_per_period = 0.0;     // execution ns per period, all replicas
+  Samples sink_latency;            // actuation time minus period start (ns)
+  uint64_t correct_outputs = 0;
+  uint64_t wrong_outputs = 0;
+  uint64_t missing_outputs = 0;
+  uint64_t late_outputs = 0;
+  uint64_t view_changes = 0;
+  uint64_t wakeups = 0;            // ZZ standby activations
+  // Longest run of consecutive periods with a missing/late/wrong sink
+  // output after the first fault manifestation.
+  SimDuration max_disruption = 0;
+};
+
+class BftBaseline {
+ public:
+  BftBaseline(const Scenario* scenario, BftConfig config);
+
+  StatusOr<BftReport> Run(uint64_t periods, const AdversarySpec& adversary);
+
+  // Replica nodes chosen (for tests and fault targeting).
+  const std::vector<NodeId>& replica_nodes() const { return replicas_; }
+
+ private:
+  const Scenario* scenario_;
+  BftConfig config_;
+  std::vector<NodeId> replicas_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_BASELINES_BFT_SMR_H_

@@ -1,0 +1,245 @@
+#include "src/baselines/selfstab.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/golden.h"
+
+namespace btr {
+namespace {
+
+constexpr uint64_t kCorruptionMask = 0xBAD0BAD0BAD0BAD0ULL;
+constexpr uint32_t kGossipBytes = 32;
+
+}  // namespace
+
+StatusOr<SelfStabReport> SelfStabBaseline::Run(uint64_t periods, const AdversarySpec& adversary) {
+  const Dataflow& w = scenario_->workload;
+  const size_t n = scenario_->topology.node_count();
+  const SimDuration period_len = w.period();
+  Rng rng(config_.seed);
+  GoldenOracle oracle(&w);
+
+  // Initial round-robin assignment of compute tasks; sources/sinks pinned.
+  std::vector<NodeId> hosts;  // candidate hosts for compute tasks
+  {
+    std::set<NodeId> pinned;
+    for (const TaskSpec& t : w.tasks()) {
+      if (t.pinned_node.valid()) {
+        pinned.insert(t.pinned_node);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const NodeId id(static_cast<uint32_t>(i));
+      if (pinned.count(id) == 0) {
+        hosts.push_back(id);
+      }
+    }
+    if (hosts.empty()) {
+      for (size_t i = 0; i < n; ++i) {
+        hosts.push_back(NodeId(static_cast<uint32_t>(i)));
+      }
+    }
+  }
+  // Per-node local view of who owns each task (views can diverge; that is
+  // the point of the baseline).
+  std::vector<std::vector<NodeId>> view(n, std::vector<NodeId>(w.task_count()));
+  size_t rr = 0;
+  for (const TaskSpec& t : w.tasks()) {
+    NodeId owner = t.pinned_node;
+    if (!owner.valid()) {
+      owner = hosts[rr++ % hosts.size()];
+    }
+    for (size_t node = 0; node < n; ++node) {
+      view[node][t.id.value()] = owner;
+    }
+  }
+
+  // Gossip state: per node, per suspect, set of gossipers heard from.
+  std::vector<std::map<uint32_t, std::set<uint32_t>>> heard(n);
+
+  SelfStabReport report;
+  double total_cpu = 0.0;
+  double total_bytes = 0.0;
+  std::vector<bool> period_ok(periods, true);
+
+  auto fault_on = [&](NodeId node, uint64_t p) -> const FaultInjection* {
+    return adversary.ActiveOn(node, static_cast<SimTime>(p) * period_len);
+  };
+
+  for (uint64_t p = 0; p < periods; ++p) {
+    // --- execute tasks in topological order, per each node's local view ---
+    // produced[task][node]: output digest produced by `node` this period.
+    std::vector<std::map<uint32_t, uint64_t>> produced(w.task_count());
+    std::vector<std::pair<uint32_t, uint32_t>> new_suspicions;  // (suspect, by)
+
+    // Liveness watchdog: crashes are locally detectable by everyone (the
+    // easy, benign-fault case classical self-stabilization handles); wrong
+    // values are only probabilistically noticed by direct consumers below.
+    for (size_t other = 0; other < n; ++other) {
+      const NodeId them(static_cast<uint32_t>(other));
+      const FaultInjection* of = fault_on(them, p);
+      if (of == nullptr || of->behavior != FaultBehavior::kCrash) {
+        continue;
+      }
+      for (size_t node = 0; node < n; ++node) {
+        if (node != other) {
+          new_suspicions.emplace_back(static_cast<uint32_t>(other),
+                                      static_cast<uint32_t>(node));
+        }
+      }
+    }
+
+    for (TaskId t : w.TopologicalOrder()) {
+      const TaskSpec& spec = w.task(t);
+      for (size_t node = 0; node < n; ++node) {
+        const NodeId me(static_cast<uint32_t>(node));
+        if (view[node][t.value()] != me) {
+          continue;  // I do not believe I own this task
+        }
+        const FaultInjection* fault = fault_on(me, p);
+        if (fault != nullptr && fault->behavior == FaultBehavior::kCrash) {
+          continue;
+        }
+        // Gather inputs as seen from my view.
+        bool missing = false;
+        std::vector<InputValue> inputs;
+        for (const ChannelSpec& ch : w.Inputs(t)) {
+          const NodeId owner = view[node][ch.from.value()];
+          auto it = produced[ch.from.value()].find(owner.value());
+          const FaultInjection* pf = fault_on(owner, p);
+          const bool omitted =
+              pf != nullptr && (pf->behavior == FaultBehavior::kOmission ||
+                                pf->behavior == FaultBehavior::kCrash ||
+                                (pf->behavior == FaultBehavior::kSelectiveOmission &&
+                                 pf->target == me));
+          if (it == produced[ch.from.value()].end() || omitted) {
+            missing = true;
+            new_suspicions.emplace_back(owner.value(), me.value());
+            continue;
+          }
+          // Wrong values are only *probabilistically* noticed (no replicas).
+          if (it->second != oracle.Golden(ch.from, p) && rng.NextBool(config_.detect_prob)) {
+            new_suspicions.emplace_back(owner.value(), me.value());
+          }
+          inputs.push_back(InputValue{ch.from, it->second});
+          total_bytes += ch.message_bytes;
+        }
+        if (missing) {
+          continue;
+        }
+        std::sort(inputs.begin(), inputs.end(),
+                  [](const InputValue& a, const InputValue& b) { return a.producer < b.producer; });
+        uint64_t digest = spec.kind == TaskKind::kSource ? SourceValue(t, p)
+                                                         : ComputeOutput(t, p, inputs);
+        if (fault != nullptr && (fault->behavior == FaultBehavior::kValueCorruption ||
+                                 fault->behavior == FaultBehavior::kEquivocate)) {
+          digest ^= kCorruptionMask;
+        }
+        produced[t.value()][me.value()] = digest;
+        total_cpu += static_cast<double>(spec.wcet);
+      }
+    }
+
+    // --- evaluate sinks from their pinned node's perspective ---
+    for (TaskId s : w.SinkIds()) {
+      auto it = produced[s.value()].find(w.task(s).pinned_node.value());
+      const bool ok = it != produced[s.value()].end() && it->second == oracle.Golden(s, p);
+      if (ok) {
+        ++report.correct_outputs;
+      } else {
+        ++report.incorrect_outputs;
+        period_ok[p] = false;
+      }
+    }
+
+    // --- gossip suspicions (everyone hears everyone; byzantine lies) ---
+    for (size_t node = 0; node < n; ++node) {
+      const NodeId me(static_cast<uint32_t>(node));
+      const FaultInjection* fault = fault_on(me, p);
+      if (fault != nullptr && fault->behavior == FaultBehavior::kCrash) {
+        continue;
+      }
+      if (fault != nullptr) {
+        // Byzantine gossip: frame a random honest node every period.
+        const uint32_t victim = static_cast<uint32_t>(rng.NextBelow(n));
+        for (size_t other = 0; other < n; ++other) {
+          heard[other][victim].insert(me.value());
+        }
+        total_bytes += static_cast<double>(kGossipBytes * n);
+        continue;
+      }
+      for (const auto& [suspect, by] : new_suspicions) {
+        if (by != me.value()) {
+          continue;
+        }
+        for (size_t other = 0; other < n; ++other) {
+          heard[other][suspect].insert(by);
+        }
+        total_bytes += static_cast<double>(kGossipBytes * n);
+      }
+    }
+
+    // --- local reassignment once a majority of nodes suspect someone ---
+    const size_t majority = n / 2 + 1;
+    for (size_t node = 0; node < n; ++node) {
+      for (const auto& [suspect, gossipers] : heard[node]) {
+        if (gossipers.size() < majority) {
+          continue;
+        }
+        for (const TaskSpec& t : w.tasks()) {
+          if (t.pinned_node.valid() || view[node][t.id.value()].value() != suspect) {
+            continue;
+          }
+          // Deterministic next host, skipping locally-suspected nodes.
+          for (size_t k = 1; k <= hosts.size(); ++k) {
+            const NodeId cand = hosts[(suspect + k + t.id.value()) % hosts.size()];
+            auto hit = heard[node].find(cand.value());
+            const bool cand_suspected = hit != heard[node].end() &&
+                                        hit->second.size() >= majority;
+            if (!cand_suspected) {
+              view[node][t.id.value()] = cand;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- stabilization analysis ---
+  SimTime first_fault = kSimTimeNever;
+  for (const FaultInjection& inj : adversary.injections()) {
+    first_fault = std::min(first_fault, inj.manifest_at);
+  }
+  if (first_fault != kSimTimeNever) {
+    // Find the start of the final all-correct suffix.
+    int64_t suffix_start = static_cast<int64_t>(periods);
+    for (int64_t p = static_cast<int64_t>(periods) - 1; p >= 0; --p) {
+      if (!period_ok[p]) {
+        break;
+      }
+      suffix_start = p;
+    }
+    const uint64_t fault_period = static_cast<uint64_t>(first_fault / period_len);
+    if (suffix_start < static_cast<int64_t>(periods) &&
+        static_cast<uint64_t>(suffix_start) > fault_period) {
+      report.stabilized = true;
+      report.recovery_time = suffix_start * period_len - first_fault;
+    } else if (suffix_start <= static_cast<int64_t>(fault_period)) {
+      report.stabilized = true;
+      report.recovery_time = 0;
+    }
+  } else {
+    report.stabilized = true;
+    report.recovery_time = 0;
+  }
+  report.bytes_per_period = total_bytes / static_cast<double>(periods);
+  report.cpu_per_period = total_cpu / static_cast<double>(periods);
+  return report;
+}
+
+}  // namespace btr

@@ -1,0 +1,63 @@
+// Self-stabilization-style baseline (paper Section 5).
+//
+// Self-stabilizing systems guarantee only *eventual* convergence to a
+// correct state, with no bound on when; classical formulations also assume
+// benign faults. This baseline models that recovery style on our substrate:
+//
+//  * tasks run unreplicated, assigned round-robin;
+//  * there is no evidence: an honest node merely *suspects* a producer when
+//    its output is missing or (with probability detect_prob, since there is
+//    no replica to compare against) wrong;
+//  * suspicions are gossiped; a node locally reassigns the suspect's tasks
+//    once it has heard suspicions from a majority of nodes. Nothing forces
+//    nodes to reassign at the same time, and a Byzantine node can gossip
+//    false suspicions, so convergence is eventual and jittery — which is
+//    exactly the contrast with BTR's bounded recovery (experiment E3).
+//
+// The protocol is intentionally simple; it stands in for the *class* of
+// eventual-recovery schemes, not for any specific published algorithm.
+
+#ifndef BTR_SRC_BASELINES_SELFSTAB_H_
+#define BTR_SRC_BASELINES_SELFSTAB_H_
+
+#include "src/common/status.h"
+#include "src/core/adversary.h"
+#include "src/net/network.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+
+struct SelfStabConfig {
+  uint64_t seed = 1;
+  // Probability per period that an honest consumer notices a *wrong* (as
+  // opposed to missing) input value without replicas to compare against.
+  double detect_prob = 0.25;
+  NetworkConfig network;
+};
+
+struct SelfStabReport {
+  uint64_t correct_outputs = 0;
+  uint64_t incorrect_outputs = 0;  // wrong, late, or missing
+  // Time from first fault manifestation to the start of the final
+  // all-correct suffix; -1 if the system never re-stabilized.
+  SimDuration recovery_time = -1;
+  bool stabilized = false;
+  double bytes_per_period = 0.0;
+  double cpu_per_period = 0.0;
+};
+
+class SelfStabBaseline {
+ public:
+  SelfStabBaseline(const Scenario* scenario, SelfStabConfig config)
+      : scenario_(scenario), config_(config) {}
+
+  StatusOr<SelfStabReport> Run(uint64_t periods, const AdversarySpec& adversary);
+
+ private:
+  const Scenario* scenario_;
+  SelfStabConfig config_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_BASELINES_SELFSTAB_H_

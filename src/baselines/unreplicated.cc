@@ -1,0 +1,16 @@
+#include "src/baselines/unreplicated.h"
+
+namespace btr {
+
+UnreplicatedCost ComputeUnreplicatedCost(const Dataflow& workload) {
+  UnreplicatedCost cost;
+  for (const TaskSpec& t : workload.tasks()) {
+    cost.cpu_per_period += static_cast<double>(t.wcet);
+  }
+  for (const ChannelSpec& ch : workload.channels()) {
+    cost.bytes_per_period += static_cast<double>(ch.message_bytes);
+  }
+  return cost;
+}
+
+}  // namespace btr

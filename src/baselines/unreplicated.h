@@ -1,0 +1,23 @@
+// Unreplicated baseline: the raw workload cost with no fault tolerance at
+// all. Used as the denominator in the replication-cost experiment (E1).
+
+#ifndef BTR_SRC_BASELINES_UNREPLICATED_H_
+#define BTR_SRC_BASELINES_UNREPLICATED_H_
+
+#include "src/workload/dataflow.h"
+
+namespace btr {
+
+struct UnreplicatedCost {
+  double cpu_per_period = 0.0;    // sum of all task WCETs, ns
+  double bytes_per_period = 0.0;  // sum of all channel payloads
+  uint32_t replicas = 1;
+};
+
+// Analytic cost of running the workload once per period with no replication,
+// checking, or evidence machinery.
+UnreplicatedCost ComputeUnreplicatedCost(const Dataflow& workload);
+
+}  // namespace btr
+
+#endif  // BTR_SRC_BASELINES_UNREPLICATED_H_

@@ -1,0 +1,68 @@
+// 64-bit content hashing used for message digests and golden-run comparison.
+//
+// This is *not* a cryptographic hash; src/crypto builds simulated
+// unforgeable signatures on top of it by construction (the simulator never
+// lets one principal produce another principal's signature), so collision
+// resistance beyond accident-avoidance is not required.
+
+#ifndef BTR_SRC_COMMON_HASH_H_
+#define BTR_SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace btr {
+
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// FNV-1a over raw bytes, with a strengthening finalizer (from SplitMix64).
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = kFnvOffset);
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = kFnvOffset) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+// Combines two 64-bit hashes (boost::hash_combine style, 64-bit constants).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+// Incremental hasher for composing digests of structured values.
+class Hasher {
+ public:
+  Hasher() = default;
+  explicit Hasher(uint64_t seed) : state_(seed) {}
+
+  template <typename T>
+  Hasher& Add(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>, "Add requires a trivially copyable type");
+    state_ = HashBytes(&value, sizeof(value), state_);
+    return *this;
+  }
+
+  Hasher& AddString(std::string_view s) {
+    state_ = HashBytes(s.data(), s.size(), state_);
+    // Length-prefix to keep ("ab","c") distinct from ("a","bc").
+    return Add(s.size());
+  }
+
+  template <typename T>
+  Hasher& AddVector(const std::vector<T>& v) {
+    for (const T& x : v) {
+      Add(x);
+    }
+    return Add(v.size());
+  }
+
+  uint64_t Digest() const;
+
+ private:
+  uint64_t state_ = kFnvOffset;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_COMMON_HASH_H_

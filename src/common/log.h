@@ -1,0 +1,62 @@
+// Leveled logging for the simulator.
+//
+// Logging is off by default (benchmarks would drown otherwise); tests and
+// examples can raise the level. Messages carry the simulated time when the
+// logger has been attached to a simulation.
+
+#ifndef BTR_SRC_COMMON_LOG_H_
+#define BTR_SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace btr {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Process-wide minimum level. Defaults to kOff.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Simulated-time source for log prefixes; set by Simulator, may be null.
+void SetLogTimeSource(const SimTime* now);
+
+bool LogEnabled(LogLevel level);
+void LogLine(LogLevel level, const std::string& component, const std::string& message);
+
+// Stream-style helper: BTR_LOG(kDebug, "planner") << "mode " << i;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { LogLine(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace btr
+
+#define BTR_LOG(level, component)            \
+  if (!::btr::LogEnabled(::btr::LogLevel::level)) { \
+  } else                                     \
+    ::btr::LogStream(::btr::LogLevel::level, (component))
+
+#endif  // BTR_SRC_COMMON_LOG_H_

@@ -1,0 +1,38 @@
+// Integer math helpers for periodic scheduling (hyperperiods, ceilings).
+
+#ifndef BTR_SRC_COMMON_MATH_UTIL_H_
+#define BTR_SRC_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace btr {
+
+inline int64_t Gcd64(int64_t a, int64_t b) { return std::gcd(a, b); }
+
+inline int64_t Lcm64(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return a / std::gcd(a, b) * b;
+}
+
+// Least common multiple of all values; the hyperperiod of a periodic task set.
+inline int64_t LcmAll(const std::vector<int64_t>& values) {
+  int64_t acc = 1;
+  for (int64_t v : values) {
+    acc = Lcm64(acc, v);
+  }
+  return acc;
+}
+
+// Ceiling division for non-negative integers.
+inline int64_t CeilDiv(int64_t num, int64_t den) { return (num + den - 1) / den; }
+
+// Rounds `t` up to the next multiple of `step` (step > 0).
+inline int64_t RoundUp(int64_t t, int64_t step) { return CeilDiv(t, step) * step; }
+
+}  // namespace btr
+
+#endif  // BTR_SRC_COMMON_MATH_UTIL_H_

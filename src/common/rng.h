@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// The whole simulator must be reproducible from a single seed, so all
+// randomness flows through Rng instances created from explicit seeds.
+// Implementation: xoshiro256** (public domain, Blackman & Vigna).
+
+#ifndef BTR_SRC_COMMON_RNG_H_
+#define BTR_SRC_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace btr {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // Bernoulli trial with probability p of returning true.
+  bool NextBool(double p);
+
+  // Approximately normal via sum of uniforms (Irwin-Hall, 12 terms).
+  double NextGaussian(double mean, double stddev);
+
+  // Exponential with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) {
+      return;
+    }
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  // Derive an independent child generator; used to give each simulated node
+  // its own stream so that adding events to one node does not perturb others.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_COMMON_RNG_H_

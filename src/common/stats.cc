@@ -1,0 +1,128 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace btr {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Samples::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::Mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return Sum() / static_cast<double>(values_.size());
+}
+
+double Samples::Sum() const { return std::accumulate(values_.begin(), values_.end(), 0.0); }
+
+double Samples::Min() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::Max() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::Percentile(double q) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  if (q <= 0.0) {
+    return values_.front();
+  }
+  if (q >= 1.0) {
+    return values_.back();
+  }
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) {
+    return values_.back();
+  }
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets) : lo_(lo), hi_(hi), counts_(buckets) {}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  size_t i = static_cast<size_t>(frac * static_cast<double>(counts_.size()));
+  if (i >= counts_.size()) {
+    i = counts_.size() - 1;
+  }
+  ++counts_[i];
+}
+
+double Histogram::BucketLow(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ToAscii(size_t width) const {
+  uint64_t peak = 1;
+  for (uint64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const size_t bar = static_cast<size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) * static_cast<double>(width));
+    out << "  [" << BucketLow(i) << ", " << BucketLow(i + 1) << ") ";
+    out << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (underflow_ > 0) {
+    out << "  underflow: " << underflow_ << "\n";
+  }
+  if (overflow_ > 0) {
+    out << "  overflow: " << overflow_ << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace btr

@@ -1,0 +1,83 @@
+// Online statistics and histograms for experiment reporting.
+
+#ifndef BTR_SRC_COMMON_STATS_H_
+#define BTR_SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace btr {
+
+// Welford-style running mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exact-percentile sample collector. Stores all samples; fine for the sample
+// counts our experiments produce (<= millions).
+class Samples {
+ public:
+  void Add(double x) { values_.push_back(x); }
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Sum() const;
+  // q in [0, 1]; linear interpolation between order statistics.
+  double Percentile(double q) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+// Fixed-width linear histogram for distribution summaries in benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  size_t BucketCount() const { return counts_.size(); }
+  uint64_t BucketValue(size_t i) const { return counts_[i]; }
+  double BucketLow(size_t i) const;
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t total() const { return total_; }
+
+  // Render as fixed-width ASCII bars, one bucket per line.
+  std::string ToAscii(size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_COMMON_STATS_H_

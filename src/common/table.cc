@@ -1,0 +1,91 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace btr {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  sep += "\n";
+
+  std::string out = render_row(headers_);
+  out += sep;
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string CellInt(int64_t v) { return std::to_string(v); }
+
+std::string CellDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string CellDuration(double nanos) {
+  char buf[64];
+  const double a = std::fabs(nanos);
+  if (a < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", nanos);
+  } else if (a < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", nanos / 1e3);
+  } else if (a < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", nanos / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", nanos / 1e9);
+  }
+  return buf;
+}
+
+std::string CellBytes(double bytes) {
+  char buf[64];
+  const double a = std::fabs(bytes);
+  if (a < 1024) {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  } else if (a < 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / (1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+std::string CellPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace btr

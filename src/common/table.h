@@ -1,0 +1,42 @@
+// ASCII table rendering for benchmark output.
+//
+// Every bench binary prints the rows of the experiment it reproduces using
+// this formatter, so EXPERIMENTS.md and bench output line up visually.
+
+#ifndef BTR_SRC_COMMON_TABLE_H_
+#define BTR_SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace btr {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; cells are stringified by the caller (see Cell helpers below).
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with column widths fitted to content, pipe-separated.
+  std::string Render() const;
+
+  size_t RowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers for table cells.
+std::string CellInt(int64_t v);
+std::string CellDouble(double v, int precision = 3);
+// Scales to a human unit (ns/us/ms/s) from nanoseconds.
+std::string CellDuration(double nanos);
+// Scales to B/KB/MB.
+std::string CellBytes(double bytes);
+std::string CellPercent(double fraction, int precision = 1);
+
+}  // namespace btr
+
+#endif  // BTR_SRC_COMMON_TABLE_H_

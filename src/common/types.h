@@ -1,0 +1,99 @@
+// Core identifier and simulated-time types shared by every BTR library.
+//
+// All simulation state is keyed by small integer ids wrapped in distinct
+// strong types so that a NodeId cannot be passed where a TaskId is expected.
+
+#ifndef BTR_SRC_COMMON_TYPES_H_
+#define BTR_SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace btr {
+
+// Simulated time in nanoseconds since the start of the run. Signed so that
+// subtraction of nearby instants is safe.
+using SimTime = int64_t;
+
+// Simulated duration in nanoseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimTime kSimTimeNever = std::numeric_limits<SimTime>::max();
+
+constexpr SimDuration Nanoseconds(int64_t n) { return n; }
+constexpr SimDuration Microseconds(int64_t us) { return us * 1000; }
+constexpr SimDuration Milliseconds(int64_t ms) { return ms * 1000 * 1000; }
+constexpr SimDuration Seconds(int64_t s) { return s * 1000 * 1000 * 1000; }
+
+constexpr double ToSecondsF(SimDuration d) { return static_cast<double>(d) / 1e9; }
+constexpr double ToMillisF(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+// Strong id wrapper. Tag is an empty struct used only to make distinct types.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(uint32_t value) : value_(value) {}
+
+  constexpr uint32_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value_ >= b.value_; }
+
+  static constexpr Id Invalid() { return Id(); }
+
+ private:
+  static constexpr uint32_t kInvalid = std::numeric_limits<uint32_t>::max();
+  uint32_t value_ = kInvalid;
+};
+
+struct NodeIdTag {};
+struct LinkIdTag {};
+struct TaskIdTag {};
+struct MessageIdTag {};
+struct FlowIdTag {};
+
+// A physical processing node (ECU, controller board, ...).
+using NodeId = Id<NodeIdTag>;
+// A shared communication link (bus segment, point-to-point wire, ...).
+using LinkId = Id<LinkIdTag>;
+// A task in the dataflow workload (also used for planner-added tasks).
+using TaskId = Id<TaskIdTag>;
+// A unique message instance on the network.
+using MessageId = Id<MessageIdTag>;
+// An end-to-end dataflow (source ... sink chain) with a deadline.
+using FlowId = Id<FlowIdTag>;
+
+template <typename Tag>
+std::string ToString(Id<Tag> id, const char* prefix) {
+  if (!id.valid()) {
+    return std::string(prefix) + "<invalid>";
+  }
+  return std::string(prefix) + std::to_string(id.value());
+}
+
+inline std::string ToString(NodeId id) { return ToString(id, "n"); }
+inline std::string ToString(LinkId id) { return ToString(id, "l"); }
+inline std::string ToString(TaskId id) { return ToString(id, "t"); }
+inline std::string ToString(FlowId id) { return ToString(id, "f"); }
+
+}  // namespace btr
+
+// Hash support so ids can key unordered containers.
+namespace std {
+template <typename Tag>
+struct hash<btr::Id<Tag>> {
+  size_t operator()(btr::Id<Tag> id) const noexcept {
+    return std::hash<uint32_t>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // BTR_SRC_COMMON_TYPES_H_

@@ -1,0 +1,51 @@
+#include "src/core/adversary.h"
+
+#include <algorithm>
+
+namespace btr {
+
+const char* FaultBehaviorName(FaultBehavior b) {
+  switch (b) {
+    case FaultBehavior::kCrash:
+      return "crash";
+    case FaultBehavior::kValueCorruption:
+      return "value-corruption";
+    case FaultBehavior::kOmission:
+      return "omission";
+    case FaultBehavior::kSelectiveOmission:
+      return "selective-omission";
+    case FaultBehavior::kDelay:
+      return "delay";
+    case FaultBehavior::kEquivocate:
+      return "equivocate";
+    case FaultBehavior::kEvidenceFlood:
+      return "evidence-flood";
+  }
+  return "?";
+}
+
+const FaultInjection* AdversarySpec::ActiveOn(NodeId node, SimTime now) const {
+  const FaultInjection* best = nullptr;
+  for (const FaultInjection& inj : injections_) {
+    if (inj.node != node || inj.manifest_at > now) {
+      continue;
+    }
+    // Latest manifested injection wins (allows escalation scripts).
+    if (best == nullptr || inj.manifest_at > best->manifest_at) {
+      best = &inj;
+    }
+  }
+  return best;
+}
+
+SimTime AdversarySpec::ManifestTime(NodeId node) const {
+  SimTime earliest = kSimTimeNever;
+  for (const FaultInjection& inj : injections_) {
+    if (inj.node == node) {
+      earliest = std::min(earliest, inj.manifest_at);
+    }
+  }
+  return earliest;
+}
+
+}  // namespace btr

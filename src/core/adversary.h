@@ -1,0 +1,63 @@
+// The Byzantine adversary (paper Section 2.1 threat model).
+//
+// The adversary fully controls up to f nodes. Control is modeled as a
+// per-node behavior that the compromised node's runtime consults at every
+// action. The adversary cannot forge other nodes' signatures (crypto
+// assumption) and cannot exceed its MAC-enforced bandwidth allocation
+// (babbling-idiot guardian) — everything else is fair game.
+
+#ifndef BTR_SRC_CORE_ADVERSARY_H_
+#define BTR_SRC_CORE_ADVERSARY_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace btr {
+
+enum class FaultBehavior : int {
+  kCrash = 0,            // stop executing, receiving, and relaying
+  kValueCorruption = 1,  // sign and send wrong output digests
+  kOmission = 2,         // execute but send nothing (also drop relayed traffic)
+  kSelectiveOmission = 3,  // omit only messages to `target`
+  kDelay = 4,            // send outputs late by `delay`
+  kEquivocate = 5,       // send different values to different receivers
+  kEvidenceFlood = 6,    // spam bogus evidence records (DoS on verification)
+};
+
+const char* FaultBehaviorName(FaultBehavior b);
+
+struct FaultInjection {
+  NodeId node;
+  SimTime manifest_at = 0;
+  FaultBehavior behavior = FaultBehavior::kCrash;
+  // kDelay: how late outputs are sent.
+  SimDuration delay = 0;
+  // kSelectiveOmission: the receiver to starve.
+  NodeId target;
+  // kEvidenceFlood: bogus records per period.
+  uint32_t flood_rate = 8;
+};
+
+// Per-run adversary script: which nodes fall when, and how they misbehave.
+class AdversarySpec {
+ public:
+  AdversarySpec() = default;
+
+  void Add(FaultInjection injection) { injections_.push_back(injection); }
+
+  const std::vector<FaultInjection>& injections() const { return injections_; }
+
+  // The injection active on `node` at time `now`, or nullptr.
+  const FaultInjection* ActiveOn(NodeId node, SimTime now) const;
+
+  // Earliest manifestation on `node`; kSimTimeNever if the node stays honest.
+  SimTime ManifestTime(NodeId node) const;
+
+ private:
+  std::vector<FaultInjection> injections_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_CORE_ADVERSARY_H_

@@ -1,0 +1,116 @@
+#include "src/core/augment.h"
+
+#include <cassert>
+
+namespace btr {
+
+AugmentedGraph::AugmentedGraph(const Dataflow* workload, size_t node_count,
+                               const AugmentConfig& config)
+    : workload_(workload), config_(config) {
+  assert(config_.replication >= 1);
+  const size_t n_tasks = workload->task_count();
+  replicas_.assign(n_tasks, {});
+  checker_.assign(n_tasks, kNone);
+  verifier_.assign(node_count, kNone);
+
+  // 1. Workload tasks and their replicas.
+  for (const TaskSpec& spec : workload->tasks()) {
+    const bool replicable = spec.kind == TaskKind::kCompute &&
+                            spec.criticality >= config_.replicate_min_criticality;
+    const uint32_t copies = replicable ? config_.replication : 1;
+    for (uint32_t r = 0; r < copies; ++r) {
+      AugTask t;
+      t.kind = AugKind::kWorkload;
+      t.workload_task = spec.id;
+      t.replica = r;
+      t.wcet = spec.wcet;
+      t.state_bytes = spec.state_bytes;
+      t.criticality = spec.criticality;
+      t.pinned = spec.pinned_node;
+      t.name = spec.name + (copies > 1 ? "#" + std::to_string(r) : "");
+      replicas_[spec.id.value()].push_back(AddTask(std::move(t)));
+    }
+  }
+
+  // 2. Checking tasks for replicated workload tasks.
+  for (const TaskSpec& spec : workload->tasks()) {
+    if (replicas_[spec.id.value()].size() <= 1) {
+      continue;
+    }
+    AugTask t;
+    t.kind = AugKind::kChecker;
+    t.workload_task = spec.id;
+    t.wcet = config_.compare_cost +
+             static_cast<SimDuration>(config_.replay_factor * static_cast<double>(spec.wcet));
+    t.criticality = spec.criticality;
+    t.name = "chk(" + spec.name + ")";
+    checker_[spec.id.value()] = AddTask(std::move(t));
+  }
+
+  // 3. Per-node verification tasks (evidence validation budget).
+  for (size_t n = 0; n < node_count; ++n) {
+    AugTask t;
+    t.kind = AugKind::kVerifier;
+    t.verifier_node = NodeId(static_cast<uint32_t>(n));
+    t.wcet = config_.verifier_budget;
+    t.criticality = Criticality::kHigh;  // evidence handling must not be shed
+    t.pinned = t.verifier_node;
+    t.name = "verify@n" + std::to_string(n);
+    verifier_[n] = AddTask(std::move(t));
+  }
+
+  // Edges.
+  in_edges_.assign(tasks_.size(), {});
+  out_edges_.assign(tasks_.size(), {});
+  for (const ChannelSpec& ch : workload->channels()) {
+    const uint32_t producer_primary = PrimaryOf(ch.from);
+    // Producer primary feeds every replica of the consumer.
+    for (uint32_t consumer : replicas_[ch.to.value()]) {
+      AddEdge(producer_primary, consumer, ch.message_bytes);
+    }
+    // Producer primary also feeds the consumer's checker (replay inputs).
+    const uint32_t chk = checker_[ch.to.value()];
+    if (chk != kNone) {
+      AddEdge(producer_primary, chk, ch.message_bytes);
+    }
+  }
+  // Every replica reports its signed output digest to the task's checker.
+  for (const TaskSpec& spec : workload->tasks()) {
+    const uint32_t chk = checker_[spec.id.value()];
+    if (chk == kNone) {
+      continue;
+    }
+    for (uint32_t rep : replicas_[spec.id.value()]) {
+      AddEdge(rep, chk, config_.digest_record_bytes);
+    }
+  }
+}
+
+uint32_t AugmentedGraph::AddTask(AugTask t) {
+  t.id = static_cast<uint32_t>(tasks_.size());
+  tasks_.push_back(std::move(t));
+  return tasks_.back().id;
+}
+
+void AugmentedGraph::AddEdge(uint32_t from, uint32_t to, uint32_t bytes) {
+  assert(from < tasks_.size() && to < tasks_.size());
+  const AugEdge e{from, to, bytes};
+  edges_.push_back(e);
+  out_edges_[from].push_back(e);
+  in_edges_[to].push_back(e);
+}
+
+const std::vector<uint32_t>& AugmentedGraph::ReplicasOf(TaskId task) const {
+  return replicas_[task.value()];
+}
+
+uint32_t AugmentedGraph::PrimaryOf(TaskId task) const {
+  assert(!replicas_[task.value()].empty());
+  return replicas_[task.value()].front();
+}
+
+uint32_t AugmentedGraph::CheckerOf(TaskId task) const { return checker_[task.value()]; }
+
+uint32_t AugmentedGraph::VerifierOf(NodeId node) const { return verifier_[node.value()]; }
+
+}  // namespace btr

@@ -1,0 +1,117 @@
+// Workload augmentation (paper Section 4.1, step 1).
+//
+// Before planning, the dataflow graph is augmented with the tasks BTR itself
+// needs, which then compete for the same resources as the workload ("there
+// are no extra resources for BTR"):
+//
+//   1. *Replicas*: each compute task at or above the replication criticality
+//      threshold gets f+1 copies (detection needs f+1, not the 2f+1 / 3f+1
+//      masking would need). Replica 0 is the primary; consumers read the
+//      primary's output stream without waiting for other replicas.
+//   2. *Checking tasks*: one per replicated task. A checker receives the
+//      signed outputs of every replica plus copies of the task's inputs, and
+//      re-executes the (deterministic) task to tell which replica lied.
+//      Its WCET therefore budgets a full re-execution.
+//   3. *Verification tasks*: one per node, a fixed per-period CPU budget for
+//      validating and endorsing incoming evidence (Section 4.3).
+//
+// Sources and sinks are physical (sensors/actuators); they stay pinned and
+// unreplicated — a fault on their node sheds the flows that depend on them.
+
+#ifndef BTR_SRC_CORE_AUGMENT_H_
+#define BTR_SRC_CORE_AUGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/workload/dataflow.h"
+
+namespace btr {
+
+enum class AugKind : int {
+  kWorkload = 0,      // replica of a workload task (replica 0 = primary)
+  kChecker = 1,       // compares + replays one replicated task
+  kVerifier = 2,      // per-node evidence verification budget
+};
+
+struct AugTask {
+  uint32_t id = 0;               // dense index in the augmented graph
+  AugKind kind = AugKind::kWorkload;
+  TaskId workload_task;          // kWorkload/kChecker: the underlying task
+  uint32_t replica = 0;          // kWorkload: replica index (0 = primary)
+  NodeId verifier_node;          // kVerifier: the node this budget belongs to
+  SimDuration wcet = 0;
+  uint32_t state_bytes = 0;
+  Criticality criticality = Criticality::kMedium;
+  NodeId pinned;                 // sources/sinks/verifiers are pinned
+  std::string name;
+};
+
+struct AugEdge {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  uint32_t bytes = 0;
+};
+
+struct AugmentConfig {
+  uint32_t replication = 2;  // f + 1
+  // Tasks below this criticality are not replicated (and not checked).
+  Criticality replicate_min_criticality = Criticality::kLow;
+  // Checker WCET = compare_cost + replay_factor * checked task WCET.
+  double replay_factor = 1.0;
+  SimDuration compare_cost = Microseconds(20);
+  // Per-node verification budget per period.
+  SimDuration verifier_budget = Microseconds(200);
+  // Size of a signed output digest record on the wire.
+  uint32_t digest_record_bytes = 48;
+};
+
+class AugmentedGraph {
+ public:
+  // `node_count` is the number of physical nodes (for verifier tasks).
+  AugmentedGraph(const Dataflow* workload, size_t node_count, const AugmentConfig& config);
+
+  const Dataflow& workload() const { return *workload_; }
+  const AugmentConfig& config() const { return config_; }
+
+  size_t size() const { return tasks_.size(); }
+  const AugTask& task(uint32_t id) const { return tasks_[id]; }
+  const std::vector<AugTask>& tasks() const { return tasks_; }
+  const std::vector<AugEdge>& edges() const { return edges_; }
+  const std::vector<AugEdge>& InEdges(uint32_t id) const { return in_edges_[id]; }
+  const std::vector<AugEdge>& OutEdges(uint32_t id) const { return out_edges_[id]; }
+
+  // Replicas of a workload task, in replica order; empty if not replicated
+  // (then PrimaryOf is the single instance).
+  const std::vector<uint32_t>& ReplicasOf(TaskId task) const;
+  // The aug id of the primary (replica 0) of a workload task.
+  uint32_t PrimaryOf(TaskId task) const;
+  // The checker aug id for a workload task; UINT32_MAX if unchecked.
+  uint32_t CheckerOf(TaskId task) const;
+  // The verifier aug id for a node.
+  uint32_t VerifierOf(NodeId node) const;
+
+  bool IsReplicated(TaskId task) const { return replicas_[task.value()].size() > 1; }
+
+  static constexpr uint32_t kNone = UINT32_MAX;
+
+ private:
+  uint32_t AddTask(AugTask t);
+  void AddEdge(uint32_t from, uint32_t to, uint32_t bytes);
+
+  const Dataflow* workload_;
+  AugmentConfig config_;
+  std::vector<AugTask> tasks_;
+  std::vector<AugEdge> edges_;
+  std::vector<std::vector<AugEdge>> in_edges_;
+  std::vector<std::vector<AugEdge>> out_edges_;
+  std::vector<std::vector<uint32_t>> replicas_;  // indexed by TaskId
+  std::vector<uint32_t> checker_;                // indexed by TaskId
+  std::vector<uint32_t> verifier_;               // indexed by NodeId
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_CORE_AUGMENT_H_

@@ -1,0 +1,120 @@
+#include "src/core/btr_system.h"
+
+#include <algorithm>
+
+#include "src/crypto/keys.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace btr {
+
+BtrSystem::BtrSystem(Scenario scenario, BtrConfig config)
+    : scenario_(std::move(scenario)), config_(config) {
+  planner_ = std::make_unique<Planner>(&scenario_.topology, &scenario_.workload,
+                                       config_.planner);
+}
+
+Status BtrSystem::Plan() {
+  Status topo_ok = scenario_.topology.Validate();
+  if (!topo_ok.ok()) {
+    return topo_ok;
+  }
+  Status workload_ok = scenario_.workload.Validate();
+  if (!workload_ok.ok()) {
+    return workload_ok;
+  }
+  StatusOr<Strategy> strategy = planner_->BuildStrategy();
+  if (!strategy.ok()) {
+    return strategy.status();
+  }
+  strategy_ = std::move(strategy).value();
+  planned_ = true;
+  return Status::Ok();
+}
+
+void BtrSystem::AddFault(const FaultInjection& injection) { adversary_.Add(injection); }
+
+TransitionAnalysis BtrSystem::AnalyzeRecoveryBound() const {
+  TransitionAnalysisConfig config;
+  config.network = config_.planner.network;
+  config.period = scenario_.workload.period();
+  config.recovery_bound = config_.planner.recovery_bound;
+  return AnalyzeTransitions(strategy_, planner_->graph(), scenario_.topology, config);
+}
+
+StatusOr<RunReport> BtrSystem::Run(uint64_t periods) {
+  if (!planned_) {
+    return Status::FailedPrecondition("call Plan() before Run()");
+  }
+  for (const FaultInjection& inj : adversary_.injections()) {
+    if (!inj.node.valid() || inj.node.value() >= scenario_.topology.node_count()) {
+      return Status::InvalidArgument("fault injection on unknown node");
+    }
+  }
+
+  Simulator sim(config_.seed);
+  Network network(&sim, &scenario_.topology, config_.planner.network);
+  Rng key_rng(config_.seed ^ 0x5eedc0deULL);
+  KeyStore keys(scenario_.topology.node_count(), &key_rng);
+  Monitor monitor(&scenario_.workload, &strategy_, &adversary_,
+                  config_.planner.recovery_bound);
+
+  RuntimeContext ctx;
+  ctx.sim = &sim;
+  ctx.network = &network;
+  ctx.topo = &scenario_.topology;
+  ctx.workload = &scenario_.workload;
+  ctx.graph = &planner_->graph();
+  ctx.strategy = &strategy_;
+  ctx.planner = planner_.get();
+  ctx.keys = &keys;
+  ctx.adversary = &adversary_;
+  ctx.monitor = &monitor;
+  ctx.config = config_.runtime;
+
+  BtrRuntime runtime(ctx);
+  runtime.Start(periods);
+  sim.RunToCompletion();
+
+  RunReport report;
+  report.periods = periods;
+  report.simulated_time = sim.Now();
+  report.events_executed = sim.events_executed();
+  report.correctness = monitor.Evaluate(periods);
+  report.network = network.stats();
+  report.total_node_stats = runtime.TotalStats();
+  for (size_t n = 0; n < scenario_.topology.node_count(); ++n) {
+    report.per_node.push_back(runtime.node_stats(NodeId(static_cast<uint32_t>(n))));
+  }
+
+  // One outcome per first manifestation per node.
+  std::vector<NodeId> seen;
+  for (const FaultInjection& inj : adversary_.injections()) {
+    if (std::find(seen.begin(), seen.end(), inj.node) != seen.end()) {
+      continue;
+    }
+    seen.push_back(inj.node);
+    RunReport::FaultOutcome outcome;
+    outcome.node = inj.node;
+    outcome.behavior = inj.behavior;
+    outcome.manifested_at = adversary_.ManifestTime(inj.node);
+    outcome.first_conviction = runtime.FirstConvictionOf(inj.node);
+    outcome.last_conviction = runtime.LastConvictionOf(inj.node);
+    if (outcome.first_conviction != kSimTimeNever) {
+      outcome.detection_latency = outcome.first_conviction - outcome.manifested_at;
+    }
+    if (outcome.first_conviction != kSimTimeNever && outcome.last_conviction != kSimTimeNever) {
+      outcome.distribution_latency = outcome.last_conviction - outcome.first_conviction;
+    }
+    for (const RecoveryMeasurement& rm : report.correctness.recoveries) {
+      if (rm.node == inj.node) {
+        outcome.recovery_time = rm.recovery_time;
+        break;
+      }
+    }
+    report.faults.push_back(outcome);
+  }
+  return report;
+}
+
+}  // namespace btr

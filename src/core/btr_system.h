@@ -1,0 +1,96 @@
+// BtrSystem: the library's top-level facade and primary public API.
+//
+//   Scenario scenario = MakeAvionicsScenario();
+//   BtrConfig config;
+//   config.planner.max_faults = 1;
+//   config.planner.recovery_bound = Milliseconds(500);
+//   BtrSystem system(scenario, config);
+//   ASSERT_OK(system.Plan());                       // offline strategy
+//   system.AddFault({node, Seconds(1), FaultBehavior::kValueCorruption});
+//   RunReport report = system.Run(1000).value();    // simulate 1000 periods
+//   // report.correctness.btr_violated, report.faults[i].detection_latency...
+
+#ifndef BTR_SRC_CORE_BTR_SYSTEM_H_
+#define BTR_SRC_CORE_BTR_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/adversary.h"
+#include "src/core/monitor.h"
+#include "src/core/plan.h"
+#include "src/core/planner.h"
+#include "src/core/runtime.h"
+#include "src/core/transition_analysis.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+
+struct BtrConfig {
+  PlannerConfig planner;
+  RuntimeConfig runtime;
+  uint64_t seed = 1;
+};
+
+// Everything a run produced, for experiments and examples.
+struct RunReport {
+  CorrectnessReport correctness;
+  NetworkStats network;
+  NodeStats total_node_stats;
+  std::vector<NodeStats> per_node;
+
+  struct FaultOutcome {
+    NodeId node;
+    FaultBehavior behavior = FaultBehavior::kCrash;
+    SimTime manifested_at = 0;
+    SimTime first_conviction = kSimTimeNever;  // earliest honest conviction
+    SimTime last_conviction = kSimTimeNever;   // all honest nodes convinced
+    SimDuration detection_latency = -1;        // first_conviction - manifested
+    SimDuration distribution_latency = -1;     // last - first
+    SimDuration recovery_time = -1;            // from the monitor
+  };
+  std::vector<FaultOutcome> faults;
+
+  uint64_t periods = 0;
+  SimDuration simulated_time = 0;
+  uint64_t events_executed = 0;
+};
+
+class BtrSystem {
+ public:
+  BtrSystem(Scenario scenario, BtrConfig config);
+
+  // Offline phase: builds the strategy. Must be called before Run.
+  Status Plan();
+
+  // Registers an adversarial fault injection for subsequent runs.
+  void AddFault(const FaultInjection& injection);
+  void ClearFaults() { adversary_ = AdversarySpec(); }
+
+  // Simulates `periods` workload periods and evaluates the outcome.
+  StatusOr<RunReport> Run(uint64_t periods);
+
+  // Offline worst-case recovery bound over every planned mode transition;
+  // call after Plan(). `fits_recovery_bound` compares against configured R.
+  TransitionAnalysis AnalyzeRecoveryBound() const;
+
+  const Scenario& scenario() const { return scenario_; }
+  const Strategy& strategy() const { return strategy_; }
+  const Planner& planner() const { return *planner_; }
+  const AdversarySpec& adversary() const { return adversary_; }
+  const BtrConfig& config() const { return config_; }
+  bool planned() const { return planned_; }
+
+ private:
+  Scenario scenario_;
+  BtrConfig config_;
+  std::unique_ptr<Planner> planner_;
+  Strategy strategy_;
+  AdversarySpec adversary_;
+  bool planned_ = false;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_CORE_BTR_SYSTEM_H_

@@ -1,0 +1,325 @@
+#include "src/core/evidence.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/golden.h"
+
+namespace btr {
+
+uint64_t InputContentDigest(TaskId producer, uint64_t period, uint64_t digest) {
+  Hasher h;
+  h.Add(producer.value()).Add(period).Add(digest).Add(uint32_t{0x1a9});
+  return h.Digest();
+}
+
+uint64_t OutputRecord::ContentDigest() const {
+  Hasher h;
+  h.Add(task.value()).Add(replica).Add(period).Add(digest).Add(sender.value());
+  h.Add(value_sig.signer.value()).Add(value_sig.tag);
+  for (const SignedInput& in : claimed_inputs) {
+    h.Add(in.producer.value()).Add(in.digest).Add(in.producer_sig.signer.value())
+        .Add(in.producer_sig.tag);
+  }
+  h.Add(gap);
+  for (TaskId t : gap_missing) {
+    h.Add(t.value());
+  }
+  return h.Digest();
+}
+
+uint32_t OutputRecord::WireBytes() const {
+  // Record header + one signature + per-input (task, digest, signature).
+  return 48 + static_cast<uint32_t>(claimed_inputs.size()) * 28;
+}
+
+const char* EvidenceKindName(EvidenceKind kind) {
+  switch (kind) {
+    case EvidenceKind::kCommission:
+      return "commission";
+    case EvidenceKind::kEquivocation:
+      return "equivocation";
+    case EvidenceKind::kTiming:
+      return "timing";
+    case EvidenceKind::kPathDeclaration:
+      return "path-declaration";
+    case EvidenceKind::kEndorsementAbuse:
+      return "endorsement-abuse";
+  }
+  return "?";
+}
+
+uint64_t EvidenceRecord::ContentDigest() const {
+  Hasher h;
+  h.Add(static_cast<int>(kind)).Add(declarer.value()).Add(period);
+  if (record != nullptr) {
+    h.Add(record->ContentDigest()).Add(record->sender_sig.tag);
+  }
+  h.Add(eq_task.value());
+  h.Add(eq_a.producer.value()).Add(eq_a.digest).Add(eq_a.producer_sig.tag);
+  h.Add(eq_b.producer.value()).Add(eq_b.digest).Add(eq_b.producer_sig.tag);
+  h.Add(observed_arrival).Add(window_lo).Add(window_hi);
+  h.Add(path_a.value()).Add(path_b.value());
+  if (inner != nullptr) {
+    h.Add(inner->ContentDigest()).Add(endorsement_sig.signer.value()).Add(endorsement_sig.tag);
+  }
+  return h.Digest();
+}
+
+uint32_t EvidenceRecord::WireBytes() const {
+  uint32_t bytes = 64;
+  if (record != nullptr) {
+    bytes += record->WireBytes();
+  }
+  if (kind == EvidenceKind::kEquivocation) {
+    bytes += 2 * 28;
+  }
+  if (inner != nullptr) {
+    bytes += inner->WireBytes();
+  }
+  return bytes;
+}
+
+bool EvidenceValidator::ValidateRecordSignatures(const OutputRecord& rec) const {
+  if (!keys_->Verify(rec.sender_sig, rec.ContentDigest())) {
+    return false;
+  }
+  for (const SignedInput& in : rec.claimed_inputs) {
+    if (!keys_->Verify(in.producer_sig, InputContentDigest(in.producer, rec.period, in.digest))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SimDuration EvidenceValidator::ReplayCost(TaskId task) const {
+  return workload_->task(task).wcet;
+}
+
+EvidenceVerdict EvidenceValidator::Validate(const EvidenceRecord& ev) const {
+  EvidenceVerdict v;
+  const SimDuration sig = config_.crypto.verify_cost;
+
+  // The declarer's signature over the evidence itself is always checked
+  // first; without it the record cannot even be attributed.
+  v.cost += sig;
+  if (!keys_->Verify(ev.declarer_sig, ev.ContentDigest())) {
+    return v;
+  }
+
+  switch (ev.kind) {
+    case EvidenceKind::kCommission: {
+      if (ev.record == nullptr) {
+        return v;
+      }
+      const OutputRecord& rec = *ev.record;
+      // The outer signature attributes the record to its sender; without it
+      // nothing is provable, so it is always checked before anything else.
+      v.cost += sig;
+      if (!keys_->Verify(rec.sender_sig, rec.ContentDigest())) {
+        return v;  // fabricated record: cannot convict anyone
+      }
+      const SimDuration inner_sigs = sig * static_cast<SimDuration>(rec.claimed_inputs.size());
+      bool inner_ok = true;
+      if (config_.quick_reject) {
+        // Cheap checks first: claimed-input signatures before the replay.
+        v.cost += inner_sigs;
+        for (const SignedInput& in : rec.claimed_inputs) {
+          if (!keys_->Verify(in.producer_sig,
+                             InputContentDigest(in.producer, rec.period, in.digest))) {
+            inner_ok = false;
+            break;
+          }
+        }
+        if (!inner_ok) {
+          // The sender signed a record whose inputs it could not have
+          // validated: provably faulty.
+          v.valid = true;
+          v.convicts = rec.sender;
+          return v;
+        }
+        v.cost += ReplayCost(rec.task);
+      } else {
+        // Naive order: replay first, signatures last (DoS-prone).
+        v.cost += ReplayCost(rec.task);
+        v.cost += inner_sigs;
+        for (const SignedInput& in : rec.claimed_inputs) {
+          if (!keys_->Verify(in.producer_sig,
+                             InputContentDigest(in.producer, rec.period, in.digest))) {
+            v.valid = true;
+            v.convicts = rec.sender;
+            return v;
+          }
+        }
+      }
+      // Replay the task on the claimed inputs.
+      std::vector<InputValue> inputs;
+      inputs.reserve(rec.claimed_inputs.size());
+      for (const SignedInput& in : rec.claimed_inputs) {
+        inputs.push_back(InputValue{in.producer, in.digest});
+      }
+      std::sort(inputs.begin(), inputs.end(),
+                [](const InputValue& a, const InputValue& b) { return a.producer < b.producer; });
+      const uint64_t expected =
+          workload_->task(rec.task).kind == TaskKind::kSource
+              ? SourceValue(rec.task, rec.period)
+              : ComputeOutput(rec.task, rec.period, inputs);
+      if (expected == rec.digest) {
+        return v;  // record is consistent: evidence is bogus
+      }
+      v.valid = true;
+      v.convicts = rec.sender;
+      return v;
+    }
+
+    case EvidenceKind::kEquivocation: {
+      v.cost += 2 * sig;
+      const Signature& sa = ev.eq_a.producer_sig;
+      const Signature& sb = ev.eq_b.producer_sig;
+      if (sa.signer != sb.signer || !sa.signer.valid()) {
+        return v;
+      }
+      if (ev.eq_a.digest == ev.eq_b.digest) {
+        return v;
+      }
+      if (!keys_->Verify(sa, InputContentDigest(ev.eq_task, ev.period, ev.eq_a.digest)) ||
+          !keys_->Verify(sb, InputContentDigest(ev.eq_task, ev.period, ev.eq_b.digest))) {
+        return v;
+      }
+      v.valid = true;
+      v.convicts = sa.signer;
+      return v;
+    }
+
+    case EvidenceKind::kTiming: {
+      if (ev.record == nullptr) {
+        return v;
+      }
+      v.cost += sig;
+      if (!keys_->Verify(ev.record->sender_sig, ev.record->ContentDigest())) {
+        return v;
+      }
+      if (ev.window_lo > ev.window_hi) {
+        return v;
+      }
+      // The arrival timestamp is MAC-attested (system-model assumption), so
+      // validators accept it as ground truth.
+      if (ev.observed_arrival >= ev.window_lo && ev.observed_arrival <= ev.window_hi) {
+        return v;  // arrival was inside the window: bogus accusation
+      }
+      v.valid = true;
+      v.convicts = ev.record->sender;
+      return v;
+    }
+
+    case EvidenceKind::kPathDeclaration: {
+      if (!ev.path_a.valid() || !ev.path_b.valid() || ev.path_a == ev.path_b) {
+        return v;
+      }
+      // The declarer must be an endpoint of the path it declares; this is
+      // what prevents one faulty node from fabricating blame on arbitrary
+      // disjoint paths.
+      if (ev.declarer != ev.path_a && ev.declarer != ev.path_b) {
+        return v;
+      }
+      v.valid = true;  // declaration accepted; conviction is via blame rule
+      return v;
+    }
+
+    case EvidenceKind::kEndorsementAbuse: {
+      if (ev.inner == nullptr) {
+        return v;
+      }
+      v.cost += sig;
+      if (!keys_->Verify(ev.endorsement_sig, ev.inner->ContentDigest())) {
+        return v;
+      }
+      // Re-validate the inner evidence; it must be invalid for the
+      // endorsement to be abusive.
+      EvidenceVerdict inner_verdict = Validate(*ev.inner);
+      v.cost += inner_verdict.cost;
+      if (inner_verdict.valid) {
+        return v;
+      }
+      v.valid = true;
+      v.convicts = ev.endorsement_sig.signer;
+      return v;
+    }
+  }
+  return v;
+}
+
+std::optional<NodeId> PathBlameTracker::AddDeclaration(NodeId path_a, NodeId path_b,
+                                                       NodeId declarer, uint64_t period,
+                                                       const DiscreditedFn& discredited) {
+  PathKey key{std::min(path_a, path_b), std::max(path_a, path_b)};
+  uint64_t& latest = declarers_[key][declarer];
+  latest = std::max(latest, period);
+
+  auto is_discredited = [&](NodeId node) {
+    return discredited != nullptr && discredited(node);
+  };
+  const uint64_t window_floor = period >= window_ ? period - window_ : 0;
+
+  // Check both endpoints for conviction.
+  for (NodeId candidate : {key.lo, key.hi}) {
+    if (convicted_.count(candidate) > 0 || is_discredited(candidate)) {
+      continue;
+    }
+    // Count distinct *credible, recent* paths involving the candidate: the
+    // counterpart endpoint must not be discredited (a known-faulty
+    // counterpart explains the path by itself), and at least one credible
+    // declarer must have declared the path within the window.
+    size_t path_count = 0;
+    std::set<NodeId> counterparts;
+    std::set<NodeId> all_declarers;
+    for (const auto& [p, decls] : declarers_) {
+      if (p.lo != candidate && p.hi != candidate) {
+        continue;
+      }
+      const NodeId other = p.lo == candidate ? p.hi : p.lo;
+      if (is_discredited(other)) {
+        continue;
+      }
+      std::set<NodeId> credible;
+      for (const auto& [d, last_period] : decls) {
+        if (!is_discredited(d) && last_period >= window_floor) {
+          credible.insert(d);
+        }
+      }
+      if (credible.empty()) {
+        continue;
+      }
+      ++path_count;
+      counterparts.insert(other);
+      all_declarers.insert(credible.begin(), credible.end());
+    }
+    if (path_count >= threshold_ && counterparts.size() >= threshold_ &&
+        all_declarers.size() >= threshold_) {
+      convicted_.insert(candidate);
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+size_t PathBlameTracker::DistinctPathsInvolving(NodeId node) const {
+  size_t count = 0;
+  for (const auto& [p, decls] : declarers_) {
+    if (p.lo == node || p.hi == node) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool EvidencePool::Insert(const std::shared_ptr<const EvidenceRecord>& ev) {
+  const uint64_t digest = ev->ContentDigest();
+  return by_digest_.emplace(digest, ev).second;
+}
+
+bool EvidencePool::Contains(uint64_t content_digest) const {
+  return by_digest_.count(content_digest) > 0;
+}
+
+}  // namespace btr

@@ -1,0 +1,227 @@
+// Evidence records and their validation (paper Sections 4.2 and 4.3).
+//
+// There are no trusted nodes, so a detected fault must be backed by evidence
+// that any correct node can validate independently:
+//
+//  * kCommission — a signed output record that is provably wrong: either a
+//    replay of the (deterministic) task on the record's own claimed
+//    producer-signed inputs yields a different digest, or the claimed input
+//    signatures do not verify (a node signed a record it could not have
+//    validated). Self-contained proof against the record's signer.
+//  * kEquivocation — two value signatures by the same node for the same
+//    logical output (task, period) with different digests. Proof against
+//    the signer (catches producers that send different values to different
+//    consumers to confuse the checkers).
+//  * kTiming — an attested arrival time outside the plan's expected window
+//    for a directly-connected sender. Rests on the MAC-level timestamping
+//    assumption from the system model.
+//  * kPathDeclaration — an unproven claim by one endpoint of a path that an
+//    expected message did not arrive (omission faults are not directly
+//    provable). Declarations only accumulate *blame*: a node implicated on
+//    enough distinct paths by distinct declarers is convicted (Section 4.2's
+//    countermeasure to the omission problem).
+//  * kEndorsementAbuse — an evidence record that fails validation, wrapped
+//    with the endorsement signature of the node that forwarded it. Makes
+//    distributing bogus evidence self-incriminating (Section 4.3).
+
+#ifndef BTR_SRC_CORE_EVIDENCE_H_
+#define BTR_SRC_CORE_EVIDENCE_H_
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/crypto/keys.h"
+#include "src/net/network.h"
+#include "src/workload/dataflow.h"
+
+namespace btr {
+
+// A producer-signed input as referenced by an output record. The value
+// signature commits the producer to "task X output digest D in period p"
+// independently of which consumer it was sent to, which is what makes
+// equivocation provable with two such signatures.
+struct SignedInput {
+  TaskId producer;
+  uint64_t digest = 0;
+  Signature producer_sig;  // over InputContentDigest(producer, period, digest)
+};
+
+uint64_t InputContentDigest(TaskId producer, uint64_t period, uint64_t digest);
+
+// A signed output record: what replicas send to consumers and checkers.
+//
+// A record may instead be a *gap notice* (`gap == true`): "I could not
+// produce this period because my inputs from `gap_missing` never arrived."
+// Gap notices keep omission blame from cascading down the dataflow: a
+// starved-but-honest node's silence is excused by its notice, so path
+// declarations concentrate on the node that is actually silent. A liar
+// claiming gaps for inputs that did arrive is caught by its checker (which
+// holds its own copies of those inputs) — up to the paper's acknowledged
+// limit for single-path omission claims.
+struct OutputRecord : Payload {
+  TaskId task;
+  uint32_t replica = 0;
+  uint64_t period = 0;
+  uint64_t digest = 0;
+  std::vector<SignedInput> claimed_inputs;  // sorted by producer id
+  NodeId sender;
+  // Value signature over InputContentDigest(task, period, digest); consumers
+  // embed it when they reference this output as one of their inputs.
+  Signature value_sig;
+  Signature sender_sig;  // over ContentDigest()
+  // Gap notice fields.
+  bool gap = false;
+  std::vector<TaskId> gap_missing;
+
+  uint64_t ContentDigest() const;
+  uint32_t WireBytes() const;
+};
+
+enum class EvidenceKind : int {
+  kCommission = 0,
+  kEquivocation = 1,
+  kTiming = 2,
+  kPathDeclaration = 3,
+  kEndorsementAbuse = 4,
+};
+
+const char* EvidenceKindName(EvidenceKind kind);
+
+struct EvidenceRecord : Payload {
+  EvidenceKind kind = EvidenceKind::kCommission;
+  NodeId declarer;
+  Signature declarer_sig;  // over ContentDigest()
+  uint64_t period = 0;
+
+  // kCommission / kTiming: the offending record (accused = record.sender).
+  std::shared_ptr<const OutputRecord> record;
+  // kEquivocation: two value signatures by the same producer for the same
+  // (task, period) committing to different digests.
+  TaskId eq_task;
+  SignedInput eq_a;
+  SignedInput eq_b;
+  // kTiming: attested arrival vs window (accused = record.sender).
+  SimTime observed_arrival = 0;
+  SimTime window_lo = 0;
+  SimTime window_hi = 0;
+  // kPathDeclaration: the problematic path (declarer must be an endpoint).
+  NodeId path_a;
+  NodeId path_b;
+  // kEndorsementAbuse: the invalid evidence and who endorsed it.
+  std::shared_ptr<const EvidenceRecord> inner;
+  Signature endorsement_sig;
+
+  uint64_t ContentDigest() const;
+  uint32_t WireBytes() const;
+};
+
+// Validation outcome.
+struct EvidenceVerdict {
+  bool valid = false;
+  // Convicted node for directly-proving kinds; invalid for declarations.
+  NodeId convicts;
+  // Simulated CPU time the validation consumed (drawn from the verification
+  // task budget).
+  SimDuration cost = 0;
+};
+
+struct EvidenceValidationConfig {
+  CryptoCostModel crypto;
+  // If true, cheap checks (signatures, structure) run before the expensive
+  // replay, so malformed evidence is rejected at signature-verify cost.
+  // Turning this off models the naive validator for the DoS experiment.
+  bool quick_reject = true;
+};
+
+class EvidenceValidator {
+ public:
+  EvidenceValidator(const KeyStore* keys, const Dataflow* workload,
+                    EvidenceValidationConfig config)
+      : keys_(keys), workload_(workload), config_(config) {}
+
+  EvidenceVerdict Validate(const EvidenceRecord& ev) const;
+
+  // Validates an output record's signatures (used by checkers on receipt).
+  bool ValidateRecordSignatures(const OutputRecord& rec) const;
+
+  const EvidenceValidationConfig& config() const { return config_; }
+
+ private:
+  SimDuration ReplayCost(TaskId task) const;
+
+  const KeyStore* keys_;
+  const Dataflow* workload_;
+  EvidenceValidationConfig config_;
+};
+
+// Accumulates path declarations and convicts nodes per the blame rule:
+// a node is convicted once it appears on >= threshold distinct problematic
+// paths with >= threshold distinct counterpart endpoints, declared by
+// >= threshold distinct declarers. Paths are *discounted* when their other
+// endpoint or their only declarers are already known faulty (the caller's
+// `discredited` predicate): a convicted node fully explains its own paths,
+// so they must not lend blame to innocent counterparts, and its (possibly
+// fabricated) declarations carry no weight.
+// Declarations are additionally *windowed*: only paths declared within the
+// last `window_periods` count toward a conviction. A fault produces a burst
+// of contemporaneous declarations; stale leftovers (e.g., transition blips
+// from an earlier mode switch) must not combine with a fresh burst to frame
+// a node that merely appears in both.
+class PathBlameTracker {
+ public:
+  using DiscreditedFn = std::function<bool(NodeId)>;
+
+  explicit PathBlameTracker(size_t threshold = 2,
+                            uint64_t window_periods = std::numeric_limits<uint64_t>::max())
+      : threshold_(threshold), window_(window_periods) {}
+
+  // Records a declaration made for `period`; returns a newly convicted
+  // node, if any. `discredited` identifies nodes whose involvement voids a
+  // path.
+  std::optional<NodeId> AddDeclaration(NodeId path_a, NodeId path_b, NodeId declarer,
+                                       uint64_t period = 0,
+                                       const DiscreditedFn& discredited = nullptr);
+
+  size_t DistinctPathsInvolving(NodeId node) const;
+  bool IsConvicted(NodeId node) const { return convicted_.count(node) > 0; }
+
+ private:
+  struct PathKey {
+    NodeId lo;
+    NodeId hi;
+    bool operator<(const PathKey& o) const {
+      if (lo != o.lo) {
+        return lo < o.lo;
+      }
+      return hi < o.hi;
+    }
+  };
+
+  size_t threshold_;
+  uint64_t window_;
+  // Per path, per declarer: the latest period it was declared for.
+  std::map<PathKey, std::map<NodeId, uint64_t>> declarers_;
+  std::set<NodeId> convicted_;
+};
+
+// Deduplicating evidence pool (per node).
+class EvidencePool {
+ public:
+  // Returns true if the record is new (by content digest).
+  bool Insert(const std::shared_ptr<const EvidenceRecord>& ev);
+  bool Contains(uint64_t content_digest) const;
+  size_t size() const { return by_digest_.size(); }
+
+ private:
+  std::map<uint64_t, std::shared_ptr<const EvidenceRecord>> by_digest_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_CORE_EVIDENCE_H_

@@ -1,0 +1,50 @@
+#include "src/core/golden.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace btr {
+
+uint64_t SourceValue(TaskId task, uint64_t period) {
+  Hasher h;
+  h.Add(task.value()).Add(period).Add(uint32_t{0x5ec}); // source domain tag
+  return h.Digest();
+}
+
+uint64_t ComputeOutput(TaskId task, uint64_t period, const std::vector<InputValue>& inputs) {
+  assert(std::is_sorted(inputs.begin(), inputs.end(),
+                        [](const InputValue& a, const InputValue& b) {
+                          return a.producer < b.producer;
+                        }));
+  Hasher h;
+  h.Add(task.value()).Add(period).Add(uint32_t{0xc09}); // compute domain tag
+  for (const InputValue& in : inputs) {
+    h.Add(in.producer.value()).Add(in.digest);
+  }
+  return h.Digest();
+}
+
+uint64_t GoldenOracle::Golden(TaskId task, uint64_t period) const {
+  const uint64_t key = (static_cast<uint64_t>(task.value()) << 40) ^ period;
+  auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    return it->second;
+  }
+  const TaskSpec& spec = workload_->task(task);
+  uint64_t digest;
+  if (spec.kind == TaskKind::kSource) {
+    digest = SourceValue(task, period);
+  } else {
+    std::vector<InputValue> inputs;
+    for (const ChannelSpec& ch : workload_->Inputs(task)) {
+      inputs.push_back(InputValue{ch.from, Golden(ch.from, period)});
+    }
+    std::sort(inputs.begin(), inputs.end(),
+              [](const InputValue& a, const InputValue& b) { return a.producer < b.producer; });
+    digest = ComputeOutput(task, period, inputs);
+  }
+  memo_.emplace(key, digest);
+  return digest;
+}
+
+}  // namespace btr

@@ -1,0 +1,57 @@
+// Deterministic task semantics and the golden oracle.
+//
+// Task outputs are modeled as 64-bit digests: a task's output in period p is
+// a pure function of its identity, p, and the digests it received on its
+// input channels. Determinism is what makes the paper's evidence scheme
+// work: a checker can re-execute ("replay") a task on the claimed inputs and
+// any third party can verify the result — commission faults become provable.
+//
+// The *golden oracle* computes the digests an all-correct system would
+// produce. The runtime monitor compares actual sink outputs against golden
+// ones to decide which intervals are "correct" in the sense of
+// Definition 3.1. Honest replicas use the same ComputeOutput function on the
+// inputs they actually received, so corruption propagates downstream
+// deterministically and disappears once the faulty node is excluded.
+
+#ifndef BTR_SRC_CORE_GOLDEN_H_
+#define BTR_SRC_CORE_GOLDEN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/types.h"
+#include "src/workload/dataflow.h"
+
+namespace btr {
+
+// One received input: the producing workload task plus its output digest.
+struct InputValue {
+  TaskId producer;
+  uint64_t digest = 0;
+};
+
+// The (simulated) task function. Inputs must be supplied sorted by producer
+// id; every caller (replica, checker replay, golden oracle) uses this one
+// function, which is exactly the determinism assumption.
+uint64_t ComputeOutput(TaskId task, uint64_t period, const std::vector<InputValue>& inputs);
+
+// Source tasks sample the environment: a pure function of (task, period).
+uint64_t SourceValue(TaskId task, uint64_t period);
+
+class GoldenOracle {
+ public:
+  explicit GoldenOracle(const Dataflow* workload) : workload_(workload) {}
+
+  // The digest task `task` outputs in period `period` in a fault-free run.
+  uint64_t Golden(TaskId task, uint64_t period) const;
+
+ private:
+  const Dataflow* workload_;
+  mutable std::unordered_map<uint64_t, uint64_t> memo_;  // key: task<<32 | period slice
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_CORE_GOLDEN_H_

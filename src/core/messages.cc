@@ -1,0 +1,13 @@
+#include "src/core/messages.h"
+
+#include "src/common/hash.h"
+
+namespace btr {
+
+uint64_t HeartbeatDigest(NodeId from, uint64_t period) {
+  Hasher h;
+  h.Add(from.value()).Add(period).Add(uint32_t{0xbea7});
+  return h.Digest();
+}
+
+}  // namespace btr

@@ -1,0 +1,52 @@
+// Network payloads exchanged by BTR node runtimes (besides OutputRecord and
+// EvidenceRecord, which live in evidence.h).
+
+#ifndef BTR_SRC_CORE_MESSAGES_H_
+#define BTR_SRC_CORE_MESSAGES_H_
+
+#include <memory>
+
+#include "src/core/evidence.h"
+#include "src/crypto/keys.h"
+#include "src/net/network.h"
+
+namespace btr {
+
+// Evidence in transit: the record plus the endorsement of whoever forwarded
+// it. Invalid evidence convicts the endorser (Section 4.3).
+struct EvidenceMessage : Payload {
+  std::shared_ptr<const EvidenceRecord> evidence;
+  NodeId forwarder;
+  Signature endorsement;  // forwarder's signature over evidence->ContentDigest()
+};
+
+// Periodic liveness beacon between one-hop neighbors. Missing heartbeats
+// produce path declarations, which is how crashes of nodes that host few
+// observable tasks still accumulate blame quickly.
+struct Heartbeat : Payload {
+  NodeId from;
+  uint64_t period = 0;
+  Signature sig;  // over HeartbeatDigest(from, period)
+};
+
+uint64_t HeartbeatDigest(NodeId from, uint64_t period);
+
+// Request for the migration state of a task, sent during a mode transition
+// by the task's new host to the chosen donor.
+struct StateRequest : Payload {
+  TaskId task;
+  uint32_t new_replica = 0;  // replica slot being (re)started
+  NodeId requester;
+};
+
+// The state payload itself; size dominates transition time for stateful
+// tasks, which is what experiment E8 measures.
+struct StateTransfer : Payload {
+  TaskId task;
+  uint32_t new_replica = 0;
+  NodeId donor;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_CORE_MESSAGES_H_

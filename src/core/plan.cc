@@ -1,0 +1,123 @@
+#include "src/core/plan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace btr {
+
+FaultSet::FaultSet(std::vector<NodeId> nodes) : nodes_(std::move(nodes)) {
+  std::sort(nodes_.begin(), nodes_.end());
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
+}
+
+FaultSet FaultSet::With(NodeId node) const {
+  FaultSet copy = *this;
+  copy.Add(node);
+  return copy;
+}
+
+bool FaultSet::Contains(NodeId node) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node);
+}
+
+bool FaultSet::Add(NodeId node) {
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (it != nodes_.end() && *it == node) {
+    return false;
+  }
+  nodes_.insert(it, node);
+  return true;
+}
+
+bool FaultSet::Covers(const FaultSet& other) const {
+  return std::includes(nodes_.begin(), nodes_.end(), other.nodes_.begin(), other.nodes_.end());
+}
+
+std::string FaultSet::ToString() const {
+  std::string s = "{";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) {
+      s += ",";
+    }
+    s += btr::ToString(nodes_[i]);
+  }
+  return s + "}";
+}
+
+bool Plan::ServesSink(TaskId sink) const {
+  return std::find(shed_sinks.begin(), shed_sinks.end(), sink) == shed_sinks.end();
+}
+
+SimDuration Plan::ArrivalBudget(const AugmentedGraph& graph, uint32_t from_aug,
+                                NodeId to_node) const {
+  SimDuration best = -1;
+  const std::vector<AugEdge>& all = graph.edges();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i].from != from_aug || edge_budget[i] < 0) {
+      continue;
+    }
+    if (placement[all[i].to] == to_node) {
+      best = std::max(best, edge_budget[i]);
+    }
+  }
+  return best;
+}
+
+PlanDelta ComputeDelta(const Plan& from, const Plan& to, const AugmentedGraph& graph) {
+  assert(from.placement.size() == to.placement.size());
+  PlanDelta delta;
+  for (uint32_t id = 0; id < from.placement.size(); ++id) {
+    const NodeId a = from.placement[id];
+    const NodeId b = to.placement[id];
+    if (!a.valid() && !b.valid()) {
+      continue;
+    }
+    if (!a.valid() && b.valid()) {
+      ++delta.tasks_started;
+      delta.state_bytes_moved += graph.task(id).state_bytes;
+    } else if (a.valid() && !b.valid()) {
+      ++delta.tasks_stopped;
+    } else if (a != b) {
+      ++delta.tasks_moved;
+      delta.state_bytes_moved += graph.task(id).state_bytes;
+    }
+  }
+  return delta;
+}
+
+void Strategy::Insert(Plan plan) {
+  FaultSet key = plan.faults;
+  plans_[std::move(key)] = std::move(plan);
+}
+
+const Plan* Strategy::Lookup(const FaultSet& faults) const {
+  auto it = plans_.find(faults);
+  if (it == plans_.end()) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+size_t Strategy::MemoryFootprintBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, plan] : plans_) {
+    bytes += key.size() * sizeof(NodeId);
+    bytes += plan.placement.size() * (sizeof(NodeId) + sizeof(SimDuration));
+    for (const ScheduleTable& t : plan.tables) {
+      bytes += t.size() * sizeof(ScheduleEntry);
+    }
+    bytes += plan.shed_sinks.size() * sizeof(TaskId);
+  }
+  return bytes;
+}
+
+std::vector<FaultSet> Strategy::PlannedSets() const {
+  std::vector<FaultSet> out;
+  out.reserve(plans_.size());
+  for (const auto& [key, plan] : plans_) {
+    out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace btr

@@ -1,0 +1,111 @@
+// Plans and strategies (paper Section 4).
+//
+// A *plan* is a distributed schedule: it maps augmented tasks to nodes and
+// prescribes a time-triggered table per node plus the routes messages take.
+// A *strategy* is the full response map: one plan per anticipated fault set
+// (up to f faulty nodes), installed on every node before the system starts.
+// At runtime a node's fault set is append-only, so plan lookup is a pure
+// function of that set and correct nodes converge without global agreement.
+
+#ifndef BTR_SRC_CORE_PLAN_H_
+#define BTR_SRC_CORE_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/augment.h"
+#include "src/net/routing.h"
+#include "src/rt/schedule.h"
+
+namespace btr {
+
+// Sorted, duplicate-free set of faulty nodes.
+class FaultSet {
+ public:
+  FaultSet() = default;
+  explicit FaultSet(std::vector<NodeId> nodes);
+
+  // Returns a copy with `node` added (no-op copy if already present).
+  FaultSet With(NodeId node) const;
+
+  bool Contains(NodeId node) const;
+  bool Add(NodeId node);  // returns false if already present
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+
+  // True if `other` ⊆ this.
+  bool Covers(const FaultSet& other) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const FaultSet& a, const FaultSet& b) { return a.nodes_ == b.nodes_; }
+  friend bool operator<(const FaultSet& a, const FaultSet& b) { return a.nodes_ < b.nodes_; }
+
+ private:
+  std::vector<NodeId> nodes_;
+};
+
+struct Plan {
+  FaultSet faults;
+  // Aug task id -> node; invalid NodeId means the task is shed in this mode.
+  std::vector<NodeId> placement;
+  // Aug task id -> start offset within the period (-1 if shed).
+  std::vector<SimDuration> start;
+  // Per node schedule tables; job ids are aug task ids.
+  std::vector<ScheduleTable> tables;
+  // Routes avoiding the faulty nodes as relays.
+  std::shared_ptr<const RoutingTable> routing;
+  // Budgeted one-way latency per augmented edge (index parallel to
+  // AugmentedGraph::edges()); -1 for edges inactive in this mode. The
+  // runtime's timing windows use exactly these budgets.
+  std::vector<SimDuration> edge_budget;
+  // Workload sinks intentionally not served in this mode (degradation).
+  std::vector<TaskId> shed_sinks;
+  // Criticality-weighted utility of the sinks that are served.
+  double utility = 0.0;
+
+  bool IsShed(uint32_t aug_id) const { return !placement[aug_id].valid(); }
+  bool ServesSink(TaskId sink) const;
+
+  // Largest budget among active edges from `from_aug` to a task placed on
+  // `to_node`; -1 if there is none.
+  SimDuration ArrivalBudget(const AugmentedGraph& graph, uint32_t from_aug, NodeId to_node) const;
+};
+
+// Transition cost between two plans.
+struct PlanDelta {
+  size_t tasks_moved = 0;     // placed in both, on different nodes
+  size_t tasks_started = 0;   // shed before, placed now
+  size_t tasks_stopped = 0;   // placed before, shed now
+  uint64_t state_bytes_moved = 0;  // state of moved/started stateful tasks
+};
+
+PlanDelta ComputeDelta(const Plan& from, const Plan& to, const AugmentedGraph& graph);
+
+// The offline-computed strategy: fault set -> plan.
+class Strategy {
+ public:
+  void Insert(Plan plan);
+
+  // Exact-match lookup; nullptr if this fault set was not planned for
+  // (e.g., more than f faults).
+  const Plan* Lookup(const FaultSet& faults) const;
+
+  size_t mode_count() const { return plans_.size(); }
+
+  // Rough serialized size: what each node would store on flash.
+  size_t MemoryFootprintBytes() const;
+
+  // All planned fault sets, in enumeration order.
+  std::vector<FaultSet> PlannedSets() const;
+
+ private:
+  std::map<FaultSet, Plan> plans_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_CORE_PLAN_H_

@@ -1,0 +1,978 @@
+#include "src/core/runtime.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/log.h"
+#include "src/core/golden.h"
+
+namespace btr {
+namespace {
+
+// XOR mask a value-corrupting adversary applies to its outputs.
+constexpr uint64_t kCorruptionMask = 0xBAD0BAD0BAD0BAD0ULL;
+
+// Buffer retention horizon, in periods.
+constexpr uint64_t kBufferHorizon = 4;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BtrRuntime
+// ---------------------------------------------------------------------------
+
+BtrRuntime::BtrRuntime(const RuntimeContext& ctx) : ctx_(ctx) {
+  assert(ctx_.sim != nullptr && ctx_.network != nullptr && ctx_.strategy != nullptr);
+  const size_t n = ctx_.topo->node_count();
+  nodes_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId id(static_cast<uint32_t>(i));
+    nodes_.push_back(std::make_unique<NodeRuntime>(this, ctx_, id, ctx_.keys->SignerFor(id)));
+    NodeRuntime* node = nodes_.back().get();
+    ctx_.network->SetReceiver(id, [node](const Packet& packet) { node->OnPacket(packet); });
+  }
+}
+
+BtrRuntime::~BtrRuntime() = default;
+
+void BtrRuntime::Start(uint64_t periods) {
+  periods_ = periods;
+  const Plan* root = ctx_.strategy->Lookup(FaultSet());
+  assert(root != nullptr && "strategy must contain the fault-free plan");
+  ctx_.network->SetRouting(root->routing);
+
+  const SimDuration period_len = ctx_.workload->period();
+  for (uint64_t p = 0; p < periods; ++p) {
+    ctx_.sim->At(static_cast<SimTime>(p) * period_len, [this, p]() {
+      for (auto& node : nodes_) {
+        node->BeginPeriod(p);
+      }
+    });
+  }
+
+  // Adversary side effects visible to the network layer.
+  for (const FaultInjection& inj : ctx_.adversary->injections()) {
+    ctx_.sim->At(inj.manifest_at, [this, inj]() {
+      switch (inj.behavior) {
+        case FaultBehavior::kCrash:
+          ctx_.network->SetNodeDown(inj.node, true);
+          break;
+        case FaultBehavior::kOmission:
+          ctx_.network->SetRelayDrop(inj.node, true);
+          break;
+        default:
+          break;
+      }
+    });
+  }
+}
+
+const NodeStats& BtrRuntime::node_stats(NodeId node) const {
+  return nodes_[node.value()]->stats();
+}
+
+NodeStats BtrRuntime::TotalStats() const {
+  NodeStats total;
+  for (const auto& node : nodes_) {
+    const NodeStats& s = node->stats();
+    total.busy += s.busy;
+    total.crypto += s.crypto;
+    total.verify_used += s.verify_used;
+    total.evidence_generated += s.evidence_generated;
+    total.evidence_validated += s.evidence_validated;
+    total.evidence_rejected += s.evidence_rejected;
+    total.evidence_dropped_queue += s.evidence_dropped_queue;
+    total.path_declarations += s.path_declarations;
+    total.mode_switches += s.mode_switches;
+    total.evidence_queue_peak = std::max(total.evidence_queue_peak, s.evidence_queue_peak);
+  }
+  return total;
+}
+
+void BtrRuntime::RecordConviction(const ConvictionEvent& event) {
+  convictions_.push_back(event);
+}
+
+SimTime BtrRuntime::FirstConvictionOf(NodeId node) const {
+  SimTime first = kSimTimeNever;
+  for (const ConvictionEvent& ev : convictions_) {
+    if (ev.convicted != node) {
+      continue;
+    }
+    if (ctx_.adversary->ManifestTime(ev.by) != kSimTimeNever) {
+      continue;  // only honest observers count
+    }
+    first = std::min(first, ev.at);
+  }
+  return first;
+}
+
+SimTime BtrRuntime::LastConvictionOf(NodeId node) const {
+  SimTime last = kSimTimeNever;
+  SimTime max_seen = -1;
+  size_t honest_total = 0;
+  size_t honest_convinced = 0;
+  for (const auto& nr : nodes_) {
+    if (ctx_.adversary->ManifestTime(nr->id()) != kSimTimeNever) {
+      continue;
+    }
+    ++honest_total;
+    if (nr->fault_set().Contains(node)) {
+      ++honest_convinced;
+    }
+  }
+  for (const ConvictionEvent& ev : convictions_) {
+    if (ev.convicted != node || ctx_.adversary->ManifestTime(ev.by) != kSimTimeNever) {
+      continue;
+    }
+    max_seen = std::max(max_seen, ev.at);
+  }
+  if (honest_total > 0 && honest_convinced == honest_total && max_seen >= 0) {
+    last = max_seen;
+  }
+  return last;
+}
+
+NodeRuntime* BtrRuntime::node(NodeId id) { return nodes_[id.value()].get(); }
+
+// ---------------------------------------------------------------------------
+// NodeRuntime
+// ---------------------------------------------------------------------------
+
+NodeRuntime::NodeRuntime(BtrRuntime* owner, const RuntimeContext& ctx, NodeId id, Signer signer)
+    : owner_(owner),
+      ctx_(ctx),
+      id_(id),
+      signer_(signer),
+      validator_(ctx.keys, ctx.workload, ctx.config.validation),
+      blame_(ctx.config.blame_threshold, ctx.config.blame_window_periods) {
+  plan_ = ctx_.strategy->Lookup(FaultSet());
+  // Each node reads time through its own (periodically resynchronized)
+  // clock: a deterministic per-node residual offset bounded by
+  // max_clock_offset. The detector's epsilon must cover it.
+  if (ctx_.config.max_clock_offset > 0) {
+    Hasher h;
+    h.Add(id.value()).Add(uint32_t{0xc1c});
+    const SimDuration span = 2 * ctx_.config.max_clock_offset + 1;
+    const SimDuration offset =
+        static_cast<SimDuration>(h.Digest() % static_cast<uint64_t>(span)) -
+        ctx_.config.max_clock_offset;
+    clock_ = LocalClock(offset, 0.0);
+  }
+}
+
+const FaultInjection* NodeRuntime::ActiveFault() const {
+  return ctx_.adversary->ActiveOn(id_, ctx_.sim->Now());
+}
+
+bool NodeRuntime::Crashed() const {
+  const FaultInjection* f = ActiveFault();
+  return f != nullptr && f->behavior == FaultBehavior::kCrash;
+}
+
+void NodeRuntime::BeginPeriod(uint64_t period) {
+  current_period_ = period;
+  if (pending_plan_ != nullptr) {
+    plan_ = pending_plan_;
+    pending_plan_ = nullptr;
+    ++stats_.mode_switches;
+    quiet_until_period_ = period + ctx_.config.timing_quiet_periods;
+    // Routing is a property of the plan; whoever switches installs it (all
+    // honest nodes converge to the same plan, so this is idempotent).
+    ctx_.network->SetRouting(plan_->routing);
+  }
+  if (plan_ == nullptr || Crashed()) {
+    return;
+  }
+
+  // Garbage-collect stale buffers.
+  if (period >= kBufferHorizon) {
+    const uint64_t floor = period - kBufferHorizon;
+    std::erase_if(inputs_, [floor](const auto& kv) { return kv.first.second < floor; });
+    std::erase_if(replica_records_,
+                  [floor](const auto& kv) { return std::get<1>(kv.first) < floor; });
+    std::erase_if(heartbeats_seen_, [floor](const auto& kv) { return kv.second < floor; });
+    std::erase_if(declared_, [floor](const auto& kv) { return std::get<2>(kv) < floor; });
+  }
+
+  const SimDuration period_len = ctx_.workload->period();
+  const SimTime base = static_cast<SimTime>(period) * period_len;
+  for (const ScheduleEntry& entry : plan_->tables[id_.value()].entries()) {
+    // Jobs take effect at completion time: outputs are sent when the WCET
+    // window closes.
+    ctx_.sim->At(base + entry.start + entry.duration,
+                 [this, job = entry.job, period]() { ExecuteJob(job, period); });
+  }
+}
+
+void NodeRuntime::ExecuteJob(uint32_t aug_id, uint64_t period) {
+  if (Crashed() || plan_ == nullptr) {
+    return;
+  }
+  // A mode switch between scheduling and execution invalidates the job.
+  if (!plan_->placement[aug_id].valid() || plan_->placement[aug_id] != id_) {
+    return;
+  }
+  const AugTask& task = ctx_.graph->task(aug_id);
+  stats_.busy += task.wcet;
+  switch (task.kind) {
+    case AugKind::kWorkload:
+      ExecuteWorkload(task, period);
+      break;
+    case AugKind::kChecker:
+      ExecuteChecker(task, period);
+      break;
+    case AugKind::kVerifier:
+      ExecuteVerifier(task, period);
+      break;
+  }
+}
+
+void NodeRuntime::ExecuteWorkload(const AugTask& task, uint64_t period) {
+  const TaskSpec& spec = ctx_.workload->task(task.workload_task);
+  const FaultInjection* fault = ActiveFault();
+
+  // Migration state must have arrived before a stateful task can run.
+  if (spec.state_bytes > 0 && !StateReady(spec.id)) {
+    return;
+  }
+
+  // Gather inputs (sources have none).
+  std::vector<SignedInput> claimed;
+  std::vector<InputValue> values;
+  std::vector<TaskId> missing;
+  uint64_t digest = 0;
+  if (spec.kind == TaskKind::kSource) {
+    digest = SourceValue(spec.id, period);
+  } else {
+    for (const ChannelSpec& ch : ctx_.workload->Inputs(spec.id)) {
+      auto it = inputs_.find(std::make_pair(ch.from.value(), period));
+      if (it == inputs_.end()) {
+        missing.push_back(ch.from);
+        // Producer output missing: declare the path to the producer's host —
+        // unless the producer sent a gap notice (it is alive but starved
+        // upstream; blaming it would cascade omission blame down the whole
+        // dataflow), or we are inside a mode-switch quiet window (a migrated
+        // producer may legitimately be waiting for its state transfer).
+        const uint32_t producer_primary = ctx_.graph->PrimaryOf(ch.from);
+        const NodeId producer_node = plan_->placement[producer_primary];
+        const auto gap_it =
+            replica_records_.find(std::make_tuple(ch.from.value(), period, 0u));
+        const bool excused_by_gap =
+            gap_it != replica_records_.end() && gap_it->second->gap;
+        if (producer_node.valid() && producer_node != id_ && !excused_by_gap &&
+            period >= quiet_until_period_ && pending_plan_ == nullptr) {
+          DeclarePath(producer_node, id_, period);
+        }
+        continue;
+      }
+      claimed.push_back(SignedInput{ch.from, it->second.digest, it->second.value_sig});
+      values.push_back(InputValue{ch.from, it->second.digest});
+    }
+    if (!missing.empty()) {
+      SendGapNotice(task, period, std::move(missing));
+      return;  // cannot produce this period's output
+    }
+    std::sort(claimed.begin(), claimed.end(),
+              [](const SignedInput& a, const SignedInput& b) { return a.producer < b.producer; });
+    std::sort(values.begin(), values.end(),
+              [](const InputValue& a, const InputValue& b) { return a.producer < b.producer; });
+    digest = ComputeOutput(spec.id, period, values);
+  }
+
+  const bool corrupt = fault != nullptr && fault->behavior == FaultBehavior::kValueCorruption;
+  if (corrupt) {
+    digest ^= kCorruptionMask;
+  }
+
+  if (spec.kind == TaskKind::kSink) {
+    // Actuation: hand the command to the physical world (the monitor).
+    ctx_.monitor->RecordSinkOutput(spec.id, period, digest, ctx_.sim->Now());
+    return;
+  }
+
+  // Build and sign the output record.
+  auto record = std::make_shared<OutputRecord>();
+  record->task = spec.id;
+  record->replica = task.replica;
+  record->period = period;
+  record->digest = digest;
+  record->claimed_inputs = std::move(claimed);
+  record->sender = id_;
+  record->value_sig = signer_.Sign(InputContentDigest(spec.id, period, digest));
+  record->sender_sig = signer_.Sign(record->ContentDigest());
+  stats_.crypto += 2 * ctx_.config.crypto.sign_cost;
+
+  // Destination set.
+  struct Dest {
+    NodeId node;
+    uint32_t bytes;
+  };
+  std::vector<Dest> dests;
+  const uint32_t record_bytes = record->WireBytes();
+  if (task.replica == 0) {
+    for (const ChannelSpec& ch : ctx_.workload->Outputs(spec.id)) {
+      const uint32_t bytes = std::max(ch.message_bytes, record_bytes);
+      for (uint32_t consumer : ctx_.graph->ReplicasOf(ch.to)) {
+        const NodeId to = plan_->placement[consumer];
+        if (to.valid()) {
+          dests.push_back(Dest{to, bytes});
+        }
+      }
+      const uint32_t consumer_chk = ctx_.graph->CheckerOf(ch.to);
+      if (consumer_chk != AugmentedGraph::kNone && plan_->placement[consumer_chk].valid()) {
+        dests.push_back(Dest{plan_->placement[consumer_chk], bytes});
+      }
+    }
+  }
+  const uint32_t own_chk = ctx_.graph->CheckerOf(spec.id);
+  if (own_chk != AugmentedGraph::kNone && plan_->placement[own_chk].valid()) {
+    dests.push_back(Dest{plan_->placement[own_chk], record_bytes});
+  }
+
+  // Adversarial send behavior.
+  if (fault != nullptr && fault->behavior == FaultBehavior::kOmission) {
+    return;  // executes but stays silent
+  }
+  std::shared_ptr<OutputRecord> equivocal;
+  if (fault != nullptr && fault->behavior == FaultBehavior::kEquivocate) {
+    equivocal = std::make_shared<OutputRecord>(*record);
+    equivocal->digest = digest ^ kCorruptionMask;
+    equivocal->value_sig =
+        signer_.Sign(InputContentDigest(spec.id, period, equivocal->digest));
+    equivocal->sender_sig = signer_.Sign(equivocal->ContentDigest());
+    stats_.crypto += 2 * ctx_.config.crypto.sign_cost;
+  }
+  size_t index = 0;
+  for (const Dest& dest : dests) {
+    if (fault != nullptr && fault->behavior == FaultBehavior::kSelectiveOmission &&
+        dest.node == fault->target) {
+      continue;
+    }
+    std::shared_ptr<const OutputRecord> to_send = record;
+    if (equivocal != nullptr && index % 2 == 1) {
+      to_send = equivocal;
+    }
+    ++index;
+    if (fault != nullptr && fault->behavior == FaultBehavior::kDelay) {
+      ctx_.sim->After(fault->delay, [this, to_send, dest, period]() {
+        SendRecord(to_send, dest.node, dest.bytes, period);
+      });
+    } else {
+      SendRecord(to_send, dest.node, dest.bytes, period);
+    }
+  }
+}
+
+void NodeRuntime::SendRecord(const std::shared_ptr<const OutputRecord>& record, NodeId to,
+                             uint32_t wire_bytes, uint64_t /*period*/) {
+  if (Crashed()) {
+    return;
+  }
+  ctx_.network->Send(id_, to, wire_bytes, TrafficClass::kForeground, record);
+}
+
+void NodeRuntime::SendGapNotice(const AugTask& task, uint64_t period,
+                                std::vector<TaskId> missing) {
+  const FaultInjection* fault = ActiveFault();
+  if (fault != nullptr && (fault->behavior == FaultBehavior::kCrash ||
+                           fault->behavior == FaultBehavior::kOmission)) {
+    return;  // a silent adversary stays silent
+  }
+  const TaskSpec& spec = ctx_.workload->task(task.workload_task);
+  auto record = std::make_shared<OutputRecord>();
+  record->task = spec.id;
+  record->replica = task.replica;
+  record->period = period;
+  record->sender = id_;
+  record->gap = true;
+  record->gap_missing = std::move(missing);
+  record->sender_sig = signer_.Sign(record->ContentDigest());
+  stats_.crypto += ctx_.config.crypto.sign_cost;
+
+  const uint32_t bytes = record->WireBytes();
+  std::vector<NodeId> dests;
+  if (task.replica == 0) {
+    for (const ChannelSpec& ch : ctx_.workload->Outputs(spec.id)) {
+      for (uint32_t consumer : ctx_.graph->ReplicasOf(ch.to)) {
+        if (plan_->placement[consumer].valid()) {
+          dests.push_back(plan_->placement[consumer]);
+        }
+      }
+      const uint32_t consumer_chk = ctx_.graph->CheckerOf(ch.to);
+      if (consumer_chk != AugmentedGraph::kNone && plan_->placement[consumer_chk].valid()) {
+        dests.push_back(plan_->placement[consumer_chk]);
+      }
+    }
+  }
+  const uint32_t own_chk = ctx_.graph->CheckerOf(spec.id);
+  if (own_chk != AugmentedGraph::kNone && plan_->placement[own_chk].valid()) {
+    dests.push_back(plan_->placement[own_chk]);
+  }
+  for (NodeId to : dests) {
+    if (fault != nullptr && fault->behavior == FaultBehavior::kSelectiveOmission &&
+        to == fault->target) {
+      continue;
+    }
+    ctx_.network->Send(id_, to, bytes, TrafficClass::kForeground, record);
+  }
+}
+
+void NodeRuntime::ExecuteChecker(const AugTask& task, uint64_t period) {
+  const TaskSpec& spec = ctx_.workload->task(task.workload_task);
+  const FaultInjection* fault = ActiveFault();
+  if (fault != nullptr) {
+    // A compromised checker gains nothing by honest checking; evidence
+    // fabrication is handled by the kEvidenceFlood verifier behavior.
+    return;
+  }
+
+  // Source inputs are replayable by anyone (a source's output is a pure
+  // function of (task, period)), so the checker validates its own copies of
+  // them first; a corrupted sensor node is convicted directly.
+  for (const ChannelSpec& ch : ctx_.workload->Inputs(spec.id)) {
+    if (ctx_.workload->task(ch.from).kind != TaskKind::kSource) {
+      continue;
+    }
+    auto src_it = replica_records_.find(std::make_tuple(ch.from.value(), period, 0u));
+    if (src_it == replica_records_.end()) {
+      continue;
+    }
+    const std::shared_ptr<const OutputRecord>& src_rec = src_it->second;
+    stats_.crypto += ctx_.config.crypto.verify_cost;
+    if (!ctx_.keys->Verify(src_rec->sender_sig, src_rec->ContentDigest())) {
+      continue;
+    }
+    if (src_rec->digest != SourceValue(ch.from, period)) {
+      auto ev = std::make_shared<EvidenceRecord>();
+      ev->kind = EvidenceKind::kCommission;
+      ev->declarer = id_;
+      ev->period = period;
+      ev->record = src_rec;
+      ev->declarer_sig = signer_.Sign(ev->ContentDigest());
+      EmitEvidence(std::move(ev));
+    }
+  }
+
+  for (uint32_t replica_aug : ctx_.graph->ReplicasOf(spec.id)) {
+    const AugTask& rep = ctx_.graph->task(replica_aug);
+    const NodeId rep_node = plan_->placement[replica_aug];
+    if (!rep_node.valid()) {
+      continue;  // replica shed in this mode
+    }
+    auto key = std::make_tuple(spec.id.value(), period, rep.replica);
+    auto it = replica_records_.find(key);
+    if (it == replica_records_.end()) {
+      // Same quiet-window rule as for missing inputs: a migrated replica may
+      // still be waiting for state right after a mode switch.
+      if (rep_node != id_ && period >= quiet_until_period_ && pending_plan_ == nullptr) {
+        DeclarePath(rep_node, id_, period);
+      }
+      continue;
+    }
+    const std::shared_ptr<const OutputRecord>& rec = it->second;
+
+    // Attribution first: unattributable records are treated as missing.
+    stats_.crypto += ctx_.config.crypto.verify_cost;
+    if (!ctx_.keys->Verify(rec->sender_sig, rec->ContentDigest())) {
+      DeclarePath(rep_node, id_, period);
+      continue;
+    }
+
+    if (rec->gap) {
+      // The replica claims starvation. Plausible iff at least one of the
+      // inputs it names is also missing (or gapped) in our own copies — we
+      // receive the same producer primaries it does. An implausible gap is
+      // treated as a missing record (path blame), which is as far as the
+      // paper's omission attribution goes.
+      bool plausible = false;
+      for (TaskId producer : rec->gap_missing) {
+        const auto mine = inputs_.find(std::make_pair(producer.value(), period));
+        if (mine == inputs_.end()) {
+          plausible = true;
+          break;
+        }
+      }
+      if (!plausible && rep_node != id_ && period >= quiet_until_period_ &&
+          pending_plan_ == nullptr) {
+        DeclarePath(rep_node, id_, period);
+      }
+      continue;
+    }
+
+    // Claimed-input signatures: a record whose inputs do not verify is
+    // itself commission evidence.
+    bool inner_ok = true;
+    for (const SignedInput& in : rec->claimed_inputs) {
+      stats_.crypto += ctx_.config.crypto.verify_cost;
+      if (!ctx_.keys->Verify(in.producer_sig,
+                             InputContentDigest(in.producer, period, in.digest))) {
+        inner_ok = false;
+        break;
+      }
+    }
+    if (!inner_ok) {
+      auto ev = std::make_shared<EvidenceRecord>();
+      ev->kind = EvidenceKind::kCommission;
+      ev->declarer = id_;
+      ev->period = period;
+      ev->record = rec;
+      ev->declarer_sig = signer_.Sign(ev->ContentDigest());
+      EmitEvidence(std::move(ev));
+      continue;
+    }
+
+    // Equivocation: the replica's claimed inputs vs my own copies.
+    for (const SignedInput& in : rec->claimed_inputs) {
+      auto mine = inputs_.find(std::make_pair(in.producer.value(), period));
+      if (mine == inputs_.end() || mine->second.digest == in.digest) {
+        continue;
+      }
+      auto ev = std::make_shared<EvidenceRecord>();
+      ev->kind = EvidenceKind::kEquivocation;
+      ev->declarer = id_;
+      ev->period = period;
+      ev->eq_task = in.producer;
+      ev->eq_a = SignedInput{in.producer, mine->second.digest, mine->second.value_sig};
+      ev->eq_b = in;
+      ev->declarer_sig = signer_.Sign(ev->ContentDigest());
+      EmitEvidence(std::move(ev));
+    }
+
+    // Replay on the record's own claimed inputs.
+    uint64_t expected;
+    if (spec.kind == TaskKind::kSource) {
+      expected = SourceValue(spec.id, period);
+    } else {
+      std::vector<InputValue> values;
+      values.reserve(rec->claimed_inputs.size());
+      for (const SignedInput& in : rec->claimed_inputs) {
+        values.push_back(InputValue{in.producer, in.digest});
+      }
+      std::sort(values.begin(), values.end(),
+                [](const InputValue& a, const InputValue& b) { return a.producer < b.producer; });
+      expected = ComputeOutput(spec.id, period, values);
+    }
+    if (expected != rec->digest) {
+      auto ev = std::make_shared<EvidenceRecord>();
+      ev->kind = EvidenceKind::kCommission;
+      ev->declarer = id_;
+      ev->period = period;
+      ev->record = rec;
+      ev->declarer_sig = signer_.Sign(ev->ContentDigest());
+      EmitEvidence(std::move(ev));
+    }
+  }
+}
+
+void NodeRuntime::ExecuteVerifier(const AugTask& task, uint64_t period) {
+  const FaultInjection* fault = ActiveFault();
+  if (fault != nullptr && fault->behavior == FaultBehavior::kEvidenceFlood) {
+    // A smart flooder keeps up appearances: it still heartbeats so that
+    // path-blame cannot convict it for going silent.
+    if (ctx_.config.heartbeats) {
+      for (NodeId n : ctx_.topo->Neighbors(id_)) {
+        auto hb = std::make_shared<Heartbeat>();
+        hb->from = id_;
+        hb->period = period;
+        hb->sig = signer_.Sign(HeartbeatDigest(id_, period));
+        ctx_.network->Send(id_, n, ctx_.config.heartbeat_bytes, TrafficClass::kControl,
+                           std::move(hb));
+      }
+    }
+    // DoS: craft expensive-to-validate but ultimately invalid evidence.
+    // The record is internally consistent (replay matches), so a validator
+    // must pay the full replay cost before discovering there is nothing to
+    // convict. Endorsement-abuse (if enabled) convicts us after the first.
+    TaskId heavy;
+    SimDuration heavy_wcet = -1;
+    for (const TaskSpec& spec : ctx_.workload->tasks()) {
+      if (spec.kind != TaskKind::kSource && spec.wcet > heavy_wcet) {
+        heavy_wcet = spec.wcet;
+        heavy = spec.id;
+      }
+    }
+    if (!heavy.valid()) {
+      return;
+    }
+    for (uint32_t i = 0; i < fault->flood_rate; ++i) {
+      auto rec = std::make_shared<OutputRecord>();
+      rec->task = heavy;
+      rec->replica = 0;
+      rec->period = period;
+      rec->sender = id_;
+      std::vector<InputValue> values;
+      for (const ChannelSpec& ch : ctx_.workload->Inputs(heavy)) {
+        const uint64_t junk = HashCombine(period, ch.from.value() * 7919 + i);
+        rec->claimed_inputs.push_back(SignedInput{
+            ch.from, junk, signer_.Sign(InputContentDigest(ch.from, period, junk))});
+        values.push_back(InputValue{ch.from, junk});
+      }
+      std::sort(values.begin(), values.end(),
+                [](const InputValue& a, const InputValue& b) { return a.producer < b.producer; });
+      rec->digest = ComputeOutput(heavy, period, values);
+      rec->value_sig = signer_.Sign(InputContentDigest(heavy, period, rec->digest));
+      rec->sender_sig = signer_.Sign(rec->ContentDigest());
+
+      auto ev = std::make_shared<EvidenceRecord>();
+      ev->kind = EvidenceKind::kCommission;
+      ev->declarer = id_;
+      ev->period = period;
+      ev->record = std::move(rec);
+      ev->declarer_sig = signer_.Sign(ev->ContentDigest());
+      BroadcastEvidence(std::move(ev), NodeId::Invalid());
+    }
+    return;
+  }
+  if (fault != nullptr && fault->behavior != FaultBehavior::kDelay &&
+      fault->behavior != FaultBehavior::kValueCorruption) {
+    return;  // other behaviors do not run the honest verifier
+  }
+
+  // Heartbeats to one-hop neighbors.
+  if (ctx_.config.heartbeats) {
+    for (NodeId n : ctx_.topo->Neighbors(id_)) {
+      if (fault_set_.Contains(n)) {
+        continue;
+      }
+      auto hb = std::make_shared<Heartbeat>();
+      hb->from = id_;
+      hb->period = period;
+      hb->sig = signer_.Sign(HeartbeatDigest(id_, period));
+      ctx_.network->Send(id_, n, ctx_.config.heartbeat_bytes, TrafficClass::kControl,
+                         std::move(hb));
+    }
+    // Check heartbeats: declare a path only after two *consecutive* missing
+    // beats (transient congestion — e.g. a state transfer sharing the
+    // control class right after a mode switch — must not accumulate blame),
+    // and never during the post-switch quiet window.
+    if (period >= 2 && period >= quiet_until_period_) {
+      for (NodeId n : ctx_.topo->Neighbors(id_)) {
+        if (fault_set_.Contains(n)) {
+          continue;
+        }
+        const bool missing_last = heartbeats_seen_.count({n.value(), period - 1}) == 0;
+        const bool missing_prev = heartbeats_seen_.count({n.value(), period - 2}) == 0;
+        if (missing_last && missing_prev) {
+          DeclarePath(n, id_, period - 1);
+        }
+      }
+    }
+  }
+
+  // Drain the evidence queue within the verification budget. The item that
+  // exhausts the budget still completes (its cost is charged); further items
+  // wait for the next period.
+  SimDuration used = 0;
+  const SimDuration budget = task.wcet;
+  while (!evidence_queue_.empty() && used <= budget) {
+    PendingEvidence item = evidence_queue_.front();
+    evidence_queue_.pop_front();
+    const uint64_t digest = item.evidence->ContentDigest();
+    if (pool_.Contains(digest)) {
+      continue;  // duplicate: dedup is (modeled as) free
+    }
+    const EvidenceVerdict verdict = validator_.Validate(*item.evidence);
+    used += verdict.cost;
+    pool_.Insert(item.evidence);
+    if (verdict.valid) {
+      ++stats_.evidence_validated;
+      ApplyValidEvidence(*item.evidence, verdict);
+      BroadcastEvidence(item.evidence, item.forwarder);
+    } else {
+      ++stats_.evidence_rejected;
+      if (ctx_.config.endorsement_abuse && item.endorsement.signer.valid() &&
+          item.endorsement.signer != id_) {
+        // The forwarder vouched for garbage: that endorsement is itself
+        // evidence (the paper's flooding countermeasure).
+        auto abuse = std::make_shared<EvidenceRecord>();
+        abuse->kind = EvidenceKind::kEndorsementAbuse;
+        abuse->declarer = id_;
+        abuse->period = period;
+        abuse->inner = item.evidence;
+        abuse->endorsement_sig = item.endorsement;
+        abuse->declarer_sig = signer_.Sign(abuse->ContentDigest());
+        EmitEvidence(std::move(abuse));
+      }
+    }
+  }
+  stats_.verify_used += used;
+  stats_.evidence_queue_peak = std::max(stats_.evidence_queue_peak, evidence_queue_.size());
+}
+
+void NodeRuntime::OnPacket(const Packet& packet) {
+  if (Crashed() || plan_ == nullptr) {
+    return;
+  }
+  // Isolation: a convicted node is excluded from the current plan but (being
+  // Byzantine) may well keep executing its stale one. Nothing it originates
+  // may enter our buffers — its old-plan records would otherwise win the
+  // first-value-wins input race against the honest replacement primary.
+  if (fault_set_.Contains(packet.src)) {
+    return;
+  }
+  if (auto record = std::dynamic_pointer_cast<const OutputRecord>(packet.payload)) {
+    if (fault_set_.Contains(record->sender)) {
+      return;
+    }
+    HandleOutputRecord(packet, *record);
+    replica_records_[std::make_tuple(record->task.value(), record->period, record->replica)] =
+        record;
+    return;
+  }
+  if (auto msg = std::dynamic_pointer_cast<const EvidenceMessage>(packet.payload)) {
+    // Isolation: once a node is convicted, nothing it forwards is worth
+    // validating (this is what actually ends an evidence-flood DoS).
+    if (fault_set_.Contains(msg->forwarder)) {
+      return;
+    }
+    if (evidence_queue_.size() >= ctx_.config.evidence_queue_limit) {
+      ++stats_.evidence_dropped_queue;
+      return;
+    }
+    evidence_queue_.push_back(PendingEvidence{msg->evidence, msg->forwarder, msg->endorsement});
+    stats_.evidence_queue_peak = std::max(stats_.evidence_queue_peak, evidence_queue_.size());
+    return;
+  }
+  if (auto hb = std::dynamic_pointer_cast<const Heartbeat>(packet.payload)) {
+    if (ctx_.keys->Verify(hb->sig, HeartbeatDigest(hb->from, hb->period))) {
+      heartbeats_seen_.insert(std::make_pair(hb->from.value(), hb->period));
+    }
+    return;
+  }
+  if (auto req = std::dynamic_pointer_cast<const StateRequest>(packet.payload)) {
+    // Serve state if this node hosts any replica of the task.
+    const FaultInjection* fault = ActiveFault();
+    if (fault != nullptr && fault->behavior != FaultBehavior::kDelay) {
+      return;  // compromised donors do not help
+    }
+    const TaskSpec& spec = ctx_.workload->task(req->task);
+    bool hosting = false;
+    for (uint32_t rep : ctx_.graph->ReplicasOf(req->task)) {
+      if (plan_->placement[rep] == id_) {
+        hosting = true;
+        break;
+      }
+    }
+    if (!hosting || spec.state_bytes == 0) {
+      return;
+    }
+    auto transfer = std::make_shared<StateTransfer>();
+    transfer->task = req->task;
+    transfer->new_replica = req->new_replica;
+    transfer->donor = id_;
+    ctx_.network->Send(id_, req->requester, spec.state_bytes, TrafficClass::kControl,
+                       std::move(transfer));
+    return;
+  }
+  if (auto transfer = std::dynamic_pointer_cast<const StateTransfer>(packet.payload)) {
+    awaiting_state_.erase(transfer->task.value());
+    return;
+  }
+}
+
+void NodeRuntime::HandleOutputRecord(const Packet& packet, const OutputRecord& record) {
+  if (ctx_.config.timing_checks) {
+    CheckArrivalWindow(packet, record);
+  }
+  if (record.replica == 0 && !record.gap) {
+    // First value wins; an equivocator cannot rewrite what it already sent.
+    inputs_.emplace(std::make_pair(record.task.value(), record.period),
+                    ReceivedInput{record.digest, record.value_sig, packet.delivered_at});
+  }
+}
+
+void NodeRuntime::CheckArrivalWindow(const Packet& packet, const OutputRecord& record) {
+  if (current_period_ < quiet_until_period_ || pending_plan_ != nullptr) {
+    return;  // windows are in flux around a mode switch
+  }
+  const std::vector<uint32_t>& reps = ctx_.graph->ReplicasOf(record.task);
+  if (record.replica >= reps.size()) {
+    return;
+  }
+  const uint32_t producer_aug = reps[record.replica];
+  const NodeId producer_node = plan_->placement[producer_aug];
+  if (!producer_node.valid() || producer_node != record.sender || producer_node == id_) {
+    return;
+  }
+  if (plan_->start[producer_aug] < 0) {
+    return;
+  }
+  const SimDuration period_len = ctx_.workload->period();
+  const AugTask& producer = ctx_.graph->task(producer_aug);
+  const SimTime expected_send = static_cast<SimTime>(record.period) * period_len +
+                                plan_->start[producer_aug] + producer.wcet;
+  const SimDuration budget = plan_->ArrivalBudget(*ctx_.graph, producer_aug, id_);
+  if (budget < 0) {
+    return;  // no planned edge toward this node; nothing to check against
+  }
+  const SimTime lo = expected_send - ctx_.config.epsilon;
+  const SimTime hi = expected_send + budget + ctx_.config.epsilon;
+  // The arrival is timestamped by this node's own clock; epsilon absorbs
+  // the bounded residual skew.
+  const SimTime observed = clock_.Read(packet.delivered_at);
+  if (observed >= lo && observed <= hi) {
+    return;
+  }
+  if (plan_->routing->HopCount(producer_node, id_) == 1) {
+    // Direct link: the MAC timestamp attests the sender's lateness.
+    auto ev = std::make_shared<EvidenceRecord>();
+    ev->kind = EvidenceKind::kTiming;
+    ev->declarer = id_;
+    ev->period = record.period;
+    ev->record = std::make_shared<OutputRecord>(record);
+    ev->observed_arrival = observed;
+    ev->window_lo = lo;
+    ev->window_hi = hi;
+    ev->declarer_sig = signer_.Sign(ev->ContentDigest());
+    EmitEvidence(std::move(ev));
+  } else {
+    // Multi-hop: a relay might be responsible; only declare the path.
+    DeclarePath(producer_node, id_, record.period);
+  }
+}
+
+void NodeRuntime::DeclarePath(NodeId a, NodeId b, uint64_t period) {
+  const uint32_t lo = std::min(a.value(), b.value());
+  const uint32_t hi = std::max(a.value(), b.value());
+  if (!declared_.insert(std::make_tuple(lo, hi, period)).second) {
+    return;
+  }
+  if (fault_set_.Contains(a) || fault_set_.Contains(b)) {
+    return;  // already isolated; no point piling on declarations
+  }
+  ++stats_.path_declarations;
+  BTR_LOG(kDebug, "runtime") << ToString(id_) << " declares path (" << ToString(a) << ","
+                             << ToString(b) << ") period " << period;
+  auto ev = std::make_shared<EvidenceRecord>();
+  ev->kind = EvidenceKind::kPathDeclaration;
+  ev->declarer = id_;
+  ev->period = period;
+  ev->path_a = a;
+  ev->path_b = b;
+  ev->declarer_sig = signer_.Sign(ev->ContentDigest());
+  EmitEvidence(std::move(ev));
+}
+
+void NodeRuntime::EmitEvidence(std::shared_ptr<EvidenceRecord> evidence) {
+  stats_.crypto += ctx_.config.crypto.sign_cost;
+  ++stats_.evidence_generated;
+  std::shared_ptr<const EvidenceRecord> ev = std::move(evidence);
+  if (!pool_.Insert(ev)) {
+    return;
+  }
+  // Apply locally. Honest nodes only emit evidence they know to be valid.
+  if (ev->kind == EvidenceKind::kPathDeclaration) {
+    auto convicted = blame_.AddDeclaration(
+        ev->path_a, ev->path_b, ev->declarer, ev->period,
+        [this](NodeId n) { return fault_set_.Contains(n); });
+    if (convicted.has_value()) {
+      Convict(*convicted, EvidenceKind::kPathDeclaration);
+    }
+  } else {
+    const EvidenceVerdict verdict = validator_.Validate(*ev);
+    if (verdict.valid && verdict.convicts.valid()) {
+      Convict(verdict.convicts, ev->kind);
+    }
+  }
+  BroadcastEvidence(ev, NodeId::Invalid());
+}
+
+void NodeRuntime::BroadcastEvidence(const std::shared_ptr<const EvidenceRecord>& evidence,
+                                    NodeId skip_neighbor) {
+  for (NodeId n : ctx_.topo->Neighbors(id_)) {
+    if (n == skip_neighbor || fault_set_.Contains(n)) {
+      continue;
+    }
+    auto msg = std::make_shared<EvidenceMessage>();
+    msg->evidence = evidence;
+    msg->forwarder = id_;
+    msg->endorsement = signer_.Sign(evidence->ContentDigest());
+    ctx_.network->Send(id_, n, evidence->WireBytes() + 32, TrafficClass::kEvidence,
+                       std::move(msg));
+  }
+  stats_.crypto += ctx_.config.crypto.sign_cost;
+}
+
+void NodeRuntime::ApplyValidEvidence(const EvidenceRecord& evidence,
+                                     const EvidenceVerdict& verdict) {
+  if (evidence.kind == EvidenceKind::kPathDeclaration) {
+    if (fault_set_.Contains(evidence.declarer)) {
+      return;  // convicted nodes get no say
+    }
+    auto convicted = blame_.AddDeclaration(
+        evidence.path_a, evidence.path_b, evidence.declarer, evidence.period,
+        [this](NodeId n) { return fault_set_.Contains(n); });
+    if (convicted.has_value()) {
+      Convict(*convicted, EvidenceKind::kPathDeclaration);
+    }
+    return;
+  }
+  if (verdict.convicts.valid()) {
+    Convict(verdict.convicts, evidence.kind);
+  }
+}
+
+void NodeRuntime::Convict(NodeId node, EvidenceKind kind) {
+  if (node == id_ || !fault_set_.Add(node)) {
+    return;
+  }
+  owner_->RecordConviction(ConvictionEvent{node, id_, ctx_.sim->Now(), kind});
+  BTR_LOG(kInfo, "runtime") << ToString(id_) << " convicts " << ToString(node) << " ("
+                            << EvidenceKindName(kind) << ")";
+  const Plan* next = ctx_.strategy->Lookup(fault_set_);
+  if (next == nullptr) {
+    BTR_LOG(kWarning, "runtime")
+        << ToString(id_) << ": no plan for " << fault_set_.ToString() << " (beyond f)";
+    return;
+  }
+  const Plan* old_plan = pending_plan_ != nullptr ? pending_plan_ : plan_;
+  pending_plan_ = next;
+  RequestMigrationState(old_plan, next);
+}
+
+void NodeRuntime::RequestMigrationState(const Plan* old_plan, const Plan* new_plan) {
+  for (uint32_t aug_id = 0; aug_id < ctx_.graph->size(); ++aug_id) {
+    const AugTask& task = ctx_.graph->task(aug_id);
+    if (task.kind != AugKind::kWorkload || task.state_bytes == 0) {
+      continue;
+    }
+    if (new_plan->placement[aug_id] != id_) {
+      continue;
+    }
+    // Did this node already hold a copy (any replica of the same task)?
+    bool had_copy = false;
+    NodeId donor;
+    for (uint32_t rep : ctx_.graph->ReplicasOf(task.workload_task)) {
+      const NodeId old_host = old_plan->placement[rep];
+      if (old_host == id_) {
+        had_copy = true;
+        break;
+      }
+      if (old_host.valid() && !fault_set_.Contains(old_host) &&
+          (!donor.valid() || old_host < donor)) {
+        donor = old_host;
+      }
+    }
+    if (had_copy || !donor.valid()) {
+      continue;  // state already local, or cold start
+    }
+    if (awaiting_state_.count(task.workload_task.value()) > 0) {
+      continue;  // request already outstanding
+    }
+    awaiting_state_.insert(task.workload_task.value());
+    auto req = std::make_shared<StateRequest>();
+    req->task = task.workload_task;
+    req->new_replica = task.replica;
+    req->requester = id_;
+    ctx_.network->Send(id_, donor, 32, TrafficClass::kControl, std::move(req));
+  }
+}
+
+bool NodeRuntime::StateReady(TaskId task) const {
+  return awaiting_state_.count(task.value()) == 0;
+}
+
+void NodeRuntime::AdoptPlan(const Plan* plan, uint64_t /*at_period*/) { pending_plan_ = plan; }
+
+}  // namespace btr

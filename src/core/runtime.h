@@ -1,0 +1,237 @@
+// The BTR runtime: per-node dispatch, fault detection, evidence
+// distribution, and mode switching (paper Sections 4.2 - 4.4).
+//
+// Each physical node runs a NodeRuntime that:
+//  * dispatches the tasks its current plan's table prescribes, producing
+//    signed output records and consuming received ones;
+//  * runs checking tasks that compare + replay replica outputs and turn
+//    mismatches into self-contained evidence;
+//  * declares problematic paths when expected messages (or neighbor
+//    heartbeats) are missing — omissions are not directly provable;
+//  * runs its verification task, a fixed per-period CPU budget that
+//    validates incoming evidence, forwards endorsed copies to neighbors,
+//    and turns invalid evidence into evidence against its endorser;
+//  * maintains an append-only local fault set; any valid conviction moves
+//    the node to the strategy's plan for the enlarged set at the next
+//    period boundary, requesting migrated task state from a donor replica.
+//
+// Compromised nodes run the same code but consult the AdversarySpec before
+// every externally visible action.
+
+#ifndef BTR_SRC_CORE_RUNTIME_H_
+#define BTR_SRC_CORE_RUNTIME_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/core/adversary.h"
+#include "src/core/augment.h"
+#include "src/core/evidence.h"
+#include "src/core/messages.h"
+#include "src/core/monitor.h"
+#include "src/core/plan.h"
+#include "src/core/planner.h"
+#include "src/crypto/keys.h"
+#include "src/net/network.h"
+#include "src/sim/clock.h"
+#include "src/sim/simulator.h"
+
+namespace btr {
+
+struct RuntimeConfig {
+  CryptoCostModel crypto;
+  EvidenceValidationConfig validation;
+  size_t blame_threshold = 2;
+  // Only path declarations within this many periods of each other combine
+  // toward a blame conviction (stale transition blips must not pair with a
+  // later fault's burst).
+  uint64_t blame_window_periods = 8;
+  bool heartbeats = true;
+  bool timing_checks = true;
+  // Turn invalid evidence into evidence against its endorser (the paper's
+  // countermeasure to evidence-flooding DoS). Off = naive distributor.
+  bool endorsement_abuse = true;
+  // Suppress timing accusations and dataflow-driven path declarations for
+  // this many periods after a mode switch: stale windows and in-flight state
+  // transfers would otherwise cause false accusations against honest nodes.
+  // Must cover the worst-case state-transfer time in periods.
+  uint64_t timing_quiet_periods = 4;
+  // Bound on the per-node pending-evidence queue (DoS containment).
+  size_t evidence_queue_limit = 256;
+  // Maximum clock error the detector tolerates (>= actual clock bounds).
+  SimDuration epsilon = Microseconds(100);
+  // Bound on each node's residual clock offset after (hardware-assisted)
+  // resynchronization; must stay below epsilon or timing checks would
+  // falsely accuse honest senders. 0 = perfect clocks.
+  SimDuration max_clock_offset = Microseconds(30);
+  uint32_t heartbeat_bytes = 32;
+};
+
+struct NodeStats {
+  SimDuration busy = 0;          // task execution time
+  SimDuration crypto = 0;        // signing/verifying outside the verifier job
+  SimDuration verify_used = 0;   // verifier-job budget actually consumed
+  uint64_t evidence_generated = 0;
+  uint64_t evidence_validated = 0;
+  uint64_t evidence_rejected = 0;
+  uint64_t evidence_dropped_queue = 0;
+  uint64_t path_declarations = 0;
+  uint64_t mode_switches = 0;
+  size_t evidence_queue_peak = 0;
+};
+
+// Conviction observed by some honest node (for detection-latency metrics).
+struct ConvictionEvent {
+  NodeId convicted;
+  NodeId by;
+  SimTime at = 0;
+  EvidenceKind kind = EvidenceKind::kCommission;
+};
+
+class NodeRuntime;
+
+// Shared, immutable-during-run context.
+struct RuntimeContext {
+  Simulator* sim = nullptr;
+  Network* network = nullptr;
+  const Topology* topo = nullptr;
+  const Dataflow* workload = nullptr;
+  const AugmentedGraph* graph = nullptr;
+  const Strategy* strategy = nullptr;
+  const Planner* planner = nullptr;
+  const KeyStore* keys = nullptr;
+  const AdversarySpec* adversary = nullptr;
+  Monitor* monitor = nullptr;
+  RuntimeConfig config;
+};
+
+class BtrRuntime {
+ public:
+  explicit BtrRuntime(const RuntimeContext& ctx);
+  ~BtrRuntime();
+  BtrRuntime(const BtrRuntime&) = delete;
+  BtrRuntime& operator=(const BtrRuntime&) = delete;
+
+  // Schedules the whole run: `periods` workload periods plus adversary
+  // manifestations. Call Simulator::RunToCompletion afterwards.
+  void Start(uint64_t periods);
+
+  const NodeStats& node_stats(NodeId node) const;
+  NodeStats TotalStats() const;
+  const std::vector<ConvictionEvent>& convictions() const { return convictions_; }
+
+  // Earliest honest conviction of `node`; kSimTimeNever if never convicted.
+  SimTime FirstConvictionOf(NodeId node) const;
+  // Latest honest conviction of `node` (evidence fully distributed).
+  SimTime LastConvictionOf(NodeId node) const;
+
+  NodeRuntime* node(NodeId id);
+
+ private:
+  friend class NodeRuntime;
+  void RecordConviction(const ConvictionEvent& event);
+
+  RuntimeContext ctx_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  std::vector<ConvictionEvent> convictions_;
+  uint64_t periods_ = 0;
+};
+
+class NodeRuntime {
+ public:
+  NodeRuntime(BtrRuntime* owner, const RuntimeContext& ctx, NodeId id, Signer signer);
+
+  NodeId id() const { return id_; }
+  const NodeStats& stats() const { return stats_; }
+  const FaultSet& fault_set() const { return fault_set_; }
+  const Plan* current_plan() const { return plan_; }
+
+  // Called by BtrRuntime at every period boundary.
+  void BeginPeriod(uint64_t period);
+
+  // Network delivery callback.
+  void OnPacket(const Packet& packet);
+
+ private:
+  struct ReceivedInput {
+    uint64_t digest = 0;
+    Signature value_sig;
+    SimTime arrived_at = 0;
+  };
+  struct PendingEvidence {
+    std::shared_ptr<const EvidenceRecord> evidence;
+    NodeId forwarder;
+    Signature endorsement;
+  };
+
+  const FaultInjection* ActiveFault() const;
+  bool Crashed() const;
+
+  // --- dispatch ---
+  void ExecuteJob(uint32_t aug_id, uint64_t period);
+  void ExecuteWorkload(const AugTask& task, uint64_t period);
+  void ExecuteChecker(const AugTask& task, uint64_t period);
+  void ExecuteVerifier(const AugTask& task, uint64_t period);
+
+  // --- output handling ---
+  void SendRecord(const std::shared_ptr<const OutputRecord>& record, NodeId to,
+                  uint32_t wire_bytes, uint64_t period);
+  // Broadcasts a signed "no output this period, inputs missing" notice to
+  // the task's consumers and checkers (excuses this node from omission
+  // blame while the real culprit upstream accumulates it).
+  void SendGapNotice(const AugTask& task, uint64_t period, std::vector<TaskId> missing);
+  void HandleOutputRecord(const Packet& packet, const OutputRecord& record);
+  void CheckArrivalWindow(const Packet& packet, const OutputRecord& record);
+
+  // --- evidence ---
+  void DeclarePath(NodeId a, NodeId b, uint64_t period);
+  void EmitEvidence(std::shared_ptr<EvidenceRecord> evidence);
+  void BroadcastEvidence(const std::shared_ptr<const EvidenceRecord>& evidence,
+                         NodeId skip_neighbor);
+  void ApplyValidEvidence(const EvidenceRecord& evidence, const EvidenceVerdict& verdict);
+  void Convict(NodeId node, EvidenceKind kind);
+
+  // --- mode change ---
+  void AdoptPlan(const Plan* plan, uint64_t at_period);
+  void RequestMigrationState(const Plan* old_plan, const Plan* new_plan);
+
+  bool StateReady(TaskId task) const;
+
+  BtrRuntime* owner_;
+  const RuntimeContext& ctx_;
+  NodeId id_;
+  Signer signer_;
+  EvidenceValidator validator_;
+  LocalClock clock_;
+
+  const Plan* plan_ = nullptr;          // active plan
+  const Plan* pending_plan_ = nullptr;  // adopted at next period boundary
+  FaultSet fault_set_;
+  uint64_t current_period_ = 0;
+  uint64_t quiet_until_period_ = 0;     // timing checks suppressed before this
+
+  // Input buffers: (producer task, period) -> first received value.
+  std::map<std::pair<uint32_t, uint64_t>, ReceivedInput> inputs_;
+  // Replica records for checkers: (task, period, replica) -> record.
+  std::map<std::tuple<uint32_t, uint64_t, uint32_t>, std::shared_ptr<const OutputRecord>>
+      replica_records_;
+  // Heartbeats seen: (node, period).
+  std::set<std::pair<uint32_t, uint64_t>> heartbeats_seen_;
+  // Path declarations already made: (lo, hi, period).
+  std::set<std::tuple<uint32_t, uint32_t, uint64_t>> declared_;
+  // Tasks whose migration state has not arrived yet.
+  std::set<uint32_t> awaiting_state_;  // workload task ids
+
+  std::deque<PendingEvidence> evidence_queue_;
+  EvidencePool pool_;
+  PathBlameTracker blame_;
+
+  NodeStats stats_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_CORE_RUNTIME_H_

@@ -1,0 +1,154 @@
+#include "src/core/strategy_io.h"
+
+#include <sstream>
+
+namespace btr {
+namespace {
+
+constexpr char kMagic[] = "BTRSTRATEGY";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+std::string SaveStrategy(const Strategy& strategy, const AugmentedGraph& graph,
+                         const Topology& topo) {
+  std::ostringstream out;
+  out << kMagic << " v" << kVersion << "\n";
+  out << "DIM " << graph.size() << " " << topo.node_count() << " " << graph.edges().size()
+      << "\n";
+  for (const FaultSet& faults : strategy.PlannedSets()) {
+    const Plan* plan = strategy.Lookup(faults);
+    out << "MODE " << faults.size();
+    for (NodeId n : faults.nodes()) {
+      out << " " << n.value();
+    }
+    out << "\n";
+    out << "U " << plan->utility << "\n";
+    for (uint32_t aug = 0; aug < plan->placement.size(); ++aug) {
+      if (plan->placement[aug].valid()) {
+        out << "P " << aug << " " << plan->placement[aug].value() << " " << plan->start[aug]
+            << "\n";
+      }
+    }
+    for (TaskId sink : plan->shed_sinks) {
+      out << "S " << sink.value() << "\n";
+    }
+    for (size_t node = 0; node < plan->tables.size(); ++node) {
+      for (const ScheduleEntry& e : plan->tables[node].entries()) {
+        out << "T " << node << " " << e.job << " " << e.start << " " << e.duration << "\n";
+      }
+    }
+    for (size_t i = 0; i < plan->edge_budget.size(); ++i) {
+      if (plan->edge_budget[i] >= 0) {
+        out << "B " << i << " " << plan->edge_budget[i] << "\n";
+      }
+    }
+    out << "END\n";
+  }
+  return out.str();
+}
+
+StatusOr<Strategy> LoadStrategy(const std::string& text, const AugmentedGraph& graph,
+                                const Topology& topo) {
+  std::istringstream in(text);
+  std::string magic;
+  std::string version;
+  in >> magic >> version;
+  if (magic != kMagic || version != "v1") {
+    return Status::InvalidArgument("not a BTRSTRATEGY v1 blob");
+  }
+  std::string tag;
+  in >> tag;
+  size_t aug_count = 0;
+  size_t node_count = 0;
+  size_t edge_count = 0;
+  if (tag != "DIM" || !(in >> aug_count >> node_count >> edge_count)) {
+    return Status::InvalidArgument("missing DIM header");
+  }
+  if (aug_count != graph.size() || node_count != topo.node_count() ||
+      edge_count != graph.edges().size()) {
+    return Status::InvalidArgument("strategy dimensions do not match graph/topology");
+  }
+
+  Strategy strategy;
+  Plan plan;
+  bool in_mode = false;
+  while (in >> tag) {
+    if (tag == "MODE") {
+      size_t k = 0;
+      if (!(in >> k)) {
+        return Status::InvalidArgument("malformed MODE");
+      }
+      std::vector<NodeId> nodes;
+      for (size_t i = 0; i < k; ++i) {
+        uint32_t v = 0;
+        if (!(in >> v) || v >= node_count) {
+          return Status::InvalidArgument("malformed MODE nodes");
+        }
+        nodes.push_back(NodeId(v));
+      }
+      plan = Plan();
+      plan.faults = FaultSet(std::move(nodes));
+      plan.placement.assign(aug_count, NodeId::Invalid());
+      plan.start.assign(aug_count, -1);
+      plan.tables.assign(node_count, ScheduleTable());
+      plan.edge_budget.assign(edge_count, -1);
+      plan.routing = std::make_shared<RoutingTable>(topo, plan.faults.nodes());
+      in_mode = true;
+    } else if (!in_mode) {
+      return Status::InvalidArgument("record outside MODE block: " + tag);
+    } else if (tag == "U") {
+      in >> plan.utility;
+    } else if (tag == "P") {
+      uint32_t aug = 0;
+      uint32_t node = 0;
+      SimDuration start = 0;
+      if (!(in >> aug >> node >> start) || aug >= aug_count || node >= node_count) {
+        return Status::InvalidArgument("malformed P record");
+      }
+      plan.placement[aug] = NodeId(node);
+      plan.start[aug] = start;
+    } else if (tag == "S") {
+      uint32_t sink = 0;
+      if (!(in >> sink)) {
+        return Status::InvalidArgument("malformed S record");
+      }
+      plan.shed_sinks.push_back(TaskId(sink));
+    } else if (tag == "T") {
+      size_t node = 0;
+      uint32_t job = 0;
+      SimDuration start = 0;
+      SimDuration duration = 0;
+      if (!(in >> node >> job >> start >> duration) || node >= node_count ||
+          job >= aug_count) {
+        return Status::InvalidArgument("malformed T record");
+      }
+      plan.tables[node].Add(job, start, duration);
+    } else if (tag == "B") {
+      size_t idx = 0;
+      SimDuration budget = 0;
+      if (!(in >> idx >> budget) || idx >= edge_count) {
+        return Status::InvalidArgument("malformed B record");
+      }
+      plan.edge_budget[idx] = budget;
+    } else if (tag == "END") {
+      for (ScheduleTable& t : plan.tables) {
+        t.SortByStart();
+      }
+      strategy.Insert(std::move(plan));
+      plan = Plan();
+      in_mode = false;
+    } else {
+      return Status::InvalidArgument("unknown record: " + tag);
+    }
+  }
+  if (in_mode) {
+    return Status::InvalidArgument("truncated strategy (missing END)");
+  }
+  if (strategy.Lookup(FaultSet()) == nullptr) {
+    return Status::InvalidArgument("strategy has no fault-free mode");
+  }
+  return strategy;
+}
+
+}  // namespace btr

@@ -1,0 +1,34 @@
+// Strategy serialization.
+//
+// The paper installs "some representation of the strategy... in each node,
+// so that correct nodes will have a consistent view of it at runtime". This
+// module provides that representation: a line-oriented text format that
+// round-trips a Strategy exactly (placements, start offsets, tables, edge
+// budgets, shed sinks, utility). Routing tables are not stored — they are a
+// pure function of (topology, fault set) and are rebuilt on load.
+
+#ifndef BTR_SRC_CORE_STRATEGY_IO_H_
+#define BTR_SRC_CORE_STRATEGY_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/augment.h"
+#include "src/core/plan.h"
+#include "src/net/topology.h"
+
+namespace btr {
+
+// Serializes the strategy. `graph` supplies the augmented-task universe the
+// plans index into (its size is written into the header for validation).
+std::string SaveStrategy(const Strategy& strategy, const AugmentedGraph& graph,
+                         const Topology& topo);
+
+// Parses a serialized strategy and rebuilds per-mode routing from `topo`.
+// Fails if the header's dimensions do not match `graph`/`topo`.
+StatusOr<Strategy> LoadStrategy(const std::string& text, const AugmentedGraph& graph,
+                                const Topology& topo);
+
+}  // namespace btr
+
+#endif  // BTR_SRC_CORE_STRATEGY_IO_H_

@@ -1,0 +1,71 @@
+// Offline worst-case recovery-time analysis (paper Sections 3 and 4.4).
+//
+// The paper argues strategies must be computed offline precisely because
+// "to guarantee BTR, we would need a time bound on rescheduling, which seems
+// difficult to obtain" online. With the full strategy in hand, that bound
+// *can* be computed ahead of time: for every reachable mode transition
+// (S -> S ∪ {y}) the worst-case recovery decomposes into
+//
+//   detection  — fault manifestation to first valid evidence (caller-supplied
+//                bound; commission ~2 periods, blame-based ~3-4 periods),
+//   spread     — evidence flooding to every honest node: verifiers forward
+//                once per period, so at most (topology diameter) periods,
+//   boundary   — waiting for the next period boundary to swap tables,
+//   transfer   — migrated task state over the control-class reservation,
+//   settle     — one full period until the new mode's outputs reach sinks.
+//
+// AnalyzeTransitions computes this for an entire strategy and checks it
+// against the configured R — turning Definition 3.1 from a runtime
+// observation into a design-time guarantee (and E13's subject).
+
+#ifndef BTR_SRC_CORE_TRANSITION_ANALYSIS_H_
+#define BTR_SRC_CORE_TRANSITION_ANALYSIS_H_
+
+#include <vector>
+
+#include "src/core/augment.h"
+#include "src/core/plan.h"
+#include "src/net/network.h"
+#include "src/net/topology.h"
+
+namespace btr {
+
+struct TransitionBound {
+  FaultSet from;
+  FaultSet to;
+  PlanDelta delta;
+  SimDuration evidence_spread = 0;
+  SimDuration boundary_wait = 0;
+  SimDuration state_transfer = 0;
+  SimDuration settle = 0;
+  // detection + spread + boundary + transfer + settle.
+  SimDuration total = 0;
+};
+
+struct TransitionAnalysis {
+  // The detection bound that was assumed (input, echoed for reporting).
+  SimDuration detection_bound = 0;
+  SimDuration worst_total = 0;
+  bool fits_recovery_bound = false;
+  std::vector<TransitionBound> transitions;
+
+  const TransitionBound* Worst() const;
+};
+
+struct TransitionAnalysisConfig {
+  NetworkConfig network;
+  SimDuration period = 0;
+  SimDuration recovery_bound = 0;
+  // Upper bound on manifestation -> first conviction. Defaults to 4 periods
+  // (2 consecutive missed heartbeats + checker latency) when zero.
+  SimDuration detection_bound = 0;
+};
+
+// Analyzes every (parent, parent + {y}) pair present in the strategy.
+TransitionAnalysis AnalyzeTransitions(const Strategy& strategy, const AugmentedGraph& graph,
+                                      const Topology& topo,
+                                      const TransitionAnalysisConfig& config);
+
+}  // namespace btr
+
+#endif  // BTR_SRC_CORE_TRANSITION_ANALYSIS_H_

@@ -1,0 +1,80 @@
+// Simulated message authentication.
+//
+// The paper assumes nodes can sign messages so that evidence of misbehavior
+// is independently verifiable. We simulate signatures that are unforgeable
+// *by construction*: a Signer holds its node's secret and is handed only to
+// that node's runtime (including a Byzantine one), so a compromised node can
+// sign arbitrary content with its own key but can never produce another
+// node's signature. Verification recomputes the tag through the KeyStore.
+//
+// Sign/verify consume simulated CPU time through CryptoCostModel, which is
+// what the efficiency experiments (E1, E10) actually measure.
+
+#ifndef BTR_SRC_CRYPTO_KEYS_H_
+#define BTR_SRC_CRYPTO_KEYS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace btr {
+
+// A detached signature over a 64-bit content digest.
+struct Signature {
+  NodeId signer;
+  uint64_t tag = 0;
+
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.signer == b.signer && a.tag == b.tag;
+  }
+};
+
+// Costs charged to the signing/verifying node's CPU schedule.
+struct CryptoCostModel {
+  SimDuration sign_cost = Microseconds(20);
+  SimDuration verify_cost = Microseconds(40);
+  // Verifying replay-based evidence additionally costs the replayed WCET.
+};
+
+class KeyStore;
+
+// Capability to sign with one node's key. Handed out once per node.
+class Signer {
+ public:
+  Signature Sign(uint64_t digest) const;
+  NodeId node() const { return node_; }
+
+ private:
+  friend class KeyStore;
+  Signer(NodeId node, uint64_t secret) : node_(node), secret_(secret) {}
+
+  NodeId node_;
+  uint64_t secret_;
+};
+
+class KeyStore {
+ public:
+  // Generates per-node secrets for nodes [0, node_count).
+  KeyStore(size_t node_count, Rng* rng);
+
+  // Returns the signing capability for `node`. Each node's runtime should be
+  // given exactly its own signer.
+  Signer SignerFor(NodeId node) const;
+
+  // Checks that `sig` is a valid signature by `sig.signer` over `digest`.
+  bool Verify(const Signature& sig, uint64_t digest) const;
+
+  size_t node_count() const { return secrets_.size(); }
+
+ private:
+  uint64_t SecretFor(NodeId node) const;
+
+  std::vector<uint64_t> secrets_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_CRYPTO_KEYS_H_

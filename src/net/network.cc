@@ -1,0 +1,160 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/log.h"
+
+namespace btr {
+
+const char* TrafficClassName(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::kForeground:
+      return "foreground";
+    case TrafficClass::kEvidence:
+      return "evidence";
+    case TrafficClass::kControl:
+      return "control";
+  }
+  return "?";
+}
+
+Network::Network(Simulator* sim, const Topology* topo, NetworkConfig config)
+    : sim_(sim),
+      topo_(topo),
+      config_(config),
+      receivers_(topo->node_count()),
+      node_down_(topo->node_count(), false),
+      relay_drop_(topo->node_count(), false) {
+  assert(config_.foreground_fraction + config_.evidence_fraction + config_.control_fraction <=
+         1.0 + 1e-9);
+  routing_ = std::make_shared<RoutingTable>(*topo);
+}
+
+void Network::SetReceiver(NodeId node, DeliveryFn fn) {
+  receivers_[node.value()] = std::move(fn);
+}
+
+void Network::SetRouting(std::shared_ptr<const RoutingTable> routing) {
+  routing_ = std::move(routing);
+}
+
+double Network::ClassFraction(TrafficClass cls) const {
+  switch (cls) {
+    case TrafficClass::kForeground:
+      return config_.foreground_fraction;
+    case TrafficClass::kEvidence:
+      return config_.evidence_fraction;
+    case TrafficClass::kControl:
+      return config_.control_fraction;
+  }
+  return 0.0;
+}
+
+SimDuration Network::SerializationTime(LinkId link, NodeId sender, TrafficClass cls,
+                                       uint32_t size_bytes) const {
+  const LinkSpec& spec = topo_->link(link);
+  assert(topo_->Attaches(link, sender));
+  // Equal static split among attached senders (MAC-enforced allocation).
+  const double sender_share = 1.0 / static_cast<double>(spec.endpoints.size());
+  const double bps = static_cast<double>(spec.bandwidth_bps) * sender_share * ClassFraction(cls);
+  assert(bps > 0.0);
+  const double seconds = static_cast<double>(size_bytes) * 8.0 / bps;
+  return static_cast<SimDuration>(seconds * 1e9) + 1;
+}
+
+MessageId Network::Send(NodeId src, NodeId dst, uint32_t size_bytes, TrafficClass cls,
+                        PayloadPtr payload) {
+  assert(src.valid() && dst.valid());
+  ++stats_.packets_sent;
+  Packet p;
+  p.id = MessageId(next_message_++);
+  p.src = src;
+  p.dst = dst;
+  p.size_bytes = size_bytes;
+  p.cls = cls;
+  p.payload = std::move(payload);
+  p.sent_at = sim_->Now();
+
+  if (src == dst) {
+    // Loopback: deliver immediately (no medium usage).
+    sim_->After(0, [this, p]() mutable { Deliver(std::move(p)); });
+    return p.id;
+  }
+  if (!routing_->Reachable(src, dst)) {
+    ++stats_.packets_dropped_unreachable;
+    return MessageId::Invalid();
+  }
+  ForwardHop(std::move(p), routing_, 0);
+  return p.id;
+}
+
+void Network::ForwardHop(Packet packet, std::shared_ptr<const RoutingTable> routing,
+                         size_t hop_index) {
+  const Route& route = routing->RouteBetween(packet.src, packet.dst);
+  if (hop_index >= route.size()) {
+    Deliver(std::move(packet));
+    return;
+  }
+  const Hop& hop = route[hop_index];
+
+  // A downed relay cannot transmit, and a Byzantine relay may refuse to.
+  if (hop_index > 0 &&
+      (node_down_[hop.sender.value()] || relay_drop_[hop.sender.value()])) {
+    ++stats_.packets_dropped_down;
+    return;
+  }
+
+  const GuardianKey key{hop.link.value(), hop.sender.value(),
+                        static_cast<int>(packet.cls)};
+  SimTime& next_free = guardian_next_free_[key];
+  const SimTime now = sim_->Now();
+  const SimTime depart = std::max(now, next_free);
+  if (depart - now > config_.max_guardian_backlog) {
+    ++stats_.packets_dropped_backlog;
+    ++stats_.backlog_drops_by_class[static_cast<int>(packet.cls)];
+    return;
+  }
+  const SimDuration tx = SerializationTime(hop.link, hop.sender, packet.cls, packet.size_bytes);
+  next_free = depart + tx;
+
+  stats_.bytes_by_class[static_cast<int>(packet.cls)] += packet.size_bytes;
+  stats_.total_link_bytes += packet.size_bytes;
+
+  const SimTime arrival = depart + tx + topo_->link(hop.link).propagation;
+  const bool lost = config_.loss_probability > 0.0 && sim_->rng()->NextBool(config_.loss_probability);
+  sim_->At(arrival, [this, packet = std::move(packet), routing, hop_index, lost]() mutable {
+    if (lost) {
+      ++stats_.packets_dropped_loss;
+      return;
+    }
+    const Route& r = routing->RouteBetween(packet.src, packet.dst);
+    const NodeId receiver = r[hop_index].receiver;
+    if (node_down_[receiver.value()]) {
+      ++stats_.packets_dropped_down;
+      return;
+    }
+    ForwardHop(std::move(packet), routing, hop_index + 1);
+  });
+}
+
+void Network::Deliver(Packet packet) {
+  if (node_down_[packet.dst.value()]) {
+    ++stats_.packets_dropped_down;
+    return;
+  }
+  packet.delivered_at = sim_->Now();
+  ++stats_.packets_delivered;
+  DeliveryFn& fn = receivers_[packet.dst.value()];
+  if (fn) {
+    fn(packet);
+  }
+}
+
+void Network::SetNodeDown(NodeId node, bool down) { node_down_[node.value()] = down; }
+
+bool Network::IsNodeDown(NodeId node) const { return node_down_[node.value()]; }
+
+void Network::SetRelayDrop(NodeId node, bool drop) { relay_drop_[node.value()] = drop; }
+
+}  // namespace btr

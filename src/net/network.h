@@ -1,0 +1,151 @@
+// Runtime message transport over the static topology.
+//
+// Bandwidth model (paper Section 2.1): each link's capacity is statically
+// divided among its attached senders, and within a sender's share among
+// traffic classes. The per-(link, sender, class) "guardian" is the MAC-level
+// babbling-idiot protection: it is enforced by (simulated) hardware, so even
+// a fully compromised node can neither exceed its share nor starve others —
+// it can only waste its own allocation. Guardian queues are bounded; traffic
+// beyond the bound is dropped and counted.
+//
+// Multi-hop routes are store-and-forward through gateway nodes; a downed or
+// excluded relay drops the packet (this is exactly the "state stranded behind
+// node Y" hazard the paper's planner lookahead must avoid).
+
+#ifndef BTR_SRC_NET_NETWORK_H_
+#define BTR_SRC_NET_NETWORK_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/net/routing.h"
+#include "src/net/topology.h"
+#include "src/sim/simulator.h"
+
+namespace btr {
+
+// Traffic classes with statically reserved bandwidth fractions.
+enum class TrafficClass : int {
+  kForeground = 0,  // workload dataflow messages
+  kEvidence = 1,    // fault evidence distribution (paper Section 4.3)
+  kControl = 2,     // mode-change coordination + state transfer
+};
+inline constexpr int kTrafficClassCount = 3;
+
+const char* TrafficClassName(TrafficClass cls);
+
+// Base class for message payloads carried through the network.
+struct Payload {
+  virtual ~Payload() = default;
+};
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+struct Packet {
+  MessageId id;
+  NodeId src;
+  NodeId dst;
+  uint32_t size_bytes = 0;
+  TrafficClass cls = TrafficClass::kForeground;
+  PayloadPtr payload;
+  SimTime sent_at = 0;
+  SimTime delivered_at = 0;
+};
+
+using DeliveryFn = std::function<void(const Packet&)>;
+
+struct NetworkConfig {
+  // Fraction of each sender's share reserved per class; must sum to <= 1.
+  double foreground_fraction = 0.70;
+  double evidence_fraction = 0.15;
+  double control_fraction = 0.15;
+  // Residual per-hop loss probability after FEC.
+  double loss_probability = 0.0;
+  // Maximum guardian backlog, expressed as transmission time; traffic that
+  // would queue longer is dropped (bounded MAC queue).
+  SimDuration max_guardian_backlog = Milliseconds(200);
+};
+
+struct NetworkStats {
+  uint64_t packets_sent = 0;
+  uint64_t packets_delivered = 0;
+  uint64_t packets_dropped_loss = 0;
+  uint64_t packets_dropped_down = 0;
+  uint64_t packets_dropped_unreachable = 0;
+  uint64_t packets_dropped_backlog = 0;
+  uint64_t backlog_drops_by_class[kTrafficClassCount] = {0, 0, 0};
+  uint64_t bytes_by_class[kTrafficClassCount] = {0, 0, 0};  // link-level bytes
+  uint64_t total_link_bytes = 0;  // bytes * hops, i.e., actual medium usage
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, const Topology* topo, NetworkConfig config);
+
+  // Installs the delivery callback for a node. One receiver per node.
+  void SetReceiver(NodeId node, DeliveryFn fn);
+
+  // Installs the routing table (a plan installs routes avoiding faulty nodes).
+  void SetRouting(std::shared_ptr<const RoutingTable> routing);
+  const RoutingTable* routing() const { return routing_.get(); }
+
+  // Sends `payload` from src to dst; returns the message id, or an invalid id
+  // if the destination is unreachable under current routing.
+  MessageId Send(NodeId src, NodeId dst, uint32_t size_bytes, TrafficClass cls,
+                 PayloadPtr payload);
+
+  // Marks a node up/down. Downed nodes neither receive nor relay.
+  void SetNodeDown(NodeId node, bool down);
+  bool IsNodeDown(NodeId node) const;
+
+  // A Byzantine relay that silently drops traffic it should forward (its own
+  // sends and receives still work). Models omission faults on gateways.
+  void SetRelayDrop(NodeId node, bool drop);
+
+  // Expected serialization time of `size_bytes` for `sender` on `link` in
+  // class `cls` (used by planners to budget communication).
+  SimDuration SerializationTime(LinkId link, NodeId sender, TrafficClass cls,
+                                uint32_t size_bytes) const;
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats(); }
+
+  const Topology& topology() const { return *topo_; }
+
+ private:
+  struct GuardianKey {
+    uint32_t link;
+    uint32_t sender;
+    int cls;
+    friend bool operator==(const GuardianKey& a, const GuardianKey& b) {
+      return a.link == b.link && a.sender == b.sender && a.cls == b.cls;
+    }
+  };
+  struct GuardianKeyHash {
+    size_t operator()(const GuardianKey& k) const {
+      return (static_cast<size_t>(k.link) << 24) ^ (static_cast<size_t>(k.sender) << 4) ^
+             static_cast<size_t>(k.cls);
+    }
+  };
+
+  double ClassFraction(TrafficClass cls) const;
+  void ForwardHop(Packet packet, std::shared_ptr<const RoutingTable> routing, size_t hop_index);
+  void Deliver(Packet packet);
+
+  Simulator* sim_;
+  const Topology* topo_;
+  NetworkConfig config_;
+  std::shared_ptr<const RoutingTable> routing_;
+  std::vector<DeliveryFn> receivers_;
+  std::vector<bool> node_down_;
+  std::vector<bool> relay_drop_;
+  std::unordered_map<GuardianKey, SimTime, GuardianKeyHash> guardian_next_free_;
+  NetworkStats stats_;
+  uint32_t next_message_ = 0;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_NET_NETWORK_H_

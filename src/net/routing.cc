@@ -1,0 +1,112 @@
+#include "src/net/routing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace btr {
+
+RoutingTable::RoutingTable(const Topology& topo, const std::vector<NodeId>& excluded)
+    : n_(topo.node_count()), routes_(n_ * n_), path_propagation_(n_ * n_, 0) {
+  std::vector<bool> is_excluded(n_, false);
+  for (NodeId x : excluded) {
+    if (x.valid() && x.value() < n_) {
+      is_excluded[x.value()] = true;
+    }
+  }
+
+  // Dijkstra from every source over (propagation + per-hop serialization
+  // epsilon) edge weights; ties broken by node id for determinism.
+  for (size_t s = 0; s < n_; ++s) {
+    const NodeId src(static_cast<uint32_t>(s));
+    constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+    std::vector<int64_t> dist(n_, kInf);
+    std::vector<Hop> via(n_);  // hop taken to reach node i
+    using QueueEntry = std::pair<int64_t, uint32_t>;  // (dist, node)
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+    dist[s] = 0;
+    pq.push({0, static_cast<uint32_t>(s)});
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) {
+        continue;
+      }
+      const NodeId nu(u);
+      // A relay (non-source intermediate) must not be excluded.
+      if (u != s && is_excluded[u]) {
+        continue;  // can terminate at u but not extend through it
+      }
+      for (LinkId l : topo.LinksAt(nu)) {
+        const LinkSpec& spec = topo.link(l);
+        // Cost: propagation plus a small constant per hop so that fewer hops
+        // win among equal-propagation paths.
+        const int64_t w = spec.propagation + 1000;
+        for (NodeId v : spec.endpoints) {
+          if (v == nu) {
+            continue;
+          }
+          if (d + w < dist[v.value()]) {
+            dist[v.value()] = d + w;
+            via[v.value()] = Hop{nu, l, v};
+            pq.push({dist[v.value()], v.value()});
+          }
+        }
+      }
+    }
+    for (size_t t = 0; t < n_; ++t) {
+      if (t == s || dist[t] >= kInf) {
+        continue;
+      }
+      Route route;
+      SimDuration prop = 0;
+      for (uint32_t cur = static_cast<uint32_t>(t); cur != s;) {
+        const Hop& h = via[cur];
+        route.push_back(h);
+        prop += topo.link(h.link).propagation;
+        cur = h.sender.value();
+      }
+      std::reverse(route.begin(), route.end());
+      routes_[Index(src, NodeId(static_cast<uint32_t>(t)))] = std::move(route);
+      path_propagation_[Index(src, NodeId(static_cast<uint32_t>(t)))] = prop;
+    }
+  }
+}
+
+const Route& RoutingTable::RouteBetween(NodeId src, NodeId dst) const {
+  if (!src.valid() || !dst.valid() || src.value() >= n_ || dst.value() >= n_ || src == dst) {
+    return empty_;
+  }
+  return routes_[Index(src, dst)];
+}
+
+bool RoutingTable::Reachable(NodeId src, NodeId dst) const {
+  if (src == dst) {
+    return true;
+  }
+  return !RouteBetween(src, dst).empty();
+}
+
+size_t RoutingTable::HopCount(NodeId src, NodeId dst) const {
+  return RouteBetween(src, dst).size();
+}
+
+SimDuration RoutingTable::PathPropagation(NodeId src, NodeId dst) const {
+  if (src == dst || !src.valid() || !dst.valid()) {
+    return 0;
+  }
+  return path_propagation_[Index(src, dst)];
+}
+
+bool RoutingTable::RouteUsesRelay(NodeId src, NodeId dst, NodeId relay) const {
+  const Route& r = RouteBetween(src, dst);
+  for (size_t i = 0; i + 1 < r.size(); ++i) {
+    if (r[i].receiver == relay) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace btr

@@ -1,0 +1,56 @@
+// Shortest-path routing over the topology.
+//
+// Routes are computed once (statically) per topology + down-node set, which
+// matches the paper's static-plan philosophy: a plan implies fixed routes,
+// and a mode change installs routes that avoid the faulty nodes.
+
+#ifndef BTR_SRC_NET_ROUTING_H_
+#define BTR_SRC_NET_ROUTING_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/net/topology.h"
+
+namespace btr {
+
+struct Hop {
+  NodeId sender;  // who transmits on this hop
+  LinkId link;
+  NodeId receiver;
+};
+
+using Route = std::vector<Hop>;
+
+class RoutingTable {
+ public:
+  // Computes all-pairs routes avoiding nodes in `excluded` as relays.
+  // Excluded nodes may still be route endpoints (messages to/from them).
+  RoutingTable(const Topology& topo, const std::vector<NodeId>& excluded = {});
+
+  // Route from src to dst; empty if unreachable or src == dst.
+  const Route& RouteBetween(NodeId src, NodeId dst) const;
+
+  bool Reachable(NodeId src, NodeId dst) const;
+
+  // Number of hops (0 means unreachable or same node).
+  size_t HopCount(NodeId src, NodeId dst) const;
+
+  // Sum of propagation delays along the route.
+  SimDuration PathPropagation(NodeId src, NodeId dst) const;
+
+  // True if `relay` appears as an intermediate node on the src->dst route.
+  bool RouteUsesRelay(NodeId src, NodeId dst, NodeId relay) const;
+
+ private:
+  size_t Index(NodeId src, NodeId dst) const { return src.value() * n_ + dst.value(); }
+
+  size_t n_;
+  std::vector<Route> routes_;          // n*n, row-major
+  std::vector<SimDuration> path_propagation_;
+  Route empty_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_NET_ROUTING_H_

@@ -1,0 +1,140 @@
+#include "src/net/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace btr {
+
+NodeId Topology::AddNodes(size_t count) {
+  const NodeId first(static_cast<uint32_t>(node_count_));
+  node_count_ += count;
+  links_at_.resize(node_count_);
+  return first;
+}
+
+NodeId Topology::AddNode() { return AddNodes(1); }
+
+LinkId Topology::AddLink(std::vector<NodeId> endpoints, int64_t bandwidth_bps,
+                         SimDuration propagation, std::string name) {
+  assert(endpoints.size() >= 2);
+  const LinkId id(static_cast<uint32_t>(links_.size()));
+  for (NodeId n : endpoints) {
+    assert(n.valid() && n.value() < node_count_);
+    links_at_[n.value()].push_back(id);
+  }
+  LinkSpec spec;
+  spec.id = id;
+  spec.endpoints = std::move(endpoints);
+  spec.bandwidth_bps = bandwidth_bps;
+  spec.propagation = propagation;
+  spec.name = name.empty() ? "link" + std::to_string(id.value()) : std::move(name);
+  links_.push_back(std::move(spec));
+  return id;
+}
+
+const std::vector<LinkId>& Topology::LinksAt(NodeId node) const {
+  assert(node.valid() && node.value() < node_count_);
+  return links_at_[node.value()];
+}
+
+bool Topology::Attaches(LinkId link, NodeId node) const {
+  const auto& eps = links_[link.value()].endpoints;
+  return std::find(eps.begin(), eps.end(), node) != eps.end();
+}
+
+std::vector<NodeId> Topology::Neighbors(NodeId node) const {
+  std::set<NodeId> out;
+  for (LinkId l : LinksAt(node)) {
+    for (NodeId n : links_[l.value()].endpoints) {
+      if (n != node) {
+        out.insert(n);
+      }
+    }
+  }
+  return std::vector<NodeId>(out.begin(), out.end());
+}
+
+Status Topology::Validate() const {
+  if (node_count_ == 0) {
+    return Status::InvalidArgument("topology has no nodes");
+  }
+  for (size_t n = 0; n < node_count_; ++n) {
+    if (links_at_[n].empty()) {
+      return Status::InvalidArgument("node n" + std::to_string(n) + " has no links");
+    }
+  }
+  for (const LinkSpec& l : links_) {
+    if (l.endpoints.size() < 2) {
+      return Status::InvalidArgument(l.name + " has fewer than 2 endpoints");
+    }
+    if (l.bandwidth_bps <= 0) {
+      return Status::InvalidArgument(l.name + " has non-positive bandwidth");
+    }
+    std::set<NodeId> uniq(l.endpoints.begin(), l.endpoints.end());
+    if (uniq.size() != l.endpoints.size()) {
+      return Status::InvalidArgument(l.name + " has duplicate endpoints");
+    }
+  }
+  return Status::Ok();
+}
+
+Topology Topology::SharedBus(size_t nodes, int64_t bandwidth_bps, SimDuration propagation) {
+  Topology t;
+  t.AddNodes(nodes);
+  std::vector<NodeId> all;
+  all.reserve(nodes);
+  for (size_t i = 0; i < nodes; ++i) {
+    all.push_back(NodeId(static_cast<uint32_t>(i)));
+  }
+  t.AddLink(std::move(all), bandwidth_bps, propagation, "bus");
+  return t;
+}
+
+Topology Topology::Ring(size_t nodes, int64_t bandwidth_bps, SimDuration propagation) {
+  Topology t;
+  t.AddNodes(nodes);
+  for (size_t i = 0; i < nodes; ++i) {
+    const NodeId a(static_cast<uint32_t>(i));
+    const NodeId b(static_cast<uint32_t>((i + 1) % nodes));
+    t.AddLink({a, b}, bandwidth_bps, propagation, "ring" + std::to_string(i));
+  }
+  return t;
+}
+
+Topology Topology::DualBus(size_t nodes, size_t split, int64_t bandwidth_bps,
+                           SimDuration propagation) {
+  assert(split >= 1 && split < nodes);
+  Topology t;
+  t.AddNodes(nodes);
+  std::vector<NodeId> bus_a;
+  std::vector<NodeId> bus_b;
+  for (size_t i = 0; i < nodes; ++i) {
+    if (i < split) {
+      bus_a.push_back(NodeId(static_cast<uint32_t>(i)));
+    } else {
+      bus_b.push_back(NodeId(static_cast<uint32_t>(i)));
+    }
+  }
+  // The last node of bus A and the first of bus B act as gateways on both.
+  bus_a.push_back(bus_b.front());
+  bus_b.push_back(NodeId(static_cast<uint32_t>(split - 1)));
+  t.AddLink(std::move(bus_a), bandwidth_bps, propagation, "busA");
+  t.AddLink(std::move(bus_b), bandwidth_bps, propagation, "busB");
+  return t;
+}
+
+Topology Topology::Mesh(size_t nodes, int64_t bandwidth_bps, SimDuration propagation) {
+  Topology t;
+  t.AddNodes(nodes);
+  for (size_t i = 0; i < nodes; ++i) {
+    for (size_t j = i + 1; j < nodes; ++j) {
+      t.AddLink({NodeId(static_cast<uint32_t>(i)), NodeId(static_cast<uint32_t>(j))},
+                bandwidth_bps, propagation,
+                "p2p" + std::to_string(i) + "_" + std::to_string(j));
+    }
+  }
+  return t;
+}
+
+}  // namespace btr

@@ -1,0 +1,80 @@
+// Static network topology: nodes connected by finite-bandwidth links.
+//
+// Matches the paper's system model (Section 2.1): each link connects a
+// subset of the nodes (buses are allowed, not just point-to-point), has a
+// finite bandwidth that is statically divided among its attached senders
+// (the babbling-idiot guardian), and loss is rare enough to ignore after FEC.
+
+#ifndef BTR_SRC_NET_TOPOLOGY_H_
+#define BTR_SRC_NET_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace btr {
+
+struct LinkSpec {
+  LinkId id;
+  std::vector<NodeId> endpoints;   // >= 2 attached nodes (bus if > 2)
+  int64_t bandwidth_bps = 0;       // raw link capacity, bits per second
+  SimDuration propagation = 0;     // one-hop propagation delay
+  std::string name;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+
+  // Adds `count` nodes; returns the id of the first one.
+  NodeId AddNodes(size_t count);
+  NodeId AddNode();
+
+  // Adds a link attaching `endpoints`. Endpoints must exist and be distinct.
+  LinkId AddLink(std::vector<NodeId> endpoints, int64_t bandwidth_bps, SimDuration propagation,
+                 std::string name = "");
+
+  size_t node_count() const { return node_count_; }
+  size_t link_count() const { return links_.size(); }
+  const LinkSpec& link(LinkId id) const { return links_[id.value()]; }
+  const std::vector<LinkSpec>& links() const { return links_; }
+
+  // Links attached to `node`.
+  const std::vector<LinkId>& LinksAt(NodeId node) const;
+
+  // True if `link` attaches `node`.
+  bool Attaches(LinkId link, NodeId node) const;
+
+  // Nodes reachable in one hop from `node` (deduplicated, sorted).
+  std::vector<NodeId> Neighbors(NodeId node) const;
+
+  // Validates: every node has at least one link, all links >= 2 endpoints.
+  Status Validate() const;
+
+  // --- Convenience builders ---
+
+  // Single shared bus attaching all nodes (CAN-style).
+  static Topology SharedBus(size_t nodes, int64_t bandwidth_bps, SimDuration propagation);
+
+  // Ring of point-to-point links.
+  static Topology Ring(size_t nodes, int64_t bandwidth_bps, SimDuration propagation);
+
+  // Two buses bridged by gateway nodes (typical automotive layout):
+  // nodes [0, split) on bus A, [split, n) on bus B, gateways on both.
+  static Topology DualBus(size_t nodes, size_t split, int64_t bandwidth_bps,
+                          SimDuration propagation);
+
+  // Fully connected point-to-point mesh (small n only).
+  static Topology Mesh(size_t nodes, int64_t bandwidth_bps, SimDuration propagation);
+
+ private:
+  size_t node_count_ = 0;
+  std::vector<LinkSpec> links_;
+  std::vector<std::vector<LinkId>> links_at_;  // indexed by node id
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_NET_TOPOLOGY_H_

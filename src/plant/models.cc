@@ -1,0 +1,87 @@
+#include "src/plant/models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace btr {
+namespace {
+
+// Pressure vessel parameters.
+constexpr double kHeatIn = 0.6;       // bar/s pressure rise at closed valve
+constexpr double kReliefGain = 0.4;   // bar/s per unit command at 1 bar
+// Pendulum parameters. The constant torque bias models a persistent
+// disturbance (payload imbalance / wind); without it the linearized model
+// balances exactly at zero and an outage would never matter.
+constexpr double kGravityOverLength = 9.81;
+constexpr double kTorqueBias = 0.05;
+// Cruise parameters.
+constexpr double kDragOverMass = 0.005;  // 1/s (200 s time constant)
+
+}  // namespace
+
+PressureVessel::PressureVessel() = default;
+
+void PressureVessel::Reset() {
+  pressure_ = kSetpoint;
+  valve_ = 0.0;
+}
+
+void PressureVessel::SetCommand(double u) { valve_ = std::clamp(u, 0.0, 1.0); }
+
+void PressureVessel::Step(double dt) {
+  const double relief = kReliefGain * valve_ * std::sqrt(std::max(pressure_, 0.0));
+  pressure_ += (kHeatIn - relief) * dt;
+}
+
+double PressureVessel::Excursion() const {
+  if (pressure_ >= kSetpoint) {
+    return (pressure_ - kSetpoint) / (kMax - kSetpoint);
+  }
+  return (kSetpoint - pressure_) / (kSetpoint - kMin);
+}
+
+InvertedPendulum::InvertedPendulum() = default;
+
+void InvertedPendulum::Reset() {
+  theta_ = 0.02;
+  omega_ = 0.0;
+  u_ = 0.0;
+}
+
+void InvertedPendulum::Step(double dt) {
+  // Semi-implicit Euler; theta'' = (g/l) * theta + u + bias.
+  const double alpha = kGravityOverLength * theta_ + u_ + kTorqueBias;
+  omega_ += alpha * dt;
+  theta_ += omega_ * dt;
+}
+
+double InvertedPendulum::Excursion() const { return std::fabs(theta_) / kThetaMax; }
+
+CruiseControl::CruiseControl() = default;
+
+void CruiseControl::Reset() {
+  speed_ = kSetpoint;
+  throttle_ = 0.0;
+}
+
+void CruiseControl::Step(double dt) {
+  speed_ += (throttle_ - kDragOverMass * speed_) * dt;
+}
+
+double CruiseControl::Excursion() const { return std::fabs(speed_ - kSetpoint) / kBand; }
+
+std::unique_ptr<Controller> MakePressureController() {
+  // Valve command in [0, 1]; pressure error in bar.
+  return std::make_unique<PidController>(PressureVessel::kSetpoint, -0.4, -0.05, -0.1, 0.0, 1.0);
+}
+
+std::unique_ptr<Controller> MakePendulumController() {
+  // u = -kp * theta - kd * theta' (PID on setpoint 0 yields exactly this).
+  return std::make_unique<PidController>(0.0, 40.0, 0.0, 10.0, -50.0, 50.0);
+}
+
+std::unique_ptr<Controller> MakeCruiseController() {
+  return std::make_unique<PidController>(CruiseControl::kSetpoint, 0.5, 0.02, 0.0, 0.0, 2.0);
+}
+
+}  // namespace btr

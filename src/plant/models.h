@@ -1,0 +1,103 @@
+// The three concrete plants used throughout the experiments.
+//
+//  * PressureVessel — SCADA water/steam drum: pressure rises under constant
+//    heat input and is relieved by a controlled valve. Slow first-order
+//    dynamics: tolerates outages on the order of seconds (the paper's
+//    pressure-valve example: "the system may need to respond within
+//    seconds").
+//  * InvertedPendulum — open-loop *unstable*: the state diverges
+//    exponentially without control, so tolerable outages are short. The
+//    hard case for BTR's recovery bound.
+//  * CruiseControl — open-loop stable speed dynamics with drag: drifts
+//    slowly toward a safe equilibrium, so it tolerates long outages.
+//
+// Factory functions also return a matched reference controller and the
+// control period each plant expects.
+
+#ifndef BTR_SRC_PLANT_MODELS_H_
+#define BTR_SRC_PLANT_MODELS_H_
+
+#include <memory>
+
+#include "src/plant/plant.h"
+
+namespace btr {
+
+// Pressure vessel: dP/dt = heat_in - relief_gain * u * sqrt(max(P, 0)).
+// Envelope: P in [p_min, p_max]; setpoint in the middle.
+class PressureVessel : public Plant {
+ public:
+  PressureVessel();
+
+  void Reset() override;
+  double Observe() const override { return pressure_; }
+  void SetCommand(double u) override;
+  double Command() const override { return valve_; }
+  void Step(double dt) override;
+  double Excursion() const override;
+  const std::string& name() const override { return name_; }
+
+  static constexpr double kSetpoint = 10.0;  // bar
+  static constexpr double kMin = 2.0;
+  static constexpr double kMax = 16.0;
+
+ private:
+  std::string name_ = "pressure-vessel";
+  double pressure_ = kSetpoint;
+  double valve_ = 0.0;
+};
+
+// Inverted pendulum (linearized): theta'' = (g/l) * theta - u + d.
+// Envelope: |theta| <= kThetaMax.
+class InvertedPendulum : public Plant {
+ public:
+  InvertedPendulum();
+
+  void Reset() override;
+  double Observe() const override { return theta_; }
+  void SetCommand(double u) override { u_ = u; }
+  double Command() const override { return u_; }
+  void Step(double dt) override;
+  double Excursion() const override;
+  const std::string& name() const override { return name_; }
+
+  static constexpr double kThetaMax = 0.5;  // rad
+
+ private:
+  std::string name_ = "inverted-pendulum";
+  double theta_ = 0.02;  // small initial tilt
+  double omega_ = 0.0;
+  double u_ = 0.0;
+};
+
+// Cruise control: v' = (u - drag * v) / mass, with a headwind disturbance.
+// Envelope: |v - setpoint| <= kBand.
+class CruiseControl : public Plant {
+ public:
+  CruiseControl();
+
+  void Reset() override;
+  double Observe() const override { return speed_; }
+  void SetCommand(double u) override { throttle_ = u; }
+  double Command() const override { return throttle_; }
+  void Step(double dt) override;
+  double Excursion() const override;
+  const std::string& name() const override { return name_; }
+
+  static constexpr double kSetpoint = 30.0;  // m/s
+  static constexpr double kBand = 5.0;
+
+ private:
+  std::string name_ = "cruise-control";
+  double speed_ = kSetpoint;
+  double throttle_ = 0.0;
+};
+
+// Matched reference controllers.
+std::unique_ptr<Controller> MakePressureController();
+std::unique_ptr<Controller> MakePendulumController();
+std::unique_ptr<Controller> MakeCruiseController();
+
+}  // namespace btr
+
+#endif  // BTR_SRC_PLANT_MODELS_H_

@@ -1,0 +1,75 @@
+#include "src/plant/outage_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace btr {
+
+OutageResult SimulateOutage(Plant* plant, Controller* controller, const OutageParams& params) {
+  plant->Reset();
+  controller->Reset();
+
+  OutageResult result;
+  const double dt = params.integration_step;
+  double next_control = 0.0;
+  double t = 0.0;
+
+  auto run_phase = [&](double duration, bool control_active, bool track) {
+    const double end = t + duration;
+    while (t < end) {
+      if (control_active && t >= next_control) {
+        plant->SetCommand(controller->Control(plant->Observe(), params.control_period));
+        next_control = t + params.control_period;
+      }
+      plant->Step(dt);
+      t += dt;
+      if (track) {
+        result.max_excursion = std::max(result.max_excursion, plant->Excursion());
+      }
+    }
+  };
+
+  // Warm-up: reach steady state under control.
+  run_phase(params.settle_time, /*control_active=*/true, /*track=*/false);
+
+  // Outage.
+  if (params.mode == OutageMode::kFailDefault) {
+    plant->SetCommand(params.fail_default);
+  }
+  run_phase(params.outage, /*control_active=*/false, /*track=*/true);
+  result.excursion_at_resume = plant->Excursion();
+
+  // Recovery: controller returns.
+  next_control = t;
+  run_phase(params.recovery_window, /*control_active=*/true, /*track=*/true);
+
+  result.violated = result.max_excursion > 1.0;
+  result.recovered = plant->Excursion() < 0.1;
+  return result;
+}
+
+double MaxTolerableOutage(Plant* plant, Controller* controller, OutageParams params, double hi,
+                          double tolerance) {
+  double lo = 0.0;
+  // Verify the lower end is safe at all.
+  params.outage = 0.0;
+  if (SimulateOutage(plant, controller, params).violated) {
+    return 0.0;
+  }
+  params.outage = hi;
+  if (!SimulateOutage(plant, controller, params).violated) {
+    return hi;
+  }
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    params.outage = mid;
+    if (SimulateOutage(plant, controller, params).violated) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace btr

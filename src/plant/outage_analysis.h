@@ -1,0 +1,49 @@
+// Outage-tolerance analysis: how long may the controller be absent?
+//
+// SimulateOutage runs the closed loop, lets it settle, then cuts the
+// controller off for `outage` seconds (the actuator either holds its last
+// command or fails to a configurable default), resumes control, and reports
+// the maximum envelope excursion. MaxTolerableOutage binary-searches the
+// longest outage that keeps the plant inside its envelope — the plant's
+// empirical "five-second rule", and the physical justification for a
+// recovery bound R.
+
+#ifndef BTR_SRC_PLANT_OUTAGE_ANALYSIS_H_
+#define BTR_SRC_PLANT_OUTAGE_ANALYSIS_H_
+
+#include "src/plant/plant.h"
+
+namespace btr {
+
+enum class OutageMode : int {
+  kHoldLast = 0,   // actuator holds the last commanded value
+  kFailDefault = 1,  // actuator falls to a fail-safe default (e.g., valve shut)
+};
+
+struct OutageParams {
+  double control_period = 0.01;  // seconds between controller invocations
+  double settle_time = 60.0;     // closed-loop warm-up before the outage
+  double outage = 5.0;           // controller silence, seconds
+  double recovery_window = 60.0; // observation time after control resumes
+  OutageMode mode = OutageMode::kFailDefault;
+  double fail_default = 0.0;     // command applied in kFailDefault mode
+  double integration_step = 0.001;
+};
+
+struct OutageResult {
+  double max_excursion = 0.0;    // peak over outage + recovery window
+  bool violated = false;         // excursion exceeded 1.0
+  bool recovered = false;        // back inside 10% of setpoint at the end
+  double excursion_at_resume = 0.0;
+};
+
+OutageResult SimulateOutage(Plant* plant, Controller* controller, const OutageParams& params);
+
+// Longest outage (seconds, within [0, hi]) that does not violate the
+// envelope, to `tolerance` resolution.
+double MaxTolerableOutage(Plant* plant, Controller* controller, OutageParams params,
+                          double hi = 120.0, double tolerance = 0.05);
+
+}  // namespace btr
+
+#endif  // BTR_SRC_PLANT_OUTAGE_ANALYSIS_H_

@@ -1,0 +1,30 @@
+#include "src/plant/plant.h"
+
+#include <algorithm>
+
+namespace btr {
+
+PidController::PidController(double setpoint, double kp, double ki, double kd, double u_min,
+                             double u_max)
+    : setpoint_(setpoint), kp_(kp), ki_(ki), kd_(kd), u_min_(u_min), u_max_(u_max) {}
+
+void PidController::Reset() {
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  first_ = true;
+}
+
+double PidController::Control(double observation, double dt) {
+  const double error = setpoint_ - observation;
+  integral_ += error * dt;
+  double derivative = 0.0;
+  if (!first_ && dt > 0.0) {
+    derivative = (error - prev_error_) / dt;
+  }
+  first_ = false;
+  prev_error_ = error;
+  const double u = kp_ * error + ki_ * integral_ + kd_ * derivative;
+  return std::clamp(u, u_min_, u_max_);
+}
+
+}  // namespace btr

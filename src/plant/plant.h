@@ -1,0 +1,69 @@
+// Physical plant models with inertia (paper Sections 1-2).
+//
+// The paper's core justification for tolerating an R-second outage is that
+// the physical side of a CPS has inertia: a short control outage does not
+// push it out of its safety envelope. These models make that measurable.
+// Each plant is a small continuous system integrated with fixed-step RK4,
+// paired with a reference controller; the envelope analysis in
+// outage_analysis.h computes how long the controller may be absent before
+// the envelope is violated — the plant's own "five-second rule".
+
+#ifndef BTR_SRC_PLANT_PLANT_H_
+#define BTR_SRC_PLANT_PLANT_H_
+
+#include <memory>
+#include <string>
+
+namespace btr {
+
+class Plant {
+ public:
+  virtual ~Plant() = default;
+
+  virtual void Reset() = 0;
+  // Sensor reading the controller sees.
+  virtual double Observe() const = 0;
+  // Applies the control command currently held by the actuator.
+  virtual void SetCommand(double u) = 0;
+  virtual double Command() const = 0;
+  // Advances the dynamics by dt seconds with the held command.
+  virtual void Step(double dt) = 0;
+  // Normalized distance to the envelope edge: 0 at setpoint, 1 at the edge,
+  // > 1 outside the envelope.
+  virtual double Excursion() const = 0;
+  bool InEnvelope() const { return Excursion() <= 1.0; }
+
+  virtual const std::string& name() const = 0;
+};
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+  virtual void Reset() = 0;
+  // Computes the next command from the current observation.
+  virtual double Control(double observation, double dt) = 0;
+};
+
+// Simple PID with output clamping; sufficient for all three plants.
+class PidController : public Controller {
+ public:
+  PidController(double setpoint, double kp, double ki, double kd, double u_min, double u_max);
+
+  void Reset() override;
+  double Control(double observation, double dt) override;
+
+ private:
+  double setpoint_;
+  double kp_;
+  double ki_;
+  double kd_;
+  double u_min_;
+  double u_max_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool first_ = true;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_PLANT_PLANT_H_

@@ -1,0 +1,118 @@
+#include "src/rt/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math_util.h"
+
+namespace btr {
+
+double TotalUtilization(const std::vector<PeriodicTask>& tasks) {
+  double u = 0.0;
+  for (const PeriodicTask& t : tasks) {
+    u += static_cast<double>(t.wcet) / static_cast<double>(t.period);
+  }
+  return u;
+}
+
+double RmUtilizationBound(size_t n) {
+  if (n == 0) {
+    return 1.0;
+  }
+  const double nn = static_cast<double>(n);
+  return nn * (std::pow(2.0, 1.0 / nn) - 1.0);
+}
+
+bool RmUtilizationSchedulable(const std::vector<PeriodicTask>& tasks) {
+  return TotalUtilization(tasks) <= RmUtilizationBound(tasks.size()) + 1e-12;
+}
+
+namespace {
+
+// Demand bound function: total execution demand of jobs with both release
+// and deadline inside [0, t].
+int64_t DemandBound(const std::vector<PeriodicTask>& tasks, int64_t t) {
+  int64_t demand = 0;
+  for (const PeriodicTask& task : tasks) {
+    if (t >= task.deadline) {
+      const int64_t jobs = (t - task.deadline) / task.period + 1;
+      demand += jobs * task.wcet;
+    }
+  }
+  return demand;
+}
+
+}  // namespace
+
+bool EdfSchedulable(const std::vector<PeriodicTask>& tasks) {
+  if (tasks.empty()) {
+    return true;
+  }
+  for (const PeriodicTask& t : tasks) {
+    if (t.wcet <= 0 || t.period <= 0 || t.deadline <= 0 || t.deadline > t.period) {
+      return false;
+    }
+  }
+  const double u = TotalUtilization(tasks);
+  if (u > 1.0 + 1e-12) {
+    return false;
+  }
+  // Check all deadlines up to the hyperperiod (constrained deadlines make
+  // the busy-period bound unnecessary for our problem sizes).
+  std::vector<int64_t> periods;
+  periods.reserve(tasks.size());
+  for (const PeriodicTask& t : tasks) {
+    periods.push_back(t.period);
+  }
+  const int64_t horizon = LcmAll(periods);
+  for (const PeriodicTask& t : tasks) {
+    for (int64_t d = t.deadline; d <= horizon; d += t.period) {
+      if (DemandBound(tasks, d) > d) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<SimDuration> ResponseTimes(const std::vector<PeriodicTask>& tasks) {
+  // Deadline-monotonic priority order (shorter relative deadline first).
+  std::vector<size_t> order(tasks.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&tasks](size_t a, size_t b) {
+    if (tasks[a].deadline != tasks[b].deadline) {
+      return tasks[a].deadline < tasks[b].deadline;
+    }
+    return a < b;
+  });
+
+  std::vector<SimDuration> response(tasks.size(), 0);
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const PeriodicTask& task = tasks[order[rank]];
+    SimDuration r = task.wcet;
+    for (;;) {
+      SimDuration interference = 0;
+      for (size_t h = 0; h < rank; ++h) {
+        const PeriodicTask& higher = tasks[order[h]];
+        interference += CeilDiv(r, higher.period) * higher.wcet;
+      }
+      const SimDuration next = task.wcet + interference;
+      if (next == r) {
+        break;
+      }
+      r = next;
+      if (r > task.deadline) {
+        return {};
+      }
+    }
+    if (r > task.deadline) {
+      return {};
+    }
+    response[order[rank]] = r;
+  }
+  return response;
+}
+
+}  // namespace btr

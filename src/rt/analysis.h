@@ -1,0 +1,39 @@
+// Classical schedulability analyses used by the planner and by ablations:
+// utilization bounds, EDF processor-demand analysis, and fixed-priority
+// response-time analysis for independent periodic tasks on one node.
+
+#ifndef BTR_SRC_RT_ANALYSIS_H_
+#define BTR_SRC_RT_ANALYSIS_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace btr {
+
+struct PeriodicTask {
+  SimDuration wcet = 0;
+  SimDuration period = 0;
+  SimDuration deadline = 0;  // relative; <= period (constrained deadlines)
+};
+
+// Total utilization sum(wcet/period).
+double TotalUtilization(const std::vector<PeriodicTask>& tasks);
+
+// Liu & Layland bound for rate-monotonic: n(2^{1/n} - 1).
+double RmUtilizationBound(size_t n);
+
+// Sufficient RM test: utilization <= bound (implicit deadlines assumed).
+bool RmUtilizationSchedulable(const std::vector<PeriodicTask>& tasks);
+
+// Exact EDF test for constrained deadlines via processor-demand analysis
+// over the hyperperiod (bounded test points).
+bool EdfSchedulable(const std::vector<PeriodicTask>& tasks);
+
+// Exact fixed-priority (deadline-monotonic) response-time analysis.
+// Returns per-task worst-case response times, or empty if unschedulable.
+std::vector<SimDuration> ResponseTimes(const std::vector<PeriodicTask>& tasks);
+
+}  // namespace btr
+
+#endif  // BTR_SRC_RT_ANALYSIS_H_

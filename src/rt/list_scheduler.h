@@ -1,0 +1,60 @@
+// Precedence-constrained list scheduling onto assigned nodes.
+//
+// Given jobs already mapped to nodes (the planner's placement step) plus
+// precedence edges carrying communication delays, builds per-node
+// time-triggered tables and per-job start times, or reports infeasibility
+// against the jobs' deadlines. Deterministic: ready jobs are ordered by
+// (deadline, criticality rank, id).
+
+#ifndef BTR_SRC_RT_LIST_SCHEDULER_H_
+#define BTR_SRC_RT_LIST_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/rt/schedule.h"
+
+namespace btr {
+
+struct SchedJob {
+  uint32_t id = 0;          // dense 0..n-1
+  uint32_t node = 0;        // assigned processing node
+  SimDuration wcet = 0;
+  SimDuration release = 0;  // earliest start within the period
+  // Latest allowed completion within the period; kSimTimeNever = unconstrained.
+  SimDuration deadline = kSimTimeNever;
+  int priority_rank = 0;    // lower = more urgent tie-break (e.g., -criticality)
+};
+
+struct SchedEdge {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  SimDuration comm_delay = 0;  // message latency if from/to are on different nodes
+};
+
+struct SchedResult {
+  std::vector<SimDuration> start;   // per job, offset within period
+  std::vector<SimDuration> finish;  // start + wcet
+  std::vector<ScheduleTable> tables;  // per node
+  SimDuration makespan = 0;
+};
+
+class ListScheduler {
+ public:
+  // `node_count` bounds job.node values. `period` bounds the tables.
+  ListScheduler(size_t node_count, SimDuration period);
+
+  // Schedules all jobs; fails with kInfeasible if any deadline is missed or
+  // a job cannot fit in the period.
+  StatusOr<SchedResult> Schedule(const std::vector<SchedJob>& jobs,
+                                 const std::vector<SchedEdge>& edges) const;
+
+ private:
+  size_t node_count_;
+  SimDuration period_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_RT_LIST_SCHEDULER_H_

@@ -1,0 +1,92 @@
+#include "src/rt/mixed_criticality.h"
+
+#include <algorithm>
+
+#include "src/common/math_util.h"
+
+namespace btr {
+
+McAnalysisResult AmcRtbAnalyze(const std::vector<McTask>& tasks) {
+  McAnalysisResult result;
+  result.response_lo.assign(tasks.size(), 0);
+  result.response_hi.assign(tasks.size(), 0);
+
+  // Deadline-monotonic priority order.
+  std::vector<size_t> order(tasks.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&tasks](size_t a, size_t b) {
+    if (tasks[a].deadline != tasks[b].deadline) {
+      return tasks[a].deadline < tasks[b].deadline;
+    }
+    return a < b;
+  });
+
+  // LO-mode response times: all tasks run, LO WCETs.
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const McTask& task = tasks[order[rank]];
+    SimDuration r = task.wcet_lo;
+    for (;;) {
+      SimDuration interference = 0;
+      for (size_t h = 0; h < rank; ++h) {
+        const McTask& higher = tasks[order[h]];
+        interference += CeilDiv(r, higher.period) * higher.wcet_lo;
+      }
+      const SimDuration next = task.wcet_lo + interference;
+      if (next == r) {
+        break;
+      }
+      r = next;
+      if (r > task.deadline) {
+        return result;  // unschedulable in LO mode
+      }
+    }
+    if (r > task.deadline) {
+      return result;
+    }
+    result.response_lo[order[rank]] = r;
+  }
+
+  // HI-mode (AMC-rtb): HI tasks at HI WCET; LO tasks interfere only up to
+  // the LO-mode response time of the task under analysis.
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const size_t idx = order[rank];
+    const McTask& task = tasks[idx];
+    if (!task.high_criticality) {
+      continue;
+    }
+    const SimDuration r_lo = result.response_lo[idx];
+    SimDuration r = task.wcet_hi;
+    for (;;) {
+      SimDuration interference = 0;
+      for (size_t h = 0; h < rank; ++h) {
+        const size_t hidx = order[h];
+        const McTask& higher = tasks[hidx];
+        if (higher.high_criticality) {
+          interference += CeilDiv(r, higher.period) * higher.wcet_hi;
+        } else {
+          // LO tasks stop being released after the mode switch, which can
+          // happen no later than r_lo into the busy period.
+          interference += CeilDiv(r_lo, higher.period) * higher.wcet_lo;
+        }
+      }
+      const SimDuration next = task.wcet_hi + interference;
+      if (next == r) {
+        break;
+      }
+      r = next;
+      if (r > task.deadline) {
+        return result;  // unschedulable in HI mode
+      }
+    }
+    if (r > task.deadline) {
+      return result;
+    }
+    result.response_hi[idx] = r;
+  }
+  result.schedulable = true;
+  return result;
+}
+
+}  // namespace btr

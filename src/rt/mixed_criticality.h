@@ -1,0 +1,40 @@
+// Vestal-style mixed-criticality schedulability (single node).
+//
+// The paper notes that CPS run mixed-criticality workloads and that BTR's
+// fine-grained degradation needs criticality-aware scheduling. This module
+// provides the standard dual-criticality model: each task has a LO and HI
+// WCET estimate; HI-criticality tasks must stay schedulable when every HI
+// task exhibits its HI WCET, while LO tasks may be dropped in HI mode.
+// Implements the AMC-rtb (adaptive mixed criticality, response-time bound)
+// test of Baruah/Burns/Davis.
+
+#ifndef BTR_SRC_RT_MIXED_CRITICALITY_H_
+#define BTR_SRC_RT_MIXED_CRITICALITY_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace btr {
+
+struct McTask {
+  SimDuration wcet_lo = 0;
+  SimDuration wcet_hi = 0;  // >= wcet_lo for HI tasks; ignored for LO tasks
+  SimDuration period = 0;
+  SimDuration deadline = 0;  // relative, <= period
+  bool high_criticality = false;
+};
+
+struct McAnalysisResult {
+  bool schedulable = false;
+  std::vector<SimDuration> response_lo;  // per task, LO mode
+  std::vector<SimDuration> response_hi;  // HI tasks only (0 for LO tasks)
+};
+
+// Audsley-style priority assignment + AMC-rtb test. Deadline-monotonic
+// ordering is used as the base priority order.
+McAnalysisResult AmcRtbAnalyze(const std::vector<McTask>& tasks);
+
+}  // namespace btr
+
+#endif  // BTR_SRC_RT_MIXED_CRITICALITY_H_

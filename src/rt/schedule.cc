@@ -1,0 +1,75 @@
+#include "src/rt/schedule.h"
+
+#include <algorithm>
+
+namespace btr {
+
+void ScheduleTable::Add(uint32_t job, SimDuration start, SimDuration duration) {
+  entries_.push_back(ScheduleEntry{job, start, duration});
+}
+
+void ScheduleTable::SortByStart() {
+  std::sort(entries_.begin(), entries_.end(), [](const ScheduleEntry& a, const ScheduleEntry& b) {
+    if (a.start != b.start) {
+      return a.start < b.start;
+    }
+    return a.job < b.job;
+  });
+}
+
+SimDuration ScheduleTable::BusyTime() const {
+  SimDuration sum = 0;
+  for (const ScheduleEntry& e : entries_) {
+    sum += e.duration;
+  }
+  return sum;
+}
+
+double ScheduleTable::Utilization(SimDuration period) const {
+  if (period <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(BusyTime()) / static_cast<double>(period);
+}
+
+SimDuration ScheduleTable::FindGap(SimDuration earliest, SimDuration duration,
+                                   SimDuration period) const {
+  SimDuration cursor = earliest < 0 ? 0 : earliest;
+  for (const ScheduleEntry& e : entries_) {
+    const SimDuration end = e.start + e.duration;
+    if (end <= cursor) {
+      continue;
+    }
+    if (e.start >= cursor + duration) {
+      break;  // gap before this entry fits
+    }
+    cursor = end;
+  }
+  if (cursor + duration > period) {
+    return -1;
+  }
+  return cursor;
+}
+
+Status ScheduleTable::Validate(SimDuration period) const {
+  SimDuration prev_end = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const ScheduleEntry& e = entries_[i];
+    if (e.duration <= 0) {
+      return Status::InvalidArgument("schedule entry with non-positive duration");
+    }
+    if (e.start < 0 || e.start + e.duration > period) {
+      return Status::InvalidArgument("schedule entry outside period");
+    }
+    if (i > 0 && e.start < prev_end) {
+      return Status::InvalidArgument("overlapping schedule entries");
+    }
+    if (i > 0 && e.start < entries_[i - 1].start) {
+      return Status::InvalidArgument("schedule entries not sorted");
+    }
+    prev_end = e.start + e.duration;
+  }
+  return Status::Ok();
+}
+
+}  // namespace btr

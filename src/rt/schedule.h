@@ -1,0 +1,58 @@
+// Time-triggered schedule tables.
+//
+// A plan prescribes, for every node, a static table of execution windows
+// within the workload period; the runtime dispatches exactly according to
+// the table. Tables are the unit the paper's mode switcher swaps out.
+
+#ifndef BTR_SRC_RT_SCHEDULE_H_
+#define BTR_SRC_RT_SCHEDULE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace btr {
+
+// One execution window. `job` is an opaque id owned by the caller (the
+// planner maps it to a task replica).
+struct ScheduleEntry {
+  uint32_t job = 0;
+  SimDuration start = 0;     // offset from period start
+  SimDuration duration = 0;  // == job WCET
+};
+
+// A single node's table for one period.
+class ScheduleTable {
+ public:
+  ScheduleTable() = default;
+
+  void Add(uint32_t job, SimDuration start, SimDuration duration);
+
+  const std::vector<ScheduleEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  // Sorts entries by start time (runtime dispatch order).
+  void SortByStart();
+
+  // Sum of all window durations (node busy time per period).
+  SimDuration BusyTime() const;
+
+  // Utilization of this node given the period.
+  double Utilization(SimDuration period) const;
+
+  // Earliest gap of at least `duration` starting at or after `earliest`,
+  // within [0, period). Returns -1 if none. Entries must be sorted.
+  SimDuration FindGap(SimDuration earliest, SimDuration duration, SimDuration period) const;
+
+  // Validates: entries sorted, non-overlapping, inside [0, period].
+  Status Validate(SimDuration period) const;
+
+ private:
+  std::vector<ScheduleEntry> entries_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_RT_SCHEDULE_H_

@@ -1,0 +1,29 @@
+#include "src/sim/clock.h"
+
+#include <cmath>
+
+namespace btr {
+
+LocalClock LocalClock::Random(Rng* rng, SimDuration max_offset, double max_drift_ppm) {
+  const SimDuration offset = rng->NextInRange(-max_offset, max_offset);
+  const double drift = rng->NextDouble(-max_drift_ppm, max_drift_ppm);
+  return LocalClock(offset, drift);
+}
+
+SimTime LocalClock::Read(SimTime now) const {
+  const double drifted = static_cast<double>(now) * (drift_ppm_ * 1e-6);
+  return now + offset_ + static_cast<SimTime>(drifted);
+}
+
+SimTime LocalClock::TrueTimeAt(SimTime local) const {
+  // local = t * (1 + d) + offset  =>  t = (local - offset) / (1 + d)
+  const double d = drift_ppm_ * 1e-6;
+  return static_cast<SimTime>(static_cast<double>(local - offset_) / (1.0 + d));
+}
+
+SimDuration LocalClock::MaxError(SimDuration run_length) const {
+  const double drift_err = std::fabs(drift_ppm_ * 1e-6) * static_cast<double>(run_length);
+  return std::abs(offset_) + static_cast<SimDuration>(drift_err) + 1;
+}
+
+}  // namespace btr

@@ -1,0 +1,46 @@
+// Per-node local clocks with bounded offset and drift.
+//
+// The paper's system model assumes synchronized clocks with a known bound on
+// skew; we model each node's clock as local(t) = t + offset + drift * t with
+// |local(t) - t| <= epsilon over the run, and let the fault detector widen
+// its acceptance windows by epsilon.
+
+#ifndef BTR_SRC_SIM_CLOCK_H_
+#define BTR_SRC_SIM_CLOCK_H_
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace btr {
+
+class LocalClock {
+ public:
+  // Perfect clock.
+  LocalClock() = default;
+
+  // offset: constant error in ns; drift_ppm: parts-per-million rate error.
+  LocalClock(SimDuration offset, double drift_ppm) : offset_(offset), drift_ppm_(drift_ppm) {}
+
+  // Random clock with |offset| <= max_offset and |drift| <= max_drift_ppm.
+  static LocalClock Random(Rng* rng, SimDuration max_offset, double max_drift_ppm);
+
+  // Local reading at true time `now`.
+  SimTime Read(SimTime now) const;
+
+  // Inverse: true time at which the local clock reads `local`.
+  SimTime TrueTimeAt(SimTime local) const;
+
+  // Worst-case |local - true| over a run of the given length.
+  SimDuration MaxError(SimDuration run_length) const;
+
+  SimDuration offset() const { return offset_; }
+  double drift_ppm() const { return drift_ppm_; }
+
+ private:
+  SimDuration offset_ = 0;
+  double drift_ppm_ = 0.0;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_SIM_CLOCK_H_

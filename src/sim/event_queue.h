@@ -1,0 +1,87 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps are delivered in insertion order (a strictly
+// increasing sequence number breaks ties), which makes entire simulations
+// reproducible from a seed.
+
+#ifndef BTR_SRC_SIM_EVENT_QUEUE_H_
+#define BTR_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace btr {
+
+using EventFn = std::function<void()>;
+
+// Handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(uint64_t id) : id_(id) {}
+  uint64_t id_ = 0;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `fn` at absolute time `when`. `when` must be >= the time of the
+  // last popped event (no scheduling into the past).
+  EventHandle Schedule(SimTime when, EventFn fn);
+
+  // Cancels a previously scheduled event. Safe to call on already-fired or
+  // already-cancelled handles (no-op). Returns true if the event was pending.
+  bool Cancel(EventHandle handle);
+
+  bool Empty() const { return live_.empty(); }
+  size_t PendingCount() const { return live_.size(); }
+
+  // Time of the earliest pending event; kSimTimeNever if empty.
+  SimTime NextTime() const;
+
+  // Pops and runs the earliest event. Returns its timestamp. Requires !Empty().
+  SimTime RunNext();
+
+  SimTime last_popped_time() const { return last_popped_; }
+
+ private:
+  struct Entry {
+    SimTime when = 0;
+    uint64_t id = 0;
+    EventFn fn;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  // Drops heap entries whose id is no longer live (cancelled).
+  void SkipDead() const;
+
+  // `mutable` so NextTime() can lazily sweep cancelled entries.
+  mutable std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+  std::unordered_set<uint64_t> live_;
+  uint64_t next_id_ = 1;
+  SimTime last_popped_ = 0;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,54 @@
+// The simulation driver: owns the event queue, current time, and root RNG.
+
+#ifndef BTR_SRC_SIM_SIMULATOR_H_
+#define BTR_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/sim/event_queue.h"
+
+namespace btr {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed);
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+  Rng* rng() { return &rng_; }
+
+  // Schedules `fn` to run at absolute time `when` (>= Now()).
+  EventHandle At(SimTime when, EventFn fn);
+
+  // Schedules `fn` to run after `delay` (>= 0).
+  EventHandle After(SimDuration delay, EventFn fn);
+
+  bool Cancel(EventHandle h) { return queue_.Cancel(h); }
+
+  // Runs until the queue drains or simulated time would exceed `deadline`.
+  // Returns the final simulated time.
+  SimTime RunUntil(SimTime deadline);
+
+  // Runs until the queue is fully drained.
+  SimTime RunToCompletion();
+
+  // Executes exactly one event if one is pending; returns false if idle.
+  bool Step();
+
+  uint64_t events_executed() const { return events_executed_; }
+  size_t pending_events() const { return queue_.PendingCount(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  Rng rng_;
+  uint64_t events_executed_ = 0;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_SIM_SIMULATOR_H_

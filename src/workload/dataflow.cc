@@ -1,0 +1,291 @@
+#include "src/workload/dataflow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace btr {
+
+const char* CriticalityName(Criticality c) {
+  switch (c) {
+    case Criticality::kBestEffort:
+      return "best-effort";
+    case Criticality::kLow:
+      return "low";
+    case Criticality::kMedium:
+      return "medium";
+    case Criticality::kHigh:
+      return "high";
+    case Criticality::kSafetyCritical:
+      return "safety-critical";
+  }
+  return "?";
+}
+
+double CriticalityWeight(Criticality c) {
+  // Exponential spacing: losing one safety-critical flow outweighs losing
+  // every best-effort flow, matching the mixed-criticality framing.
+  switch (c) {
+    case Criticality::kBestEffort:
+      return 1.0;
+    case Criticality::kLow:
+      return 4.0;
+    case Criticality::kMedium:
+      return 16.0;
+    case Criticality::kHigh:
+      return 64.0;
+    case Criticality::kSafetyCritical:
+      return 256.0;
+  }
+  return 0.0;
+}
+
+TaskId Dataflow::AddTask(TaskSpec spec) {
+  spec.id = TaskId(static_cast<uint32_t>(tasks_.size()));
+  tasks_.push_back(std::move(spec));
+  InvalidateCaches();
+  return tasks_.back().id;
+}
+
+TaskId Dataflow::AddSource(std::string name, SimDuration wcet, NodeId pinned, Criticality crit) {
+  TaskSpec spec;
+  spec.name = std::move(name);
+  spec.kind = TaskKind::kSource;
+  spec.wcet = wcet;
+  spec.pinned_node = pinned;
+  spec.criticality = crit;
+  return AddTask(std::move(spec));
+}
+
+TaskId Dataflow::AddCompute(std::string name, SimDuration wcet, uint32_t state_bytes,
+                            Criticality crit) {
+  TaskSpec spec;
+  spec.name = std::move(name);
+  spec.kind = TaskKind::kCompute;
+  spec.wcet = wcet;
+  spec.state_bytes = state_bytes;
+  spec.criticality = crit;
+  return AddTask(std::move(spec));
+}
+
+TaskId Dataflow::AddSink(std::string name, SimDuration wcet, NodeId pinned, Criticality crit,
+                         SimDuration relative_deadline) {
+  TaskSpec spec;
+  spec.name = std::move(name);
+  spec.kind = TaskKind::kSink;
+  spec.wcet = wcet;
+  spec.pinned_node = pinned;
+  spec.criticality = crit;
+  spec.relative_deadline = relative_deadline;
+  return AddTask(std::move(spec));
+}
+
+TaskId Dataflow::FindTask(const std::string& name) const {
+  for (const TaskSpec& t : tasks_) {
+    if (t.name == name) {
+      return t.id;
+    }
+  }
+  return TaskId::Invalid();
+}
+
+void Dataflow::Connect(TaskId from, TaskId to, uint32_t message_bytes) {
+  assert(from.valid() && from.value() < tasks_.size());
+  assert(to.valid() && to.value() < tasks_.size());
+  channels_.push_back(ChannelSpec{from, to, message_bytes});
+  InvalidateCaches();
+}
+
+void Dataflow::InvalidateCaches() { caches_valid_ = false; }
+
+void Dataflow::BuildCaches() const {
+  if (caches_valid_) {
+    return;
+  }
+  inputs_.assign(tasks_.size(), {});
+  outputs_.assign(tasks_.size(), {});
+  for (const ChannelSpec& ch : channels_) {
+    outputs_[ch.from.value()].push_back(ch);
+    inputs_[ch.to.value()].push_back(ch);
+  }
+  // Kahn topological sort; deterministic because ready tasks pop in id order.
+  topo_order_.clear();
+  std::vector<size_t> in_degree(tasks_.size(), 0);
+  for (const ChannelSpec& ch : channels_) {
+    ++in_degree[ch.to.value()];
+  }
+  std::deque<TaskId> ready;
+  for (const TaskSpec& t : tasks_) {
+    if (in_degree[t.id.value()] == 0) {
+      ready.push_back(t.id);
+    }
+  }
+  while (!ready.empty()) {
+    const TaskId id = ready.front();
+    ready.pop_front();
+    topo_order_.push_back(id);
+    for (const ChannelSpec& ch : outputs_[id.value()]) {
+      if (--in_degree[ch.to.value()] == 0) {
+        ready.push_back(ch.to);
+      }
+    }
+  }
+  caches_valid_ = true;
+}
+
+const std::vector<ChannelSpec>& Dataflow::Inputs(TaskId id) const {
+  BuildCaches();
+  return inputs_[id.value()];
+}
+
+const std::vector<ChannelSpec>& Dataflow::Outputs(TaskId id) const {
+  BuildCaches();
+  return outputs_[id.value()];
+}
+
+std::vector<TaskId> Dataflow::SourceIds() const {
+  std::vector<TaskId> out;
+  for (const TaskSpec& t : tasks_) {
+    if (t.kind == TaskKind::kSource) {
+      out.push_back(t.id);
+    }
+  }
+  return out;
+}
+
+std::vector<TaskId> Dataflow::SinkIds() const {
+  std::vector<TaskId> out;
+  for (const TaskSpec& t : tasks_) {
+    if (t.kind == TaskKind::kSink) {
+      out.push_back(t.id);
+    }
+  }
+  return out;
+}
+
+std::vector<TaskId> Dataflow::ComputeIds() const {
+  std::vector<TaskId> out;
+  for (const TaskSpec& t : tasks_) {
+    if (t.kind == TaskKind::kCompute) {
+      out.push_back(t.id);
+    }
+  }
+  return out;
+}
+
+const std::vector<TaskId>& Dataflow::TopologicalOrder() const {
+  BuildCaches();
+  return topo_order_;
+}
+
+std::vector<TaskId> Dataflow::AncestorsOf(TaskId sink) const {
+  BuildCaches();
+  std::vector<bool> seen(tasks_.size(), false);
+  std::deque<TaskId> frontier{sink};
+  std::vector<TaskId> out;
+  while (!frontier.empty()) {
+    const TaskId cur = frontier.front();
+    frontier.pop_front();
+    for (const ChannelSpec& ch : inputs_[cur.value()]) {
+      if (!seen[ch.from.value()]) {
+        seen[ch.from.value()] = true;
+        out.push_back(ch.from);
+        frontier.push_back(ch.from);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<bool> Dataflow::ReachesSinkMask(const std::vector<TaskId>& sinks) const {
+  BuildCaches();
+  std::vector<bool> mask(tasks_.size(), false);
+  std::deque<TaskId> frontier;
+  for (TaskId s : sinks) {
+    if (!mask[s.value()]) {
+      mask[s.value()] = true;
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const TaskId cur = frontier.front();
+    frontier.pop_front();
+    for (const ChannelSpec& ch : inputs_[cur.value()]) {
+      if (!mask[ch.from.value()]) {
+        mask[ch.from.value()] = true;
+        frontier.push_back(ch.from);
+      }
+    }
+  }
+  return mask;
+}
+
+SimDuration Dataflow::TotalWcet() const {
+  SimDuration sum = 0;
+  for (const TaskSpec& t : tasks_) {
+    sum += t.wcet;
+  }
+  return sum;
+}
+
+Status Dataflow::Validate() const {
+  if (period_ <= 0) {
+    return Status::InvalidArgument("period must be positive");
+  }
+  if (tasks_.empty()) {
+    return Status::InvalidArgument("workload has no tasks");
+  }
+  BuildCaches();
+  if (topo_order_.size() != tasks_.size()) {
+    return Status::InvalidArgument("dataflow graph has a cycle");
+  }
+  for (const TaskSpec& t : tasks_) {
+    if (t.wcet <= 0) {
+      return Status::InvalidArgument(t.name + ": wcet must be positive");
+    }
+    switch (t.kind) {
+      case TaskKind::kSource:
+        if (!inputs_[t.id.value()].empty()) {
+          return Status::InvalidArgument(t.name + ": source has inputs");
+        }
+        if (outputs_[t.id.value()].empty()) {
+          return Status::InvalidArgument(t.name + ": source has no outputs");
+        }
+        if (!t.pinned_node.valid()) {
+          return Status::InvalidArgument(t.name + ": source not pinned to a node");
+        }
+        break;
+      case TaskKind::kSink:
+        if (!outputs_[t.id.value()].empty()) {
+          return Status::InvalidArgument(t.name + ": sink has outputs");
+        }
+        if (inputs_[t.id.value()].empty()) {
+          return Status::InvalidArgument(t.name + ": sink has no inputs");
+        }
+        if (!t.pinned_node.valid()) {
+          return Status::InvalidArgument(t.name + ": sink not pinned to a node");
+        }
+        if (t.relative_deadline <= 0 || t.relative_deadline > period_) {
+          return Status::InvalidArgument(t.name + ": sink deadline must be in (0, period]");
+        }
+        break;
+      case TaskKind::kCompute:
+        if (inputs_[t.id.value()].empty() || outputs_[t.id.value()].empty()) {
+          return Status::InvalidArgument(t.name + ": compute task must have inputs and outputs");
+        }
+        if (t.pinned_node.valid()) {
+          return Status::InvalidArgument(t.name + ": compute tasks must not be pinned");
+        }
+        break;
+    }
+  }
+  for (const ChannelSpec& ch : channels_) {
+    if (ch.message_bytes == 0) {
+      return Status::InvalidArgument("channel with zero message bytes");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace btr

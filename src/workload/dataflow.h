@@ -1,0 +1,123 @@
+// The workload model: a static, periodic dataflow graph (paper Section 2.1).
+//
+// The system has a period P and releases a set of tasks during each period.
+// Each task consumes inputs from sources and/or other tasks and produces at
+// least one output toward a sink or another task. Each sink output has a
+// criticality level and an end-to-end deadline. Sources and sinks are pinned
+// to physical nodes (they are sensors/actuators); computation tasks float
+// and may be replicated by the planner.
+
+#ifndef BTR_SRC_WORKLOAD_DATAFLOW_H_
+#define BTR_SRC_WORKLOAD_DATAFLOW_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace btr {
+
+// Criticality levels, ordered: higher value = more critical. Mirrors the
+// DO-178-style A..E levels the mixed-criticality literature uses.
+enum class Criticality : int {
+  kBestEffort = 0,   // in-flight entertainment
+  kLow = 1,          // logging, telemetry
+  kMedium = 2,       // comfort functions
+  kHigh = 3,         // cabin pressure, stability control
+  kSafetyCritical = 4,  // flight control, shutdown valves
+};
+inline constexpr int kCriticalityLevels = 5;
+
+const char* CriticalityName(Criticality c);
+
+// Utility weight used by the degradation experiments: shedding a flow of
+// criticality c forfeits Weight(c) utility.
+double CriticalityWeight(Criticality c);
+
+enum class TaskKind : int {
+  kSource = 0,   // reads the physical world; pinned, not replicated
+  kCompute = 1,  // pure function of its inputs; replicable
+  kSink = 2,     // actuates the physical world; pinned, not replicated
+};
+
+struct TaskSpec {
+  TaskId id;
+  std::string name;
+  TaskKind kind = TaskKind::kCompute;
+  SimDuration wcet = 0;          // worst-case execution time per instance
+  uint32_t state_bytes = 0;      // internal state migrated on reassignment
+  NodeId pinned_node;            // valid only for sources/sinks
+  Criticality criticality = Criticality::kMedium;
+  // For sinks: deadline of the output relative to the period start.
+  SimDuration relative_deadline = 0;
+};
+
+struct ChannelSpec {
+  TaskId from;
+  TaskId to;
+  uint32_t message_bytes = 0;
+};
+
+// A periodic dataflow workload.
+class Dataflow {
+ public:
+  explicit Dataflow(SimDuration period) : period_(period) {}
+
+  TaskId AddSource(std::string name, SimDuration wcet, NodeId pinned, Criticality crit);
+  TaskId AddCompute(std::string name, SimDuration wcet, uint32_t state_bytes, Criticality crit);
+  TaskId AddSink(std::string name, SimDuration wcet, NodeId pinned, Criticality crit,
+                 SimDuration relative_deadline);
+  void Connect(TaskId from, TaskId to, uint32_t message_bytes);
+
+  SimDuration period() const { return period_; }
+  size_t task_count() const { return tasks_.size(); }
+  // Finds a task by name; invalid TaskId if absent.
+  TaskId FindTask(const std::string& name) const;
+  const TaskSpec& task(TaskId id) const { return tasks_[id.value()]; }
+  const std::vector<TaskSpec>& tasks() const { return tasks_; }
+  const std::vector<ChannelSpec>& channels() const { return channels_; }
+
+  // Channels into / out of a task.
+  const std::vector<ChannelSpec>& Inputs(TaskId id) const;
+  const std::vector<ChannelSpec>& Outputs(TaskId id) const;
+
+  std::vector<TaskId> SourceIds() const;
+  std::vector<TaskId> SinkIds() const;
+  std::vector<TaskId> ComputeIds() const;
+
+  // Tasks in a topological order (sources first). Requires acyclicity.
+  const std::vector<TaskId>& TopologicalOrder() const;
+
+  // All tasks that (transitively) feed `sink`, excluding the sink itself.
+  std::vector<TaskId> AncestorsOf(TaskId sink) const;
+
+  // All tasks whose output (transitively) reaches any sink in `sinks`.
+  std::vector<bool> ReachesSinkMask(const std::vector<TaskId>& sinks) const;
+
+  // Sum of WCET over all tasks (one instance each).
+  SimDuration TotalWcet() const;
+
+  // Structural validation: acyclic; sources have no inputs; sinks have no
+  // outputs; every compute task lies on a source->sink path; pinned nodes
+  // set exactly for sources/sinks; wcets positive; deadlines within period.
+  Status Validate() const;
+
+ private:
+  TaskId AddTask(TaskSpec spec);
+  void InvalidateCaches();
+
+  SimDuration period_;
+  std::vector<TaskSpec> tasks_;
+  std::vector<ChannelSpec> channels_;
+  mutable std::vector<std::vector<ChannelSpec>> inputs_;   // lazily built
+  mutable std::vector<std::vector<ChannelSpec>> outputs_;  // lazily built
+  mutable std::vector<TaskId> topo_order_;                 // lazily built
+  mutable bool caches_valid_ = false;
+  void BuildCaches() const;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_WORKLOAD_DATAFLOW_H_

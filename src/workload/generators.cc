@@ -1,0 +1,261 @@
+#include "src/workload/generators.h"
+
+#include <cassert>
+
+namespace btr {
+namespace {
+
+constexpr SimDuration kBusPropagation = Microseconds(2);
+
+}  // namespace
+
+Scenario MakeAvionicsScenario(size_t compute_nodes) {
+  assert(compute_nodes >= 2);
+  Scenario s;
+  s.name = "avionics";
+
+  // Nodes: [0] sensor I/O node, [1] actuator I/O node, [2] cabin I/O node,
+  // [3] IFE head-end, then `compute_nodes` flight computers. Dual redundant
+  // buses so a single faulty gateway cannot partition the system.
+  Topology& topo = s.topology;
+  const NodeId sensor_io = topo.AddNode();
+  const NodeId actuator_io = topo.AddNode();
+  const NodeId cabin_io = topo.AddNode();
+  const NodeId ife_node = topo.AddNode();
+  const NodeId first_fc = topo.AddNodes(compute_nodes);
+  std::vector<NodeId> all;
+  for (size_t i = 0; i < topo.node_count(); ++i) {
+    all.push_back(NodeId(static_cast<uint32_t>(i)));
+  }
+  // 100 Mbps avionics backbone, duplicated (ARINC-style dual bus).
+  topo.AddLink(all, 100'000'000, kBusPropagation, "backboneA");
+  topo.AddLink(all, 100'000'000, kBusPropagation, "backboneB");
+  (void)first_fc;
+
+  Dataflow& w = s.workload;
+  w = Dataflow(Milliseconds(10));  // 100 Hz major frame
+
+  // Flight-control chain: gyro + accel -> fusion -> control law -> elevator.
+  const TaskId gyro =
+      w.AddSource("gyro", Microseconds(40), sensor_io, Criticality::kSafetyCritical);
+  const TaskId accel =
+      w.AddSource("accel", Microseconds(40), sensor_io, Criticality::kSafetyCritical);
+  const TaskId fusion =
+      w.AddCompute("att_fusion", Microseconds(250), 2048, Criticality::kSafetyCritical);
+  const TaskId ctrl_law =
+      w.AddCompute("control_law", Microseconds(350), 4096, Criticality::kSafetyCritical);
+  const TaskId elevator = w.AddSink("elevator", Microseconds(50), actuator_io,
+                                    Criticality::kSafetyCritical, Milliseconds(8));
+  w.Connect(gyro, fusion, 128);
+  w.Connect(accel, fusion, 128);
+  w.Connect(fusion, ctrl_law, 256);
+  w.Connect(ctrl_law, elevator, 64);
+
+  // Cabin-pressure loop (high criticality, slower deadline).
+  const TaskId pres = w.AddSource("cabin_pressure", Microseconds(30), cabin_io,
+                                  Criticality::kHigh);
+  const TaskId pres_ctl =
+      w.AddCompute("pressure_ctl", Microseconds(200), 1024, Criticality::kHigh);
+  const TaskId outflow = w.AddSink("outflow_valve", Microseconds(40), cabin_io,
+                                   Criticality::kHigh, Milliseconds(10));
+  w.Connect(pres, pres_ctl, 64);
+  w.Connect(pres_ctl, outflow, 64);
+
+  // In-flight entertainment: best-effort streaming pipeline.
+  const TaskId media = w.AddSource("media_in", Microseconds(60), ife_node,
+                                   Criticality::kBestEffort);
+  const TaskId transcode =
+      w.AddCompute("transcode", Microseconds(900), 16384, Criticality::kBestEffort);
+  const TaskId mux = w.AddCompute("av_mux", Microseconds(300), 8192, Criticality::kBestEffort);
+  const TaskId seatback = w.AddSink("seatback", Microseconds(80), ife_node,
+                                    Criticality::kBestEffort, Milliseconds(10));
+  w.Connect(media, transcode, 4096);
+  w.Connect(transcode, mux, 2048);
+  w.Connect(mux, seatback, 2048);
+
+  // Telemetry: low criticality, taps the fusion output.
+  const TaskId telem_fmt =
+      w.AddCompute("telem_fmt", Microseconds(120), 512, Criticality::kLow);
+  const TaskId telem_tx = w.AddSink("telem_tx", Microseconds(40), cabin_io,
+                                    Criticality::kLow, Milliseconds(10));
+  w.Connect(fusion, telem_fmt, 256);
+  w.Connect(telem_fmt, telem_tx, 512);
+
+  return s;
+}
+
+Scenario MakeScadaScenario(size_t compute_nodes) {
+  assert(compute_nodes >= 2);
+  Scenario s;
+  s.name = "scada";
+
+  Topology& topo = s.topology;
+  const NodeId field_io = topo.AddNode();   // sensor + valve RTU
+  const NodeId hist_node = topo.AddNode();  // historian
+  topo.AddNodes(compute_nodes);             // PLC rack
+  std::vector<NodeId> all;
+  for (size_t i = 0; i < topo.node_count(); ++i) {
+    all.push_back(NodeId(static_cast<uint32_t>(i)));
+  }
+  topo.AddLink(all, 10'000'000, Microseconds(5), "fieldbus");
+
+  Dataflow& w = s.workload;
+  w = Dataflow(Milliseconds(50));  // 20 Hz scan cycle
+
+  const TaskId pressure =
+      w.AddSource("pressure", Microseconds(50), field_io, Criticality::kSafetyCritical);
+  const TaskId temp = w.AddSource("temperature", Microseconds(50), field_io, Criticality::kHigh);
+  const TaskId estimator =
+      w.AddCompute("estimator", Microseconds(400), 2048, Criticality::kSafetyCritical);
+  const TaskId relief_logic =
+      w.AddCompute("relief_logic", Microseconds(300), 1024, Criticality::kSafetyCritical);
+  const TaskId valve = w.AddSink("relief_valve", Microseconds(60), field_io,
+                                 Criticality::kSafetyCritical, Milliseconds(40));
+  w.Connect(pressure, estimator, 64);
+  w.Connect(temp, estimator, 64);
+  w.Connect(estimator, relief_logic, 128);
+  w.Connect(relief_logic, valve, 32);
+
+  const TaskId trend = w.AddCompute("trend", Microseconds(500), 8192, Criticality::kLow);
+  const TaskId historian = w.AddSink("historian", Microseconds(100), hist_node,
+                                     Criticality::kLow, Milliseconds(50));
+  w.Connect(estimator, trend, 256);
+  w.Connect(trend, historian, 1024);
+
+  return s;
+}
+
+Scenario MakeConvoyScenario(size_t vehicles) {
+  assert(vehicles >= 2);
+  Scenario s;
+  s.name = "convoy";
+
+  // Each vehicle contributes one I/O node and one compute node, arranged in
+  // a ring of V2V radio links (so messages may relay through neighbors).
+  Topology& topo = s.topology;
+  topo.AddNodes(2 * vehicles);
+  for (size_t v = 0; v < vehicles; ++v) {
+    const NodeId io(static_cast<uint32_t>(2 * v));
+    const NodeId cpu(static_cast<uint32_t>(2 * v + 1));
+    topo.AddLink({io, cpu}, 50'000'000, Microseconds(1), "veh" + std::to_string(v));
+    const NodeId next_cpu(static_cast<uint32_t>(2 * ((v + 1) % vehicles) + 1));
+    topo.AddLink({cpu, next_cpu}, 5'000'000, Microseconds(20), "v2v" + std::to_string(v));
+  }
+
+  Dataflow& w = s.workload;
+  w = Dataflow(Milliseconds(20));  // 50 Hz control
+
+  // Lead vehicle broadcasts speed; each follower fuses radar + lead speed.
+  const NodeId lead_io(0);
+  const TaskId lead_speed =
+      w.AddSource("lead_speed", Microseconds(30), lead_io, Criticality::kHigh);
+  for (size_t v = 1; v < vehicles; ++v) {
+    const NodeId io(static_cast<uint32_t>(2 * v));
+    const std::string tag = std::to_string(v);
+    const TaskId radar = w.AddSource("radar" + tag, Microseconds(60), io, Criticality::kHigh);
+    const TaskId gap = w.AddCompute("gap_est" + tag, Microseconds(200), 1024, Criticality::kHigh);
+    const TaskId acc =
+        w.AddCompute("acc_ctl" + tag, Microseconds(250), 2048, Criticality::kSafetyCritical);
+    const TaskId throttle = w.AddSink("throttle" + tag, Microseconds(40), io,
+                                      Criticality::kSafetyCritical, Milliseconds(15));
+    w.Connect(lead_speed, gap, 64);
+    w.Connect(radar, gap, 128);
+    w.Connect(gap, acc, 128);
+    w.Connect(acc, throttle, 32);
+  }
+  return s;
+}
+
+Scenario MakeRandomScenario(Rng* rng, const RandomDagParams& params) {
+  Scenario s;
+  s.name = "random";
+
+  Topology& topo = s.topology;
+  const size_t io_nodes = params.sources + params.sinks > 0 ? 2 : 0;
+  topo.AddNodes(io_nodes + params.compute_nodes);
+  std::vector<NodeId> all;
+  for (size_t i = 0; i < topo.node_count(); ++i) {
+    all.push_back(NodeId(static_cast<uint32_t>(i)));
+  }
+  topo.AddLink(all, params.bus_bandwidth_bps, kBusPropagation, "bus");
+
+  const NodeId src_io(0);
+  const NodeId sink_io(1);
+
+  Dataflow& w = s.workload;
+  w = Dataflow(params.period);
+
+  auto rand_wcet = [&]() {
+    return rng->NextInRange(params.min_wcet, params.max_wcet);
+  };
+  auto rand_bytes = [&]() {
+    return static_cast<uint32_t>(rng->NextInRange(params.min_msg_bytes, params.max_msg_bytes));
+  };
+  auto rand_crit = [&]() {
+    return static_cast<Criticality>(rng->NextInRange(0, kCriticalityLevels - 1));
+  };
+
+  std::vector<TaskId> prev_layer;
+  for (size_t i = 0; i < params.sources; ++i) {
+    prev_layer.push_back(w.AddSource("src" + std::to_string(i), rand_wcet(), src_io,
+                                     Criticality::kMedium));
+  }
+
+  std::vector<std::vector<TaskId>> layers;
+  for (size_t l = 0; l < params.layers; ++l) {
+    std::vector<TaskId> layer;
+    for (size_t i = 0; i < params.tasks_per_layer; ++i) {
+      const uint32_t state = static_cast<uint32_t>(rng->NextInRange(0, params.max_state_bytes));
+      layer.push_back(w.AddCompute("c" + std::to_string(l) + "_" + std::to_string(i),
+                                   rand_wcet(), state, rand_crit()));
+    }
+    // Connect from the previous layer: each task gets >= 1 input.
+    for (TaskId t : layer) {
+      bool connected = false;
+      for (TaskId p : prev_layer) {
+        if (rng->NextBool(params.edge_density)) {
+          w.Connect(p, t, rand_bytes());
+          connected = true;
+        }
+      }
+      if (!connected) {
+        const TaskId p = prev_layer[rng->NextBelow(prev_layer.size())];
+        w.Connect(p, t, rand_bytes());
+      }
+    }
+    // Every previous-layer task must have at least one consumer.
+    for (TaskId p : prev_layer) {
+      if (w.Outputs(p).empty()) {
+        const TaskId t = layer[rng->NextBelow(layer.size())];
+        w.Connect(p, t, rand_bytes());
+      }
+    }
+    layers.push_back(layer);
+    prev_layer = std::move(layer);
+  }
+
+  for (size_t i = 0; i < params.sinks; ++i) {
+    const Criticality crit = rand_crit();
+    const SimDuration deadline = rng->NextInRange(params.period / 2, params.period);
+    const TaskId snk =
+        w.AddSink("snk" + std::to_string(i), rand_wcet(), sink_io, crit, deadline);
+    // At least one feeder from the final layer.
+    const TaskId p = prev_layer[rng->NextBelow(prev_layer.size())];
+    w.Connect(p, snk, rand_bytes());
+    for (TaskId q : prev_layer) {
+      if (q != p && rng->NextBool(params.edge_density * 0.5)) {
+        w.Connect(q, snk, rand_bytes());
+      }
+    }
+  }
+  // Any final-layer task still lacking a consumer feeds the first sink.
+  const std::vector<TaskId> sinks = w.SinkIds();
+  for (TaskId p : prev_layer) {
+    if (w.Outputs(p).empty()) {
+      w.Connect(p, sinks[0], rand_bytes());
+    }
+  }
+  return s;
+}
+
+}  // namespace btr

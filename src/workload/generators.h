@@ -1,0 +1,58 @@
+// Synthetic workload + topology generators.
+//
+// The paper motivates BTR with avionics (flight control + in-flight
+// entertainment on one platform), SCADA-style plant control (pressure valve),
+// and automotive examples. Each generator produces a matched topology and
+// dataflow so examples, tests, and benches share realistic scenarios.
+
+#ifndef BTR_SRC_WORKLOAD_GENERATORS_H_
+#define BTR_SRC_WORKLOAD_GENERATORS_H_
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/net/topology.h"
+#include "src/workload/dataflow.h"
+
+namespace btr {
+
+struct Scenario {
+  std::string name;
+  Topology topology;
+  Dataflow workload{Milliseconds(10)};
+};
+
+// Avionics mix (paper Section 1): safety-critical flight-control chain,
+// high-criticality cabin pressure loop, best-effort in-flight entertainment,
+// on `compute_nodes` interchangeable flight computers plus pinned I/O nodes.
+Scenario MakeAvionicsScenario(size_t compute_nodes = 6);
+
+// SCADA pressure vessel (paper Section 2): pressure sensor -> controller ->
+// relief valve with a hard deadline, plus low-criticality logging.
+Scenario MakeScadaScenario(size_t compute_nodes = 4);
+
+// Vehicle platoon: per-vehicle radar/speed sensing fused into a
+// cruise-control command; exercises multi-hop (ring) communication.
+Scenario MakeConvoyScenario(size_t vehicles = 4);
+
+// Random layered DAG for property tests and scalability sweeps.
+struct RandomDagParams {
+  size_t compute_nodes = 8;    // processing nodes (excluding I/O nodes)
+  size_t sources = 3;
+  size_t sinks = 3;
+  size_t layers = 3;           // compute layers between sources and sinks
+  size_t tasks_per_layer = 4;
+  double edge_density = 0.5;   // probability of layer-(i)->(i+1) edge
+  SimDuration period = Milliseconds(20);
+  SimDuration min_wcet = Microseconds(50);
+  SimDuration max_wcet = Microseconds(400);
+  uint32_t min_msg_bytes = 64;
+  uint32_t max_msg_bytes = 1024;
+  uint32_t max_state_bytes = 4096;
+  int64_t bus_bandwidth_bps = 50'000'000;  // 50 Mbps automotive Ethernet-ish
+};
+Scenario MakeRandomScenario(Rng* rng, const RandomDagParams& params);
+
+}  // namespace btr
+
+#endif  // BTR_SRC_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,136 @@
+// Unit tests for workload augmentation (replicas, checkers, verifiers).
+
+#include <gtest/gtest.h>
+
+#include "src/core/augment.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+namespace {
+
+Dataflow SimpleChain() {
+  Dataflow w(Milliseconds(10));
+  const TaskId src = w.AddSource("src", Microseconds(20), NodeId(0), Criticality::kHigh);
+  const TaskId mid = w.AddCompute("mid", Microseconds(100), 256, Criticality::kHigh);
+  const TaskId sink = w.AddSink("sink", Microseconds(20), NodeId(1), Criticality::kHigh,
+                                Milliseconds(8));
+  w.Connect(src, mid, 64);
+  w.Connect(mid, sink, 32);
+  return w;
+}
+
+TEST(Augment, ReplicatesComputeTasksOnly) {
+  Dataflow w = SimpleChain();
+  AugmentConfig config;
+  config.replication = 3;
+  AugmentedGraph g(&w, 4, config);
+
+  EXPECT_EQ(g.ReplicasOf(w.FindTask("mid")).size(), 3u);
+  EXPECT_EQ(g.ReplicasOf(w.FindTask("src")).size(), 1u);
+  EXPECT_EQ(g.ReplicasOf(w.FindTask("sink")).size(), 1u);
+  EXPECT_TRUE(g.IsReplicated(w.FindTask("mid")));
+  EXPECT_FALSE(g.IsReplicated(w.FindTask("src")));
+}
+
+TEST(Augment, CheckerOnlyForReplicatedTasks) {
+  Dataflow w = SimpleChain();
+  AugmentConfig config;
+  config.replication = 2;
+  AugmentedGraph g(&w, 4, config);
+
+  EXPECT_NE(g.CheckerOf(w.FindTask("mid")), AugmentedGraph::kNone);
+  EXPECT_EQ(g.CheckerOf(w.FindTask("src")), AugmentedGraph::kNone);
+  EXPECT_EQ(g.CheckerOf(w.FindTask("sink")), AugmentedGraph::kNone);
+}
+
+TEST(Augment, CheckerWcetBudgetsReplay) {
+  Dataflow w = SimpleChain();
+  AugmentConfig config;
+  config.replication = 2;
+  config.replay_factor = 1.0;
+  config.compare_cost = Microseconds(20);
+  AugmentedGraph g(&w, 4, config);
+  const AugTask& chk = g.task(g.CheckerOf(w.FindTask("mid")));
+  EXPECT_EQ(chk.wcet, Microseconds(20) + Microseconds(100));
+}
+
+TEST(Augment, VerifierPerNode) {
+  Dataflow w = SimpleChain();
+  AugmentedGraph g(&w, 5, AugmentConfig{});
+  for (uint32_t n = 0; n < 5; ++n) {
+    const uint32_t v = g.VerifierOf(NodeId(n));
+    ASSERT_NE(v, AugmentedGraph::kNone);
+    EXPECT_EQ(g.task(v).kind, AugKind::kVerifier);
+    EXPECT_EQ(g.task(v).pinned, NodeId(n));
+  }
+}
+
+TEST(Augment, PrimaryFeedsAllConsumerReplicasAndCheckers) {
+  Dataflow w = SimpleChain();
+  AugmentConfig config;
+  config.replication = 2;
+  AugmentedGraph g(&w, 4, config);
+
+  const uint32_t src_primary = g.PrimaryOf(w.FindTask("src"));
+  // src primary -> mid#0, mid#1, chk(mid): 3 out edges.
+  EXPECT_EQ(g.OutEdges(src_primary).size(), 3u);
+
+  // Each mid replica reports to chk(mid); chk(mid) also gets src's copy.
+  const uint32_t chk = g.CheckerOf(w.FindTask("mid"));
+  EXPECT_EQ(g.InEdges(chk).size(), 3u);  // 2 replicas + 1 input copy
+}
+
+TEST(Augment, OnlyPrimaryFeedsDownstream) {
+  Dataflow w = SimpleChain();
+  AugmentConfig config;
+  config.replication = 3;
+  AugmentedGraph g(&w, 4, config);
+  const auto& reps = g.ReplicasOf(w.FindTask("mid"));
+  // Primary: sink + chk(mid). Non-primaries: chk(mid) only.
+  EXPECT_EQ(g.OutEdges(reps[0]).size(), 2u);
+  EXPECT_EQ(g.OutEdges(reps[1]).size(), 1u);
+  EXPECT_EQ(g.OutEdges(reps[2]).size(), 1u);
+}
+
+TEST(Augment, BelowThresholdCriticalityNotReplicated) {
+  Dataflow w(Milliseconds(10));
+  const TaskId src = w.AddSource("src", 10, NodeId(0), Criticality::kHigh);
+  const TaskId be = w.AddCompute("be", 10, 0, Criticality::kBestEffort);
+  const TaskId sink = w.AddSink("sink", 10, NodeId(1), Criticality::kBestEffort,
+                                Milliseconds(5));
+  w.Connect(src, be, 8);
+  w.Connect(be, sink, 8);
+
+  AugmentConfig config;
+  config.replication = 2;
+  config.replicate_min_criticality = Criticality::kLow;
+  AugmentedGraph g(&w, 2, config);
+  EXPECT_EQ(g.ReplicasOf(be).size(), 1u);
+  EXPECT_EQ(g.CheckerOf(be), AugmentedGraph::kNone);
+}
+
+TEST(Augment, TaskCountAccounting) {
+  Dataflow w = SimpleChain();
+  AugmentConfig config;
+  config.replication = 2;
+  const size_t nodes = 4;
+  AugmentedGraph g(&w, nodes, config);
+  // src + sink + 2x mid + chk(mid) + 4 verifiers = 9.
+  EXPECT_EQ(g.size(), 9u);
+}
+
+TEST(Augment, AvionicsGraphShape) {
+  Scenario s = MakeAvionicsScenario();
+  AugmentConfig config;
+  config.replication = 2;
+  AugmentedGraph g(&s.workload, s.topology.node_count(), config);
+  // Replicated: fusion, control_law, pressure_ctl, telem_fmt (>= kLow).
+  // Not replicated: IFE chain (best effort), sources, sinks.
+  EXPECT_TRUE(g.IsReplicated(s.workload.FindTask("att_fusion")));
+  EXPECT_TRUE(g.IsReplicated(s.workload.FindTask("control_law")));
+  EXPECT_FALSE(g.IsReplicated(s.workload.FindTask("transcode")));
+  EXPECT_EQ(g.CheckerOf(s.workload.FindTask("transcode")), AugmentedGraph::kNone);
+}
+
+}  // namespace
+}  // namespace btr

@@ -1,0 +1,216 @@
+// Unit tests for the PBFT/ZZ/self-stabilization/unreplicated baselines.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/baselines/bft_smr.h"
+#include "src/baselines/selfstab.h"
+#include "src/baselines/unreplicated.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+namespace {
+
+Scenario BigAvionics() { return MakeAvionicsScenario(10); }
+
+TEST(BftBaseline, PicksCorrectReplicaCount) {
+  Scenario s = BigAvionics();
+  BftConfig pbft;
+  pbft.f = 1;
+  pbft.mode = BftMode::kPbft;
+  EXPECT_EQ(BftBaseline(&s, pbft).replica_nodes().size(), 4u);
+  BftConfig zz;
+  zz.f = 1;
+  zz.mode = BftMode::kZz;
+  EXPECT_EQ(BftBaseline(&s, zz).replica_nodes().size(), 3u);
+}
+
+TEST(BftBaseline, PrefersNonPinnedNodes) {
+  Scenario s = BigAvionics();
+  BftConfig config;
+  config.f = 1;
+  BftBaseline baseline(&s, config);
+  std::set<NodeId> pinned;
+  for (const TaskSpec& t : s.workload.tasks()) {
+    if (t.pinned_node.valid()) {
+      pinned.insert(t.pinned_node);
+    }
+  }
+  for (NodeId r : baseline.replica_nodes()) {
+    EXPECT_EQ(pinned.count(r), 0u);
+  }
+}
+
+TEST(BftBaseline, FaultFreePbftProducesCorrectOutputs) {
+  Scenario s = BigAvionics();
+  BftConfig config;
+  config.f = 1;
+  BftBaseline baseline(&s, config);
+  auto report = baseline.Run(50, AdversarySpec{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->correct_outputs, 0u);
+  EXPECT_EQ(report->wrong_outputs, 0u);
+  EXPECT_EQ(report->view_changes, 0u);
+  EXPECT_EQ(report->replicas_total, 4u);
+}
+
+TEST(BftBaseline, PbftMasksBackupCorruption) {
+  Scenario s = BigAvionics();
+  BftConfig config;
+  config.f = 1;
+  BftBaseline baseline(&s, config);
+  AdversarySpec adversary;
+  // Corrupt a non-primary replica (primary is replicas[0] in view 0).
+  adversary.Add({baseline.replica_nodes()[2], 0, FaultBehavior::kValueCorruption, 0,
+                 NodeId::Invalid(), 0});
+  auto report = baseline.Run(50, adversary);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->wrong_outputs, 0u);
+  EXPECT_GT(report->correct_outputs, 0u);
+}
+
+TEST(BftBaseline, PbftPrimaryFaultTriggersViewChange) {
+  Scenario s = BigAvionics();
+  BftConfig config;
+  config.f = 1;
+  BftBaseline baseline(&s, config);
+  AdversarySpec adversary;
+  adversary.Add({baseline.replica_nodes()[0], Milliseconds(100),
+                 FaultBehavior::kValueCorruption, 0, NodeId::Invalid(), 0});
+  auto report = baseline.Run(50, adversary);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->view_changes, 0u);
+  EXPECT_EQ(report->wrong_outputs, 0u);  // masked throughout
+}
+
+TEST(BftBaseline, PbftCostsScaleWithF) {
+  Scenario s = MakeAvionicsScenario(16);
+  BftConfig f1;
+  f1.f = 1;
+  BftConfig f2;
+  f2.f = 2;
+  auto r1 = BftBaseline(&s, f1).Run(30, AdversarySpec{});
+  auto r2 = BftBaseline(&s, f2).Run(30, AdversarySpec{});
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r2->cpu_per_period, r1->cpu_per_period);
+  EXPECT_GT(r2->bytes_per_period, r1->bytes_per_period);
+  EXPECT_EQ(r2->replicas_total, 7u);
+}
+
+TEST(BftBaseline, NotEnoughNodesRejected) {
+  Scenario s = MakeScadaScenario(2);  // 4 nodes total
+  BftConfig config;
+  config.f = 2;  // needs 7
+  auto report = BftBaseline(&s, config).Run(10, AdversarySpec{});
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ZzBaseline, FaultFreeUsesOnlyFPlusOneExecutions) {
+  Scenario s = BigAvionics();
+  BftConfig pbft;
+  pbft.f = 1;
+  pbft.mode = BftMode::kPbft;
+  BftConfig zz;
+  zz.f = 1;
+  zz.mode = BftMode::kZz;
+  auto pbft_report = BftBaseline(&s, pbft).Run(50, AdversarySpec{});
+  auto zz_report = BftBaseline(&s, zz).Run(50, AdversarySpec{});
+  ASSERT_TRUE(pbft_report.ok());
+  ASSERT_TRUE(zz_report.ok());
+  EXPECT_EQ(zz_report->replicas_active, 2u);
+  EXPECT_EQ(zz_report->wakeups, 0u);
+  // ZZ's fault-free CPU is roughly (f+1)/(3f+1) of PBFT's.
+  EXPECT_LT(zz_report->cpu_per_period, 0.7 * pbft_report->cpu_per_period);
+  EXPECT_LT(zz_report->bytes_per_period, pbft_report->bytes_per_period);
+}
+
+TEST(ZzBaseline, MismatchWakesStandbysAndRecovers) {
+  Scenario s = BigAvionics();
+  BftConfig zz;
+  zz.f = 1;
+  zz.mode = BftMode::kZz;
+  BftBaseline baseline(&s, zz);
+  AdversarySpec adversary;
+  adversary.Add({baseline.replica_nodes()[1], Milliseconds(100),
+                 FaultBehavior::kValueCorruption, 0, NodeId::Invalid(), 0});
+  auto report = baseline.Run(60, adversary);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->wakeups, 0u);
+  EXPECT_EQ(report->wrong_outputs, 0u);  // majority masks after wakeup
+  EXPECT_GT(report->correct_outputs, 0u);
+}
+
+TEST(SelfStab, FaultFreeRunsCorrectly) {
+  Scenario s = BigAvionics();
+  SelfStabConfig config;
+  auto report = SelfStabBaseline(&s, config).Run(50, AdversarySpec{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->incorrect_outputs, 0u);
+  EXPECT_TRUE(report->stabilized);
+}
+
+TEST(SelfStab, CrashEventuallyStabilizes) {
+  Scenario s = BigAvionics();
+  SelfStabConfig config;
+  config.seed = 3;
+  AdversarySpec adversary;
+  // Crash a compute host (node 4+ are flight computers).
+  adversary.Add({NodeId(5), Milliseconds(200), FaultBehavior::kCrash, 0, NodeId::Invalid(), 0});
+  auto report = SelfStabBaseline(&s, config).Run(400, adversary);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->stabilized);
+  EXPECT_GT(report->recovery_time, 0);
+}
+
+TEST(SelfStab, CorruptionRecoveryIsSlowerThanCrash) {
+  // Wrong values are only probabilistically detectable without replicas, so
+  // corruption recovery stochastically dominates crash recovery.
+  Scenario s = BigAvionics();
+  double crash_total = 0.0;
+  double corrupt_total = 0.0;
+  int crash_n = 0;
+  int corrupt_n = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SelfStabConfig config;
+    config.seed = seed;
+    config.detect_prob = 0.15;
+    AdversarySpec crash;
+    crash.Add({NodeId(5), Milliseconds(200), FaultBehavior::kCrash, 0, NodeId::Invalid(), 0});
+    AdversarySpec corrupt;
+    corrupt.Add({NodeId(5), Milliseconds(200), FaultBehavior::kValueCorruption, 0,
+                 NodeId::Invalid(), 0});
+    auto r1 = SelfStabBaseline(&s, config).Run(600, crash);
+    auto r2 = SelfStabBaseline(&s, config).Run(600, corrupt);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    if (r1->stabilized && r1->recovery_time >= 0) {
+      crash_total += ToMillisF(r1->recovery_time);
+      ++crash_n;
+    }
+    if (r2->stabilized && r2->recovery_time >= 0) {
+      corrupt_total += ToMillisF(r2->recovery_time);
+      ++corrupt_n;
+    }
+  }
+  ASSERT_GT(crash_n, 0);
+  if (corrupt_n > 0) {
+    EXPECT_GE(corrupt_total / corrupt_n, crash_total / crash_n);
+  }
+}
+
+TEST(Unreplicated, CostMatchesWorkload) {
+  Scenario s = MakeScadaScenario();
+  const UnreplicatedCost cost = ComputeUnreplicatedCost(s.workload);
+  double wcet = 0.0;
+  for (const TaskSpec& t : s.workload.tasks()) {
+    wcet += static_cast<double>(t.wcet);
+  }
+  EXPECT_DOUBLE_EQ(cost.cpu_per_period, wcet);
+  EXPECT_GT(cost.bytes_per_period, 0.0);
+  EXPECT_EQ(cost.replicas, 1u);
+}
+
+}  // namespace
+}  // namespace btr

@@ -1,0 +1,295 @@
+// Unit tests for src/common: ids, rng, hashing, status, stats, tables, math.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "src/common/hash.h"
+#include "src/common/math_util.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/table.h"
+#include "src/common/types.h"
+
+namespace btr {
+namespace {
+
+// --- types ---
+
+TEST(Types, InvalidIdIsNotValid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_FALSE(NodeId::Invalid().valid());
+}
+
+TEST(Types, IdsCompareByValue) {
+  EXPECT_EQ(NodeId(3), NodeId(3));
+  EXPECT_NE(NodeId(3), NodeId(4));
+  EXPECT_LT(NodeId(3), NodeId(4));
+  EXPECT_LE(NodeId(3), NodeId(3));
+  EXPECT_GT(NodeId(5), NodeId(4));
+}
+
+TEST(Types, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, TaskId>);
+  static_assert(!std::is_same_v<LinkId, FlowId>);
+  SUCCEED();
+}
+
+TEST(Types, IdsHashIntoUnorderedContainers) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId(1));
+  set.insert(NodeId(1));
+  set.insert(NodeId(2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Types, ToStringFormats) {
+  EXPECT_EQ(ToString(NodeId(7)), "n7");
+  EXPECT_EQ(ToString(TaskId(2)), "t2");
+  EXPECT_EQ(ToString(NodeId()), "n<invalid>");
+}
+
+TEST(Types, DurationHelpers) {
+  EXPECT_EQ(Microseconds(1), 1000);
+  EXPECT_EQ(Milliseconds(1), 1000 * 1000);
+  EXPECT_EQ(Seconds(2), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(ToSecondsF(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMillisF(Milliseconds(5)), 5.0);
+}
+
+// --- rng ---
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyMatchesP) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(rng.NextGaussian(10.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(rng.NextExponential(4.0));
+  }
+  EXPECT_NEAR(stats.mean(), 4.0, 0.15);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// --- hash ---
+
+TEST(Hash, DeterministicAndSpread) {
+  EXPECT_EQ(HashString("hello"), HashString("hello"));
+  EXPECT_NE(HashString("hello"), HashString("hellp"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(Hash, CombineIsOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(Hash, HasherLengthPrefixing) {
+  Hasher a;
+  a.AddString("ab").AddString("c");
+  Hasher b;
+  b.AddString("a").AddString("bc");
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(Hash, HasherVectorsDiffer) {
+  Hasher a;
+  a.AddVector(std::vector<int>{1, 2, 3});
+  Hasher b;
+  b.AddVector(std::vector<int>{1, 2, 4});
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+// --- status ---
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::Infeasible("no gap");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInfeasible);
+  EXPECT_EQ(s.ToString(), "INFEASIBLE: no gap");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::NotFound("x");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+// --- stats ---
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 100.0);
+  EXPECT_NEAR(s.Percentile(0.5), 50.5, 0.01);
+  EXPECT_NEAR(s.Percentile(0.99), 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(s.Mean(), 50.5);
+}
+
+TEST(Samples, EmptyIsSafe) {
+  Samples s;
+  EXPECT_EQ(s.Percentile(0.5), 0.0);
+  EXPECT_EQ(s.Mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-1.0);
+  h.Add(0.5);
+  h.Add(9.9);
+  h.Add(10.0);
+  h.Add(25.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.BucketValue(0), 1u);
+  EXPECT_EQ(h.BucketValue(9), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+// --- table ---
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, CellFormatters) {
+  EXPECT_EQ(CellInt(42), "42");
+  EXPECT_EQ(CellDouble(1.5, 1), "1.5");
+  EXPECT_EQ(CellDuration(1500.0), "1.50 us");
+  EXPECT_EQ(CellDuration(2.5e9), "2.500 s");
+  EXPECT_EQ(CellBytes(2048), "2.0 KB");
+  EXPECT_EQ(CellPercent(0.254), "25.4%");
+}
+
+// --- math ---
+
+TEST(MathUtil, LcmAndGcd) {
+  EXPECT_EQ(Lcm64(4, 6), 12);
+  EXPECT_EQ(LcmAll({2, 3, 5}), 30);
+  EXPECT_EQ(LcmAll({10, 20, 40}), 40);
+  EXPECT_EQ(Gcd64(12, 18), 6);
+}
+
+TEST(MathUtil, CeilDivAndRoundUp) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(RoundUp(10, 4), 12);
+  EXPECT_EQ(RoundUp(12, 4), 12);
+}
+
+}  // namespace
+}  // namespace btr

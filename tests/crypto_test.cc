@@ -1,0 +1,70 @@
+// Unit tests for the simulated signature scheme.
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/keys.h"
+
+namespace btr {
+namespace {
+
+class KeysTest : public ::testing::Test {
+ protected:
+  KeysTest() : rng_(77), keys_(4, &rng_) {}
+  Rng rng_;
+  KeyStore keys_;
+};
+
+TEST_F(KeysTest, SignVerifyRoundTrip) {
+  Signer signer = keys_.SignerFor(NodeId(1));
+  const Signature sig = signer.Sign(0xDEADBEEF);
+  EXPECT_TRUE(keys_.Verify(sig, 0xDEADBEEF));
+}
+
+TEST_F(KeysTest, VerifyRejectsWrongDigest) {
+  Signer signer = keys_.SignerFor(NodeId(1));
+  const Signature sig = signer.Sign(0xDEADBEEF);
+  EXPECT_FALSE(keys_.Verify(sig, 0xDEADBEEE));
+}
+
+TEST_F(KeysTest, SignaturesAreSignerSpecific) {
+  const Signature sig1 = keys_.SignerFor(NodeId(1)).Sign(42);
+  const Signature sig2 = keys_.SignerFor(NodeId(2)).Sign(42);
+  EXPECT_NE(sig1.tag, sig2.tag);
+  // A signature cannot be re-attributed: claiming node 2 signed node 1's
+  // tag fails verification.
+  Signature forged = sig1;
+  forged.signer = NodeId(2);
+  EXPECT_FALSE(keys_.Verify(forged, 42));
+}
+
+TEST_F(KeysTest, ForgedTagFails) {
+  Signature forged;
+  forged.signer = NodeId(3);
+  forged.tag = 0x123456789ABCDEFULL;
+  EXPECT_FALSE(keys_.Verify(forged, 42));
+}
+
+TEST_F(KeysTest, InvalidSignerRejected) {
+  Signature sig;
+  sig.signer = NodeId::Invalid();
+  EXPECT_FALSE(keys_.Verify(sig, 1));
+  sig.signer = NodeId(99);  // out of range
+  EXPECT_FALSE(keys_.Verify(sig, 1));
+}
+
+TEST_F(KeysTest, DistinctDigestsDistinctTags) {
+  Signer signer = keys_.SignerFor(NodeId(0));
+  EXPECT_NE(signer.Sign(1).tag, signer.Sign(2).tag);
+}
+
+TEST(KeyStoreSeed, DifferentSeedsDifferentKeys) {
+  Rng a(1);
+  Rng b(2);
+  KeyStore ka(2, &a);
+  KeyStore kb(2, &b);
+  const Signature sig = ka.SignerFor(NodeId(0)).Sign(7);
+  EXPECT_FALSE(kb.Verify(sig, 7));
+}
+
+}  // namespace
+}  // namespace btr

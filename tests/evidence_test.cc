@@ -1,0 +1,398 @@
+// Unit tests for evidence records, validation, blame, and the pool.
+
+#include <gtest/gtest.h>
+
+#include "src/core/evidence.h"
+#include "src/core/golden.h"
+
+namespace btr {
+namespace {
+
+class EvidenceTest : public ::testing::Test {
+ protected:
+  EvidenceTest() : rng_(11), keys_(4, &rng_), workload_(Milliseconds(10)) {
+    src_ = workload_.AddSource("src", Microseconds(20), NodeId(0), Criticality::kHigh);
+    mid_ = workload_.AddCompute("mid", Microseconds(100), 0, Criticality::kHigh);
+    sink_ = workload_.AddSink("sink", Microseconds(20), NodeId(1), Criticality::kHigh,
+                              Milliseconds(8));
+    workload_.Connect(src_, mid_, 64);
+    workload_.Connect(mid_, sink_, 32);
+    validator_ = std::make_unique<EvidenceValidator>(&keys_, &workload_,
+                                                     EvidenceValidationConfig{});
+  }
+
+  // A correctly signed input claim from `producer` hosted on `host`.
+  SignedInput MakeInput(TaskId producer, NodeId host, uint64_t period, uint64_t digest) {
+    return SignedInput{producer, digest,
+                       keys_.SignerFor(host).Sign(InputContentDigest(producer, period, digest))};
+  }
+
+  // A full record for `mid_` signed by `host`, with the given output digest.
+  std::shared_ptr<OutputRecord> MakeMidRecord(NodeId host, uint64_t period,
+                                              uint64_t output_digest, uint64_t input_digest) {
+    auto rec = std::make_shared<OutputRecord>();
+    rec->task = mid_;
+    rec->replica = 0;
+    rec->period = period;
+    rec->digest = output_digest;
+    rec->claimed_inputs = {MakeInput(src_, NodeId(0), period, input_digest)};
+    rec->sender = host;
+    rec->value_sig = keys_.SignerFor(host).Sign(
+        InputContentDigest(mid_, period, output_digest));
+    rec->sender_sig = keys_.SignerFor(host).Sign(rec->ContentDigest());
+    return rec;
+  }
+
+  std::shared_ptr<EvidenceRecord> WrapCommission(std::shared_ptr<const OutputRecord> rec,
+                                                 NodeId declarer) {
+    auto ev = std::make_shared<EvidenceRecord>();
+    ev->kind = EvidenceKind::kCommission;
+    ev->declarer = declarer;
+    ev->period = rec->period;
+    ev->record = std::move(rec);
+    ev->declarer_sig = keys_.SignerFor(declarer).Sign(ev->ContentDigest());
+    return ev;
+  }
+
+  uint64_t HonestMidDigest(uint64_t period, uint64_t input_digest) {
+    return ComputeOutput(mid_, period, {{src_, input_digest}});
+  }
+
+  Rng rng_;
+  KeyStore keys_;
+  Dataflow workload_;
+  TaskId src_, mid_, sink_;
+  std::unique_ptr<EvidenceValidator> validator_;
+};
+
+TEST_F(EvidenceTest, CommissionConvictsLyingReplica) {
+  const uint64_t input = SourceValue(src_, 5);
+  const uint64_t wrong = HonestMidDigest(5, input) ^ 0xBAD;
+  auto ev = WrapCommission(MakeMidRecord(NodeId(2), 5, wrong, input), NodeId(3));
+  const EvidenceVerdict v = validator_->Validate(*ev);
+  EXPECT_TRUE(v.valid);
+  EXPECT_EQ(v.convicts, NodeId(2));
+  EXPECT_GT(v.cost, 0);
+}
+
+TEST_F(EvidenceTest, ConsistentRecordIsNotEvidence) {
+  const uint64_t input = SourceValue(src_, 5);
+  const uint64_t honest = HonestMidDigest(5, input);
+  auto ev = WrapCommission(MakeMidRecord(NodeId(2), 5, honest, input), NodeId(3));
+  EXPECT_FALSE(validator_->Validate(*ev).valid);
+}
+
+TEST_F(EvidenceTest, CommissionAgainstGarbageInputsConvictsRecordSigner) {
+  // The record's claimed input signature is fabricated: the signer vouched
+  // for inputs it could not have validated.
+  auto rec = MakeMidRecord(NodeId(2), 5, 1234, 777);
+  rec->claimed_inputs[0].producer_sig.tag ^= 1;  // break the inner signature
+  rec->sender_sig = keys_.SignerFor(NodeId(2)).Sign(rec->ContentDigest());
+  auto ev = WrapCommission(rec, NodeId(3));
+  const EvidenceVerdict v = validator_->Validate(*ev);
+  EXPECT_TRUE(v.valid);
+  EXPECT_EQ(v.convicts, NodeId(2));
+}
+
+TEST_F(EvidenceTest, UnattributableRecordRejected) {
+  auto rec = MakeMidRecord(NodeId(2), 5, 1234, SourceValue(src_, 5));
+  rec->sender_sig.tag ^= 1;  // outer signature broken: cannot convict anyone
+  auto ev = WrapCommission(rec, NodeId(3));
+  EXPECT_FALSE(validator_->Validate(*ev).valid);
+}
+
+TEST_F(EvidenceTest, ForgedDeclarerSignatureRejected) {
+  const uint64_t input = SourceValue(src_, 5);
+  auto ev = WrapCommission(MakeMidRecord(NodeId(2), 5, 99, input), NodeId(3));
+  ev->declarer_sig.tag ^= 1;
+  EXPECT_FALSE(validator_->Validate(*ev).valid);
+}
+
+TEST_F(EvidenceTest, SourceCommissionReplaysSourceValue) {
+  auto rec = std::make_shared<OutputRecord>();
+  rec->task = src_;
+  rec->period = 9;
+  rec->digest = SourceValue(src_, 9) ^ 0xF00;  // sensor lies
+  rec->sender = NodeId(0);
+  rec->value_sig = keys_.SignerFor(NodeId(0)).Sign(
+      InputContentDigest(src_, 9, rec->digest));
+  rec->sender_sig = keys_.SignerFor(NodeId(0)).Sign(rec->ContentDigest());
+  auto ev = WrapCommission(rec, NodeId(1));
+  const EvidenceVerdict v = validator_->Validate(*ev);
+  EXPECT_TRUE(v.valid);
+  EXPECT_EQ(v.convicts, NodeId(0));
+}
+
+TEST_F(EvidenceTest, EquivocationConvictsDoubleSigner) {
+  auto ev = std::make_shared<EvidenceRecord>();
+  ev->kind = EvidenceKind::kEquivocation;
+  ev->declarer = NodeId(3);
+  ev->period = 4;
+  ev->eq_task = mid_;
+  ev->eq_a = MakeInput(mid_, NodeId(2), 4, 111);
+  ev->eq_b = MakeInput(mid_, NodeId(2), 4, 222);
+  ev->declarer_sig = keys_.SignerFor(NodeId(3)).Sign(ev->ContentDigest());
+  const EvidenceVerdict v = validator_->Validate(*ev);
+  EXPECT_TRUE(v.valid);
+  EXPECT_EQ(v.convicts, NodeId(2));
+}
+
+TEST_F(EvidenceTest, EquivocationNeedsDifferentDigests) {
+  auto ev = std::make_shared<EvidenceRecord>();
+  ev->kind = EvidenceKind::kEquivocation;
+  ev->declarer = NodeId(3);
+  ev->period = 4;
+  ev->eq_task = mid_;
+  ev->eq_a = MakeInput(mid_, NodeId(2), 4, 111);
+  ev->eq_b = MakeInput(mid_, NodeId(2), 4, 111);
+  ev->declarer_sig = keys_.SignerFor(NodeId(3)).Sign(ev->ContentDigest());
+  EXPECT_FALSE(validator_->Validate(*ev).valid);
+}
+
+TEST_F(EvidenceTest, EquivocationNeedsSameSigner) {
+  auto ev = std::make_shared<EvidenceRecord>();
+  ev->kind = EvidenceKind::kEquivocation;
+  ev->declarer = NodeId(3);
+  ev->period = 4;
+  ev->eq_task = mid_;
+  ev->eq_a = MakeInput(mid_, NodeId(1), 4, 111);
+  ev->eq_b = MakeInput(mid_, NodeId(2), 4, 222);
+  ev->declarer_sig = keys_.SignerFor(NodeId(3)).Sign(ev->ContentDigest());
+  EXPECT_FALSE(validator_->Validate(*ev).valid);
+}
+
+TEST_F(EvidenceTest, TimingEvidenceOutsideWindowConvicts) {
+  const uint64_t input = SourceValue(src_, 2);
+  auto rec = MakeMidRecord(NodeId(2), 2, HonestMidDigest(2, input), input);
+  auto ev = std::make_shared<EvidenceRecord>();
+  ev->kind = EvidenceKind::kTiming;
+  ev->declarer = NodeId(1);
+  ev->period = 2;
+  ev->record = rec;
+  ev->window_lo = Milliseconds(20);
+  ev->window_hi = Milliseconds(21);
+  ev->observed_arrival = Milliseconds(25);
+  ev->declarer_sig = keys_.SignerFor(NodeId(1)).Sign(ev->ContentDigest());
+  const EvidenceVerdict v = validator_->Validate(*ev);
+  EXPECT_TRUE(v.valid);
+  EXPECT_EQ(v.convicts, NodeId(2));
+}
+
+TEST_F(EvidenceTest, TimingInsideWindowIsBogus) {
+  const uint64_t input = SourceValue(src_, 2);
+  auto rec = MakeMidRecord(NodeId(2), 2, HonestMidDigest(2, input), input);
+  auto ev = std::make_shared<EvidenceRecord>();
+  ev->kind = EvidenceKind::kTiming;
+  ev->declarer = NodeId(1);
+  ev->period = 2;
+  ev->record = rec;
+  ev->window_lo = Milliseconds(20);
+  ev->window_hi = Milliseconds(30);
+  ev->observed_arrival = Milliseconds(25);
+  ev->declarer_sig = keys_.SignerFor(NodeId(1)).Sign(ev->ContentDigest());
+  EXPECT_FALSE(validator_->Validate(*ev).valid);
+}
+
+TEST_F(EvidenceTest, PathDeclarationRequiresEndpointDeclarer) {
+  auto ev = std::make_shared<EvidenceRecord>();
+  ev->kind = EvidenceKind::kPathDeclaration;
+  ev->declarer = NodeId(1);
+  ev->period = 3;
+  ev->path_a = NodeId(1);
+  ev->path_b = NodeId(2);
+  ev->declarer_sig = keys_.SignerFor(NodeId(1)).Sign(ev->ContentDigest());
+  EXPECT_TRUE(validator_->Validate(*ev).valid);
+  // Declarations never convict directly.
+  EXPECT_FALSE(validator_->Validate(*ev).convicts.valid());
+
+  // A declarer that is not an endpoint is rejected.
+  ev->declarer = NodeId(3);
+  ev->declarer_sig = keys_.SignerFor(NodeId(3)).Sign(ev->ContentDigest());
+  EXPECT_FALSE(validator_->Validate(*ev).valid);
+}
+
+TEST_F(EvidenceTest, EndorsementAbuseConvictsEndorser) {
+  // Build bogus (consistent) commission evidence, then wrap it with the
+  // endorsement of node 2 who forwarded it.
+  const uint64_t input = SourceValue(src_, 5);
+  auto bogus = WrapCommission(MakeMidRecord(NodeId(1), 5, HonestMidDigest(5, input), input),
+                              NodeId(2));
+  ASSERT_FALSE(validator_->Validate(*bogus).valid);
+
+  auto abuse = std::make_shared<EvidenceRecord>();
+  abuse->kind = EvidenceKind::kEndorsementAbuse;
+  abuse->declarer = NodeId(3);
+  abuse->period = 5;
+  abuse->inner = bogus;
+  abuse->endorsement_sig = keys_.SignerFor(NodeId(2)).Sign(bogus->ContentDigest());
+  abuse->declarer_sig = keys_.SignerFor(NodeId(3)).Sign(abuse->ContentDigest());
+  const EvidenceVerdict v = validator_->Validate(*abuse);
+  EXPECT_TRUE(v.valid);
+  EXPECT_EQ(v.convicts, NodeId(2));
+}
+
+TEST_F(EvidenceTest, EndorsementOfValidEvidenceIsNotAbuse) {
+  const uint64_t input = SourceValue(src_, 5);
+  auto real = WrapCommission(
+      MakeMidRecord(NodeId(1), 5, HonestMidDigest(5, input) ^ 1, input), NodeId(2));
+  ASSERT_TRUE(validator_->Validate(*real).valid);
+
+  auto abuse = std::make_shared<EvidenceRecord>();
+  abuse->kind = EvidenceKind::kEndorsementAbuse;
+  abuse->declarer = NodeId(3);
+  abuse->period = 5;
+  abuse->inner = real;
+  abuse->endorsement_sig = keys_.SignerFor(NodeId(2)).Sign(real->ContentDigest());
+  abuse->declarer_sig = keys_.SignerFor(NodeId(3)).Sign(abuse->ContentDigest());
+  EXPECT_FALSE(validator_->Validate(*abuse).valid);
+}
+
+TEST_F(EvidenceTest, QuickRejectIsCheaperOnBadInnerSignatures) {
+  // Same malformed evidence validated by a quick-reject validator and a
+  // naive one: the naive validator pays the replay before the signatures.
+  auto rec = MakeMidRecord(NodeId(2), 5, 1234, 777);
+  rec->claimed_inputs[0].producer_sig.tag ^= 1;
+  rec->sender_sig = keys_.SignerFor(NodeId(2)).Sign(rec->ContentDigest());
+  auto ev = WrapCommission(rec, NodeId(3));
+
+  EvidenceValidationConfig naive_config;
+  naive_config.quick_reject = false;
+  EvidenceValidator naive(&keys_, &workload_, naive_config);
+
+  const EvidenceVerdict fast = validator_->Validate(*ev);
+  const EvidenceVerdict slow = naive.Validate(*ev);
+  EXPECT_TRUE(fast.valid);
+  EXPECT_TRUE(slow.valid);
+  EXPECT_LT(fast.cost, slow.cost);
+}
+
+TEST_F(EvidenceTest, ContentDigestCoversAllFields) {
+  const uint64_t input = SourceValue(src_, 5);
+  auto a = WrapCommission(MakeMidRecord(NodeId(2), 5, 1, input), NodeId(3));
+  auto b = WrapCommission(MakeMidRecord(NodeId(2), 5, 2, input), NodeId(3));
+  EXPECT_NE(a->ContentDigest(), b->ContentDigest());
+  auto c = WrapCommission(MakeMidRecord(NodeId(2), 5, 1, input), NodeId(1));
+  EXPECT_NE(a->ContentDigest(), c->ContentDigest());
+}
+
+// --- blame tracker ---
+
+TEST(PathBlame, TwoDistinctPathsConvict) {
+  PathBlameTracker blame(2);
+  EXPECT_FALSE(blame.AddDeclaration(NodeId(0), NodeId(1), NodeId(1)).has_value());
+  auto convicted = blame.AddDeclaration(NodeId(0), NodeId(2), NodeId(2));
+  ASSERT_TRUE(convicted.has_value());
+  EXPECT_EQ(*convicted, NodeId(0));
+  EXPECT_TRUE(blame.IsConvicted(NodeId(0)));
+  EXPECT_FALSE(blame.IsConvicted(NodeId(1)));
+}
+
+TEST(PathBlame, SingleDeclarerCannotFrame) {
+  // Byzantine node 9 declares paths (3,9) and... it can only declare paths
+  // it is an endpoint of, so both paths share counterpart 9; node 3 is never
+  // implicated on two distinct paths by two distinct declarers.
+  PathBlameTracker blame(2);
+  EXPECT_FALSE(blame.AddDeclaration(NodeId(3), NodeId(9), NodeId(9)).has_value());
+  auto again = blame.AddDeclaration(NodeId(3), NodeId(9), NodeId(9));
+  EXPECT_FALSE(again.has_value());
+  EXPECT_FALSE(blame.IsConvicted(NodeId(3)));
+}
+
+TEST(PathBlame, DuplicateDeclarationsDoNotDoubleCount) {
+  PathBlameTracker blame(2);
+  blame.AddDeclaration(NodeId(0), NodeId(1), NodeId(1));
+  blame.AddDeclaration(NodeId(0), NodeId(1), NodeId(1));
+  EXPECT_EQ(blame.DistinctPathsInvolving(NodeId(0)), 1u);
+  EXPECT_FALSE(blame.IsConvicted(NodeId(0)));
+}
+
+TEST(PathBlame, HigherThresholdNeedsMorePaths) {
+  PathBlameTracker blame(3);
+  blame.AddDeclaration(NodeId(0), NodeId(1), NodeId(1));
+  blame.AddDeclaration(NodeId(0), NodeId(2), NodeId(2));
+  EXPECT_FALSE(blame.IsConvicted(NodeId(0)));
+  auto convicted = blame.AddDeclaration(NodeId(0), NodeId(3), NodeId(3));
+  ASSERT_TRUE(convicted.has_value());
+  EXPECT_EQ(*convicted, NodeId(0));
+}
+
+TEST(PathBlame, DiscreditedCounterpartLendsNoBlame) {
+  // Path (victim, convicted) is fully explained by the convicted node; the
+  // victim must not be convicted off the back of it.
+  PathBlameTracker blame(2);
+  auto discredited = [](NodeId n) { return n == NodeId(9); };
+  EXPECT_FALSE(blame.AddDeclaration(NodeId(0), NodeId(9), NodeId(9), 0, discredited).has_value());
+  EXPECT_FALSE(blame.AddDeclaration(NodeId(0), NodeId(2), NodeId(2), 0, discredited).has_value());
+  EXPECT_FALSE(blame.IsConvicted(NodeId(0)));
+  // A second credible path does convict.
+  auto convicted = blame.AddDeclaration(NodeId(0), NodeId(3), NodeId(3), 0, discredited);
+  ASSERT_TRUE(convicted.has_value());
+  EXPECT_EQ(*convicted, NodeId(0));
+}
+
+TEST(PathBlame, DiscreditedDeclarerCarriesNoWeight) {
+  // Both declarations against node 0 come from the convicted node 9 (as the
+  // counterpart endpoint it is also discredited); nothing sticks.
+  PathBlameTracker blame(2);
+  auto discredited = [](NodeId n) { return n == NodeId(9); };
+  // Node 9 frames node 0 via paths it declares itself.
+  blame.AddDeclaration(NodeId(0), NodeId(9), NodeId(9), 0, discredited);
+  blame.AddDeclaration(NodeId(0), NodeId(9), NodeId(9), 0, discredited);
+  EXPECT_FALSE(blame.IsConvicted(NodeId(0)));
+  // Even a credible path (0,2) by node 2 plus the discredited one is just
+  // one credible path: still below threshold.
+  EXPECT_FALSE(blame.AddDeclaration(NodeId(0), NodeId(2), NodeId(2), 0, discredited).has_value());
+  EXPECT_FALSE(blame.IsConvicted(NodeId(0)));
+}
+
+TEST(PathBlame, StaleDeclarationsOutsideWindowDoNotCombine) {
+  // Path (0,1) was declared long ago (a transition blip); a fresh burst of
+  // one path (0,2) must not combine with it.
+  PathBlameTracker blame(2, /*window_periods=*/8);
+  EXPECT_FALSE(blame.AddDeclaration(NodeId(0), NodeId(1), NodeId(1), 5).has_value());
+  EXPECT_FALSE(blame.AddDeclaration(NodeId(0), NodeId(2), NodeId(2), 100).has_value());
+  EXPECT_FALSE(blame.IsConvicted(NodeId(0)));
+  // A second *fresh* path does convict.
+  auto convicted = blame.AddDeclaration(NodeId(0), NodeId(3), NodeId(3), 101);
+  ASSERT_TRUE(convicted.has_value());
+  EXPECT_EQ(*convicted, NodeId(0));
+}
+
+TEST(PathBlame, RedeclarationRefreshesTheWindow) {
+  PathBlameTracker blame(2, /*window_periods=*/8);
+  blame.AddDeclaration(NodeId(0), NodeId(1), NodeId(1), 5);
+  // The same path is re-declared within the fresh burst: counts again.
+  blame.AddDeclaration(NodeId(0), NodeId(1), NodeId(1), 99);
+  auto convicted = blame.AddDeclaration(NodeId(0), NodeId(2), NodeId(2), 100);
+  ASSERT_TRUE(convicted.has_value());
+  EXPECT_EQ(*convicted, NodeId(0));
+}
+
+TEST(PathBlame, ConvictionHappensOnce) {
+  PathBlameTracker blame(2);
+  blame.AddDeclaration(NodeId(0), NodeId(1), NodeId(1));
+  ASSERT_TRUE(blame.AddDeclaration(NodeId(0), NodeId(2), NodeId(2)).has_value());
+  EXPECT_FALSE(blame.AddDeclaration(NodeId(0), NodeId(3), NodeId(3)).has_value());
+}
+
+// --- pool ---
+
+TEST(EvidencePool, DeduplicatesByContent) {
+  Rng rng(1);
+  KeyStore keys(2, &rng);
+  auto ev = std::make_shared<EvidenceRecord>();
+  ev->kind = EvidenceKind::kPathDeclaration;
+  ev->declarer = NodeId(0);
+  ev->path_a = NodeId(0);
+  ev->path_b = NodeId(1);
+  ev->declarer_sig = keys.SignerFor(NodeId(0)).Sign(ev->ContentDigest());
+
+  EvidencePool pool;
+  EXPECT_TRUE(pool.Insert(ev));
+  EXPECT_FALSE(pool.Insert(ev));
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_TRUE(pool.Contains(ev->ContentDigest()));
+}
+
+}  // namespace
+}  // namespace btr

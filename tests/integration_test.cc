@@ -1,0 +1,74 @@
+// End-to-end integration tests: plan + run + recover on real scenarios.
+
+#include <gtest/gtest.h>
+
+#include "src/core/btr_system.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+namespace {
+
+BtrConfig DefaultConfig() {
+  BtrConfig config;
+  config.planner.max_faults = 1;
+  config.planner.recovery_bound = Milliseconds(500);
+  config.seed = 42;
+  return config;
+}
+
+TEST(Integration, FaultFreeRunIsFullyCorrect) {
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok()) << system.Plan().ToString();
+  auto report = system.Run(100);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->correctness.incorrect_missing, 0u);
+  EXPECT_EQ(report->correctness.incorrect_value, 0u);
+  EXPECT_EQ(report->correctness.incorrect_late, 0u);
+  EXPECT_GT(report->correctness.correct_instances, 0u);
+  EXPECT_FALSE(report->correctness.btr_violated);
+  EXPECT_EQ(report->correctness.total_instances, report->correctness.correct_instances);
+}
+
+TEST(Integration, CrashFaultRecoversWithinBound) {
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  // Crash a flight computer (node 4+ are compute nodes) mid-run.
+  system.AddFault(FaultInjection{NodeId(5), Milliseconds(200), FaultBehavior::kCrash, 0,
+                                 NodeId::Invalid(), 0});
+  auto report = system.Run(200);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->faults.size(), 1u);
+  EXPECT_NE(report->faults[0].first_conviction, kSimTimeNever)
+      << "crash was never detected";
+  EXPECT_FALSE(report->correctness.btr_violated)
+      << "recovery took " << ToMillisF(report->correctness.max_recovery) << " ms";
+  EXPECT_LE(report->correctness.max_recovery, Milliseconds(500));
+}
+
+// The node hosting the primary replica of `task_name` in the fault-free plan.
+NodeId PrimaryHostOf(const BtrSystem& system, const std::string& task_name) {
+  const TaskId task = system.scenario().workload.FindTask(task_name);
+  EXPECT_TRUE(task.valid()) << "no task named " << task_name;
+  const Plan* root = system.strategy().Lookup(FaultSet());
+  EXPECT_NE(root, nullptr);
+  return root->placement[system.planner().graph().PrimaryOf(task)];
+}
+
+TEST(Integration, ValueCorruptionRecoversWithinBound) {
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  // Corrupt the node computing the flight-control law (a replicated,
+  // checked compute task), so the checker's replay can prove the fault.
+  const NodeId victim = PrimaryHostOf(system, "control_law");
+  ASSERT_TRUE(victim.valid());
+  system.AddFault(FaultInjection{victim, Milliseconds(200),
+                                 FaultBehavior::kValueCorruption, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(200);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->faults[0].first_conviction, kSimTimeNever);
+  EXPECT_FALSE(report->correctness.btr_violated)
+      << "max recovery " << ToMillisF(report->correctness.max_recovery) << " ms";
+}
+
+}  // namespace
+}  // namespace btr

@@ -1,0 +1,157 @@
+// Unit tests for fault sets, plan deltas, and strategies.
+
+#include <gtest/gtest.h>
+
+#include "src/core/plan.h"
+
+namespace btr {
+namespace {
+
+TEST(FaultSet, SortedAndDeduplicated) {
+  FaultSet s({NodeId(3), NodeId(1), NodeId(3), NodeId(2)});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.nodes()[0], NodeId(1));
+  EXPECT_EQ(s.nodes()[2], NodeId(3));
+}
+
+TEST(FaultSet, AddIsIdempotent) {
+  FaultSet s;
+  EXPECT_TRUE(s.Add(NodeId(5)));
+  EXPECT_FALSE(s.Add(NodeId(5)));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Contains(NodeId(5)));
+  EXPECT_FALSE(s.Contains(NodeId(4)));
+}
+
+TEST(FaultSet, WithProducesSortedCopy) {
+  FaultSet s({NodeId(5)});
+  const FaultSet t = s.With(NodeId(2));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.nodes()[0], NodeId(2));
+}
+
+TEST(FaultSet, CoversSubsets) {
+  FaultSet big({NodeId(1), NodeId(2), NodeId(3)});
+  EXPECT_TRUE(big.Covers(FaultSet({NodeId(1), NodeId(3)})));
+  EXPECT_TRUE(big.Covers(FaultSet()));
+  EXPECT_FALSE(big.Covers(FaultSet({NodeId(4)})));
+}
+
+TEST(FaultSet, EqualityAndOrdering) {
+  EXPECT_EQ(FaultSet({NodeId(2), NodeId(1)}), FaultSet({NodeId(1), NodeId(2)}));
+  EXPECT_LT(FaultSet({NodeId(1)}), FaultSet({NodeId(2)}));
+  EXPECT_LT(FaultSet(), FaultSet({NodeId(0)}));
+}
+
+TEST(FaultSet, ToStringFormat) {
+  EXPECT_EQ(FaultSet().ToString(), "{}");
+  EXPECT_EQ(FaultSet({NodeId(2), NodeId(0)}).ToString(), "{n0,n2}");
+}
+
+// Minimal augmented graph for delta tests.
+struct DeltaFixture {
+  Dataflow workload{Milliseconds(10)};
+  std::unique_ptr<AugmentedGraph> graph;
+
+  DeltaFixture() {
+    const TaskId src = workload.AddSource("s", 10, NodeId(0), Criticality::kHigh);
+    const TaskId mid = workload.AddCompute("m", 10, 512, Criticality::kHigh);
+    const TaskId sink = workload.AddSink("k", 10, NodeId(1), Criticality::kHigh,
+                                         Milliseconds(5));
+    workload.Connect(src, mid, 8);
+    workload.Connect(mid, sink, 8);
+    AugmentConfig config;
+    config.replication = 2;
+    graph = std::make_unique<AugmentedGraph>(&workload, 3, config);
+  }
+
+  Plan EmptyPlan() const {
+    Plan p;
+    p.placement.assign(graph->size(), NodeId::Invalid());
+    p.start.assign(graph->size(), -1);
+    return p;
+  }
+};
+
+TEST(PlanDelta, IdenticalPlansHaveZeroDelta) {
+  DeltaFixture fx;
+  Plan a = fx.EmptyPlan();
+  a.placement[0] = NodeId(0);
+  a.placement[1] = NodeId(1);
+  const PlanDelta d = ComputeDelta(a, a, *fx.graph);
+  EXPECT_EQ(d.tasks_moved, 0u);
+  EXPECT_EQ(d.tasks_started, 0u);
+  EXPECT_EQ(d.tasks_stopped, 0u);
+  EXPECT_EQ(d.state_bytes_moved, 0u);
+}
+
+TEST(PlanDelta, CountsMovesStartsStops) {
+  DeltaFixture fx;
+  const auto& reps = fx.graph->ReplicasOf(fx.workload.FindTask("m"));
+  Plan a = fx.EmptyPlan();
+  Plan b = fx.EmptyPlan();
+  // Replica 0 moves node0 -> node2 (512 bytes of state).
+  a.placement[reps[0]] = NodeId(0);
+  b.placement[reps[0]] = NodeId(2);
+  // Replica 1 stops.
+  a.placement[reps[1]] = NodeId(1);
+  // Source starts (no state).
+  const uint32_t src_aug = fx.graph->PrimaryOf(fx.workload.FindTask("s"));
+  b.placement[src_aug] = NodeId(0);
+
+  const PlanDelta d = ComputeDelta(a, b, *fx.graph);
+  EXPECT_EQ(d.tasks_moved, 1u);
+  EXPECT_EQ(d.tasks_stopped, 1u);
+  EXPECT_EQ(d.tasks_started, 1u);
+  EXPECT_EQ(d.state_bytes_moved, 512u);
+}
+
+TEST(Strategy, InsertAndLookup) {
+  Strategy strategy;
+  Plan p;
+  p.faults = FaultSet({NodeId(1)});
+  p.utility = 7.0;
+  strategy.Insert(p);
+  ASSERT_NE(strategy.Lookup(FaultSet({NodeId(1)})), nullptr);
+  EXPECT_EQ(strategy.Lookup(FaultSet({NodeId(1)}))->utility, 7.0);
+  EXPECT_EQ(strategy.Lookup(FaultSet({NodeId(2)})), nullptr);
+  EXPECT_EQ(strategy.mode_count(), 1u);
+}
+
+TEST(Strategy, LookupIsExactMatch) {
+  Strategy strategy;
+  Plan root;
+  strategy.Insert(root);  // empty fault set
+  EXPECT_NE(strategy.Lookup(FaultSet()), nullptr);
+  EXPECT_EQ(strategy.Lookup(FaultSet({NodeId(0)})), nullptr);
+}
+
+TEST(Strategy, PlannedSetsEnumerates) {
+  Strategy strategy;
+  Plan a;
+  a.faults = FaultSet({NodeId(2)});
+  Plan b;
+  b.faults = FaultSet();
+  strategy.Insert(a);
+  strategy.Insert(b);
+  const auto sets = strategy.PlannedSets();
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0], FaultSet());  // map order: {} < {n2}
+  EXPECT_EQ(sets[1], FaultSet({NodeId(2)}));
+}
+
+TEST(Strategy, MemoryFootprintGrowsWithPlans) {
+  DeltaFixture fx;
+  Strategy strategy;
+  Plan a = fx.EmptyPlan();
+  strategy.Insert(a);
+  const size_t one = strategy.MemoryFootprintBytes();
+  Plan b = fx.EmptyPlan();
+  b.faults = FaultSet({NodeId(0)});
+  strategy.Insert(b);
+  EXPECT_GT(strategy.MemoryFootprintBytes(), one);
+}
+
+}  // namespace
+}  // namespace btr

@@ -1,0 +1,298 @@
+// Unit tests for the offline planner: plan invariants, degradation,
+// strategy construction, stickiness, and lookahead.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/planner.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+namespace {
+
+PlannerConfig Config(uint32_t f) {
+  PlannerConfig config;
+  config.max_faults = f;
+  return config;
+}
+
+// Checks the structural invariants every plan must satisfy.
+void CheckPlanInvariants(const Planner& planner, const Scenario& s, const Plan& plan) {
+  const AugmentedGraph& g = planner.graph();
+  const SimDuration period = s.workload.period();
+
+  // 1. No task on a faulty node; pinned tasks on their pinned node.
+  for (uint32_t id = 0; id < g.size(); ++id) {
+    const NodeId node = plan.placement[id];
+    if (!node.valid()) {
+      continue;
+    }
+    EXPECT_FALSE(plan.faults.Contains(node)) << g.task(id).name << " placed on faulty node";
+    if (g.task(id).pinned.valid()) {
+      EXPECT_EQ(node, g.task(id).pinned) << g.task(id).name;
+    }
+  }
+  // 2. Replica dispersion: no two replicas of a task on the same node, and
+  //    the checker is never colocated with a replica of its task.
+  for (const TaskSpec& t : s.workload.tasks()) {
+    std::set<NodeId> used;
+    for (uint32_t rep : g.ReplicasOf(t.id)) {
+      const NodeId node = plan.placement[rep];
+      if (node.valid()) {
+        EXPECT_TRUE(used.insert(node).second) << t.name << " replicas colocated";
+      }
+    }
+    const uint32_t chk = g.CheckerOf(t.id);
+    if (chk != AugmentedGraph::kNone && plan.placement[chk].valid()) {
+      EXPECT_EQ(used.count(plan.placement[chk]), 0u) << t.name << " checker colocated";
+    }
+  }
+  // 3. Tables valid (sorted, non-overlapping, inside the period) and
+  //    consistent with placement.
+  for (size_t n = 0; n < s.topology.node_count(); ++n) {
+    const ScheduleTable& table = plan.tables[n];
+    EXPECT_TRUE(table.Validate(period).ok()) << table.Validate(period).ToString();
+    for (const ScheduleEntry& e : table.entries()) {
+      EXPECT_EQ(plan.placement[e.job], NodeId(static_cast<uint32_t>(n)));
+      EXPECT_EQ(plan.start[e.job], e.start);
+      EXPECT_EQ(e.duration, g.task(e.job).wcet);
+    }
+  }
+  // 4. Precedence with communication budgets holds.
+  const auto& edges = g.edges();
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const AugEdge& e = edges[i];
+    if (!plan.placement[e.from].valid() || !plan.placement[e.to].valid()) {
+      continue;
+    }
+    const SimDuration producer_finish = plan.start[e.from] + g.task(e.from).wcet;
+    EXPECT_GE(plan.start[e.to], producer_finish + (plan.edge_budget[i] > 0
+                                                       ? plan.edge_budget[i]
+                                                       : 0))
+        << g.task(e.from).name << " -> " << g.task(e.to).name;
+  }
+  // 5. Served sink deadlines met.
+  for (TaskId sink : s.workload.SinkIds()) {
+    if (!plan.ServesSink(sink)) {
+      continue;
+    }
+    const uint32_t aug = g.PrimaryOf(sink);
+    ASSERT_TRUE(plan.placement[aug].valid());
+    EXPECT_LE(plan.start[aug] + g.task(aug).wcet, s.workload.task(sink).relative_deadline);
+  }
+}
+
+TEST(Planner, RootPlanServesEverythingOnAvionics) {
+  Scenario s = MakeAvionicsScenario();
+  Planner planner(&s.topology, &s.workload, Config(1));
+  auto plan = planner.PlanForMode(FaultSet(), {});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->shed_sinks.empty());
+  CheckPlanInvariants(planner, s, *plan);
+}
+
+TEST(Planner, PlanInvariantsHoldForEverySingleFaultMode) {
+  Scenario s = MakeAvionicsScenario();
+  Planner planner(&s.topology, &s.workload, Config(1));
+  auto strategy = planner.BuildStrategy();
+  ASSERT_TRUE(strategy.ok()) << strategy.status().ToString();
+  for (const FaultSet& faults : strategy->PlannedSets()) {
+    const Plan* plan = strategy->Lookup(faults);
+    ASSERT_NE(plan, nullptr);
+    CheckPlanInvariants(planner, s, *plan);
+  }
+}
+
+TEST(Planner, StrategyHasOnePlanPerSubset) {
+  Scenario s = MakeScadaScenario(4);
+  const size_t n = s.topology.node_count();
+  Planner planner(&s.topology, &s.workload, Config(2));
+  auto strategy = planner.BuildStrategy();
+  ASSERT_TRUE(strategy.ok());
+  EXPECT_EQ(strategy->mode_count(), 1 + n + n * (n - 1) / 2);
+}
+
+TEST(Planner, ReplicationScalesWithF) {
+  Scenario s = MakeAvionicsScenario(8);
+  Planner planner(&s.topology, &s.workload, Config(2));
+  EXPECT_EQ(planner.graph().ReplicasOf(s.workload.FindTask("control_law")).size(), 3u);
+  auto root = planner.PlanForMode(FaultSet(), {});
+  ASSERT_TRUE(root.ok());
+  // All 3 replicas placed in the root mode.
+  size_t placed = 0;
+  for (uint32_t rep : planner.graph().ReplicasOf(s.workload.FindTask("control_law"))) {
+    if (root->placement[rep].valid()) {
+      ++placed;
+    }
+  }
+  EXPECT_EQ(placed, 3u);
+}
+
+TEST(Planner, DegradedModesKeepFewerReplicas) {
+  Scenario s = MakeAvionicsScenario(8);
+  Planner planner(&s.topology, &s.workload, Config(2));
+  auto root = planner.PlanForMode(FaultSet(), {});
+  ASSERT_TRUE(root.ok());
+  auto one_fault = planner.PlanForMode(FaultSet({NodeId(9)}), {&root.value()});
+  ASSERT_TRUE(one_fault.ok());
+  size_t placed = 0;
+  for (uint32_t rep : planner.graph().ReplicasOf(s.workload.FindTask("control_law"))) {
+    if (one_fault->placement[rep].valid()) {
+      ++placed;
+    }
+  }
+  // f - k + 1 = 2 - 1 + 1 = 2 replicas.
+  EXPECT_EQ(placed, 2u);
+}
+
+TEST(Planner, FaultySensorNodeShedsDependentFlows) {
+  Scenario s = MakeAvionicsScenario();
+  Planner planner(&s.topology, &s.workload, Config(1));
+  // Node 0 hosts gyro + accel: losing it makes the elevator flow unservable.
+  auto plan = planner.PlanForMode(FaultSet({NodeId(0)}), {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->ServesSink(s.workload.FindTask("elevator")));
+  // The cabin-pressure loop does not depend on node 0 and must survive.
+  EXPECT_TRUE(plan->ServesSink(s.workload.FindTask("outflow_valve")));
+  CheckPlanInvariants(planner, s, *plan);
+}
+
+TEST(Planner, UtilityReflectsShedding) {
+  Scenario s = MakeAvionicsScenario();
+  Planner planner(&s.topology, &s.workload, Config(1));
+  auto root = planner.PlanForMode(FaultSet(), {});
+  auto degraded = planner.PlanForMode(FaultSet({NodeId(0)}), {});
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_GT(root->utility, degraded->utility);
+}
+
+TEST(Planner, SheddingDropsLowestCriticalityFirst) {
+  // Force scarcity: tiny compute capacity (2 nodes) so something must shed.
+  Scenario s = MakeAvionicsScenario(2);
+  Planner planner(&s.topology, &s.workload, Config(1));
+  auto strategy = planner.BuildStrategy();
+  ASSERT_TRUE(strategy.ok());
+  for (const FaultSet& faults : strategy->PlannedSets()) {
+    const Plan* plan = strategy->Lookup(faults);
+    // If anything safety-critical was shed, everything best-effort must have
+    // been shed first (unless pinned-node loss forced it).
+    bool sc_shed = false;
+    bool be_served = false;
+    for (TaskId sink : s.workload.SinkIds()) {
+      const TaskSpec& spec = s.workload.task(sink);
+      const bool pinned_lost = faults.Contains(spec.pinned_node);
+      if (pinned_lost) {
+        continue;
+      }
+      bool sources_lost = false;
+      for (TaskId anc : s.workload.AncestorsOf(sink)) {
+        const TaskSpec& a = s.workload.task(anc);
+        if (a.kind == TaskKind::kSource && faults.Contains(a.pinned_node)) {
+          sources_lost = true;
+        }
+      }
+      if (sources_lost) {
+        continue;
+      }
+      if (spec.criticality == Criticality::kSafetyCritical && !plan->ServesSink(sink)) {
+        sc_shed = true;
+      }
+      if (spec.criticality == Criticality::kBestEffort && plan->ServesSink(sink)) {
+        be_served = true;
+      }
+    }
+    EXPECT_FALSE(sc_shed && be_served)
+        << "mode " << faults.ToString() << " shed safety-critical before best-effort";
+  }
+}
+
+TEST(Planner, ParentStickinessReducesDelta) {
+  Scenario s = MakeAvionicsScenario(6);
+
+  PlannerConfig sticky = Config(1);
+  sticky.parent_stickiness = true;
+  PlannerConfig fickle = Config(1);
+  fickle.parent_stickiness = false;
+  // Make the load term dominate so the fickle planner has a reason to move
+  // things around.
+  fickle.weight_load = 5.0;
+  sticky.weight_load = 5.0;
+
+  Planner planner_a(&s.topology, &s.workload, sticky);
+  Planner planner_b(&s.topology, &s.workload, fickle);
+
+  auto root_a = planner_a.PlanForMode(FaultSet(), {});
+  auto root_b = planner_b.PlanForMode(FaultSet(), {});
+  ASSERT_TRUE(root_a.ok());
+  ASSERT_TRUE(root_b.ok());
+
+  size_t delta_sticky = 0;
+  size_t delta_fickle = 0;
+  for (uint32_t n = 4; n < s.topology.node_count(); ++n) {
+    auto mode_a = planner_a.PlanForMode(FaultSet({NodeId(n)}), {&root_a.value()});
+    auto mode_b = planner_b.PlanForMode(FaultSet({NodeId(n)}), {&root_b.value()});
+    ASSERT_TRUE(mode_a.ok());
+    ASSERT_TRUE(mode_b.ok());
+    delta_sticky += ComputeDelta(*root_a, *mode_a, planner_a.graph()).tasks_moved;
+    delta_fickle += ComputeDelta(*root_b, *mode_b, planner_b.graph()).tasks_moved;
+  }
+  EXPECT_LE(delta_sticky, delta_fickle);
+}
+
+TEST(Planner, TooManyFaultsRejected) {
+  Scenario s = MakeScadaScenario();
+  Planner planner(&s.topology, &s.workload, Config(1));
+  auto plan = planner.PlanForMode(FaultSet({NodeId(0), NodeId(1)}), {});
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(Planner, EdgeBudgetCoversActualFanout) {
+  // The plan's edge budgets must be large enough that the runtime's actual
+  // guardian queueing (all of a node's sends back-to-back) fits within them.
+  Scenario s = MakeAvionicsScenario();
+  Planner planner(&s.topology, &s.workload, Config(1));
+  auto plan = planner.PlanForMode(FaultSet(), {});
+  ASSERT_TRUE(plan.ok());
+  const auto& edges = planner.graph().edges();
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (plan->edge_budget[i] < 0) {
+      continue;
+    }
+    const NodeId from = plan->placement[edges[i].from];
+    const NodeId to = plan->placement[edges[i].to];
+    if (from == to) {
+      EXPECT_EQ(plan->edge_budget[i], 0);
+    } else {
+      EXPECT_GT(plan->edge_budget[i], 0);
+    }
+  }
+}
+
+TEST(Planner, RandomScenariosPlanAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    RandomDagParams params;
+    params.period = Milliseconds(40);
+    Scenario s = MakeRandomScenario(&rng, params);
+    Planner planner(&s.topology, &s.workload, Config(1));
+    auto strategy = planner.BuildStrategy();
+    ASSERT_TRUE(strategy.ok()) << "seed " << seed << ": " << strategy.status().ToString();
+    for (const FaultSet& faults : strategy->PlannedSets()) {
+      CheckPlanInvariants(planner, s, *strategy->Lookup(faults));
+    }
+  }
+}
+
+TEST(Planner, MetricsCountModes) {
+  Scenario s = MakeScadaScenario(4);
+  Planner planner(&s.topology, &s.workload, Config(1));
+  auto strategy = planner.BuildStrategy();
+  ASSERT_TRUE(strategy.ok());
+  EXPECT_EQ(planner.metrics().modes_planned, strategy->mode_count());
+  EXPECT_GE(planner.metrics().schedule_attempts, strategy->mode_count());
+}
+
+}  // namespace
+}  // namespace btr

@@ -1,0 +1,186 @@
+// Unit tests for the plant models and the outage ("five-second rule")
+// analysis.
+
+#include <gtest/gtest.h>
+
+#include "src/plant/models.h"
+#include "src/plant/outage_analysis.h"
+
+namespace btr {
+namespace {
+
+TEST(PidController, ProportionalResponse) {
+  PidController pid(10.0, 2.0, 0.0, 0.0, -100.0, 100.0);
+  EXPECT_DOUBLE_EQ(pid.Control(7.0, 0.01), 6.0);  // 2 * (10 - 7)
+}
+
+TEST(PidController, OutputClamped) {
+  PidController pid(10.0, 100.0, 0.0, 0.0, -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(pid.Control(0.0, 0.01), 1.0);
+  EXPECT_DOUBLE_EQ(pid.Control(20.0, 0.01), -1.0);
+}
+
+TEST(PidController, IntegralAccumulates) {
+  PidController pid(1.0, 0.0, 1.0, 0.0, -10.0, 10.0);
+  const double u1 = pid.Control(0.0, 1.0);
+  const double u2 = pid.Control(0.0, 1.0);
+  EXPECT_GT(u2, u1);
+}
+
+TEST(PidController, ResetClearsState) {
+  PidController pid(1.0, 0.0, 1.0, 0.0, -10.0, 10.0);
+  pid.Control(0.0, 1.0);
+  pid.Reset();
+  EXPECT_DOUBLE_EQ(pid.Control(0.0, 1.0), 1.0);
+}
+
+// Closed-loop stability: each plant stays near its setpoint under its
+// matched controller.
+template <typename PlantT>
+void CheckClosedLoopStable(PlantT* plant, Controller* controller, double horizon) {
+  plant->Reset();
+  controller->Reset();
+  const double dt = 0.001;
+  const double control_period = 0.01;
+  double next_control = 0.0;
+  for (double t = 0.0; t < horizon; t += dt) {
+    if (t >= next_control) {
+      plant->SetCommand(controller->Control(plant->Observe(), control_period));
+      next_control = t + control_period;
+    }
+    plant->Step(dt);
+    ASSERT_TRUE(plant->InEnvelope()) << plant->name() << " left envelope at t=" << t;
+  }
+  EXPECT_LT(plant->Excursion(), 0.25) << plant->name() << " did not settle";
+}
+
+TEST(Plants, PressureVesselClosedLoopStable) {
+  PressureVessel plant;
+  auto pid = MakePressureController();
+  CheckClosedLoopStable(&plant, pid.get(), 120.0);
+}
+
+TEST(Plants, PendulumClosedLoopStable) {
+  InvertedPendulum plant;
+  auto pid = MakePendulumController();
+  CheckClosedLoopStable(&plant, pid.get(), 30.0);
+}
+
+TEST(Plants, CruiseClosedLoopStable) {
+  CruiseControl plant;
+  auto pid = MakeCruiseController();
+  CheckClosedLoopStable(&plant, pid.get(), 120.0);
+}
+
+TEST(Plants, PendulumDivergesWithoutControl) {
+  InvertedPendulum plant;
+  plant.SetCommand(0.0);
+  for (double t = 0.0; t < 5.0; t += 0.001) {
+    plant.Step(0.001);
+  }
+  EXPECT_FALSE(plant.InEnvelope());
+}
+
+TEST(Plants, PressureRisesWithValveShut) {
+  PressureVessel plant;
+  plant.SetCommand(0.0);
+  const double p0 = plant.Observe();
+  for (double t = 0.0; t < 5.0; t += 0.001) {
+    plant.Step(0.001);
+  }
+  EXPECT_GT(plant.Observe(), p0 + 2.0);
+}
+
+TEST(Plants, CruiseDecaysSlowlyWithoutThrottle) {
+  CruiseControl plant;
+  plant.SetCommand(0.0);
+  for (double t = 0.0; t < 10.0; t += 0.001) {
+    plant.Step(0.001);
+  }
+  // After 10 s the speed dropped but stayed comfortably inside the band.
+  EXPECT_LT(plant.Observe(), CruiseControl::kSetpoint);
+  EXPECT_TRUE(plant.InEnvelope());
+}
+
+TEST(Outage, ShortOutageTolerated) {
+  PressureVessel plant;
+  auto pid = MakePressureController();
+  OutageParams params;
+  params.outage = 1.0;
+  const OutageResult result = SimulateOutage(&plant, pid.get(), params);
+  EXPECT_FALSE(result.violated);
+  EXPECT_TRUE(result.recovered);
+}
+
+TEST(Outage, LongOutageViolatesEnvelope) {
+  PressureVessel plant;
+  auto pid = MakePressureController();
+  OutageParams params;
+  params.outage = 30.0;  // way beyond the vessel's tolerance
+  const OutageResult result = SimulateOutage(&plant, pid.get(), params);
+  EXPECT_TRUE(result.violated);
+}
+
+TEST(Outage, ExcursionGrowsWithOutageLength) {
+  PressureVessel plant;
+  auto pid = MakePressureController();
+  OutageParams params;
+  params.outage = 1.0;
+  const double short_exc = SimulateOutage(&plant, pid.get(), params).max_excursion;
+  params.outage = 5.0;
+  const double long_exc = SimulateOutage(&plant, pid.get(), params).max_excursion;
+  EXPECT_GT(long_exc, short_exc);
+}
+
+TEST(Outage, MaxTolerableOrderingMatchesPlantPhysics) {
+  // The unstable pendulum tolerates less than the integrating vessel, which
+  // tolerates less than the self-stable cruise control.
+  InvertedPendulum pendulum;
+  auto pendulum_pid = MakePendulumController();
+  OutageParams pparams;
+  pparams.settle_time = 20.0;
+  const double pendulum_r = MaxTolerableOutage(&pendulum, pendulum_pid.get(), pparams, 30.0);
+
+  PressureVessel vessel;
+  auto vessel_pid = MakePressureController();
+  const double vessel_r = MaxTolerableOutage(&vessel, vessel_pid.get(), OutageParams{}, 60.0);
+
+  CruiseControl cruise;
+  auto cruise_pid = MakeCruiseController();
+  const double cruise_r = MaxTolerableOutage(&cruise, cruise_pid.get(), OutageParams{}, 120.0);
+
+  EXPECT_LT(pendulum_r, vessel_r);
+  EXPECT_LT(vessel_r, cruise_r);
+  // The pressure vessel is the paper's motivating example: its tolerance is
+  // in the single-digit seconds — the five-second-rule regime.
+  EXPECT_GT(vessel_r, 2.0);
+  EXPECT_LT(vessel_r, 15.0);
+}
+
+TEST(Outage, HoldLastVsFailDefault) {
+  // Holding the last (equilibrium) valve command is much safer than the
+  // valve slamming shut.
+  PressureVessel vessel;
+  auto pid = MakePressureController();
+  OutageParams hold;
+  hold.mode = OutageMode::kHoldLast;
+  hold.outage = 8.0;
+  OutageParams fail;
+  fail.mode = OutageMode::kFailDefault;
+  fail.outage = 8.0;
+  const double hold_exc = SimulateOutage(&vessel, pid.get(), hold).max_excursion;
+  const double fail_exc = SimulateOutage(&vessel, pid.get(), fail).max_excursion;
+  EXPECT_LT(hold_exc, fail_exc);
+}
+
+TEST(Outage, ZeroOutageIsAlwaysSafe) {
+  InvertedPendulum pendulum;
+  auto pid = MakePendulumController();
+  OutageParams params;
+  params.outage = 0.0;
+  params.settle_time = 20.0;
+  EXPECT_FALSE(SimulateOutage(&pendulum, pid.get(), params).violated);
+}
+
+}  // namespace
+}  // namespace btr

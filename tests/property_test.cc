@@ -1,0 +1,292 @@
+// Property-based suites (TEST_P): invariants that must hold across fault
+// behaviors, scenarios, seeds, and parameter sweeps.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "src/core/btr_system.h"
+#include "src/plant/models.h"
+#include "src/plant/outage_analysis.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: for every directly-detectable Byzantine behavior, on every
+// scenario, BTR detects the fault and Definition 3.1 holds.
+// ---------------------------------------------------------------------------
+
+enum class ScenarioKind : int { kAvionics = 0, kScada = 1 };
+
+using RecoveryParam = std::tuple<FaultBehavior, ScenarioKind, uint64_t /*seed*/>;
+
+class RecoveryProperty : public ::testing::TestWithParam<RecoveryParam> {};
+
+TEST_P(RecoveryProperty, FaultDetectedAndRecoveryBounded) {
+  const auto [behavior, kind, seed] = GetParam();
+
+  Scenario scenario = kind == ScenarioKind::kAvionics ? MakeAvionicsScenario()
+                                                      : MakeScadaScenario();
+  BtrConfig config;
+  config.planner.max_faults = 1;
+  config.planner.recovery_bound =
+      kind == ScenarioKind::kAvionics ? Milliseconds(500) : Milliseconds(2000);
+  config.seed = seed;
+
+  BtrSystem system(std::move(scenario), config);
+  ASSERT_TRUE(system.Plan().ok());
+
+  // Victim: host of the primary replica of the most critical compute task.
+  const Dataflow& w = system.scenario().workload;
+  TaskId target;
+  for (TaskId t : w.ComputeIds()) {
+    if (!target.valid() || w.task(t).criticality > w.task(target).criticality) {
+      target = t;
+    }
+  }
+  const Plan* root = system.strategy().Lookup(FaultSet());
+  const NodeId victim = root->placement[system.planner().graph().PrimaryOf(target)];
+  ASSERT_TRUE(victim.valid());
+
+  const SimDuration period = w.period();
+  FaultInjection injection;
+  injection.node = victim;
+  injection.manifest_at = 10 * period;
+  injection.behavior = behavior;
+  injection.delay = period / 2;
+  system.AddFault(injection);
+
+  auto report = system.Run(100);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->faults[0].first_conviction, kSimTimeNever)
+      << FaultBehaviorName(behavior) << " was never detected";
+  EXPECT_FALSE(report->correctness.btr_violated)
+      << FaultBehaviorName(behavior) << ": recovery "
+      << ToMillisF(report->correctness.max_recovery) << " ms";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBehaviors, RecoveryProperty,
+    ::testing::Combine(::testing::Values(FaultBehavior::kCrash,
+                                         FaultBehavior::kValueCorruption,
+                                         FaultBehavior::kOmission, FaultBehavior::kEquivocate,
+                                         FaultBehavior::kDelay),
+                       ::testing::Values(ScenarioKind::kAvionics, ScenarioKind::kScada),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<RecoveryParam>& param_info) {
+      std::string name = FaultBehaviorName(std::get<0>(param_info.param));
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      name += std::get<1>(param_info.param) == ScenarioKind::kAvionics ? "_avionics" : "_scada";
+      name += "_s" + std::to_string(std::get<2>(param_info.param));
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Property: plan invariants hold for random workloads across seeds and f.
+// ---------------------------------------------------------------------------
+
+using PlannerParam = std::tuple<uint64_t /*seed*/, uint32_t /*f*/>;
+
+class PlannerProperty : public ::testing::TestWithParam<PlannerParam> {};
+
+TEST_P(PlannerProperty, StrategyInvariants) {
+  const auto [seed, f] = GetParam();
+  Rng rng(seed);
+  RandomDagParams params;
+  params.period = Milliseconds(40);
+  params.compute_nodes = 8;
+  // Comm-light so the fault-free mode is fully schedulable: the utility
+  // monotonicity check below is only a theorem when shedding is driven by
+  // node loss, not by bandwidth scarcity (a degraded mode keeps fewer
+  // replicas than the root and can paradoxically fit more flows otherwise).
+  params.min_msg_bytes = 32;
+  params.max_msg_bytes = 256;
+  params.bus_bandwidth_bps = 100'000'000;
+  Scenario s = MakeRandomScenario(&rng, params);
+  ASSERT_TRUE(s.workload.Validate().ok());
+
+  PlannerConfig config;
+  config.max_faults = f;
+  Planner planner(&s.topology, &s.workload, config);
+  auto strategy = planner.BuildStrategy();
+  ASSERT_TRUE(strategy.ok()) << strategy.status().ToString();
+
+  const AugmentedGraph& g = planner.graph();
+  for (const FaultSet& faults : strategy->PlannedSets()) {
+    const Plan* plan = strategy->Lookup(faults);
+    ASSERT_NE(plan, nullptr);
+
+    // No placement on faulty nodes; replica dispersion; valid tables.
+    for (uint32_t id = 0; id < g.size(); ++id) {
+      if (plan->placement[id].valid()) {
+        EXPECT_FALSE(faults.Contains(plan->placement[id]));
+      }
+    }
+    for (const TaskSpec& t : s.workload.tasks()) {
+      std::set<NodeId> used;
+      for (uint32_t rep : g.ReplicasOf(t.id)) {
+        if (plan->placement[rep].valid()) {
+          EXPECT_TRUE(used.insert(plan->placement[rep]).second);
+        }
+      }
+    }
+    for (size_t n = 0; n < s.topology.node_count(); ++n) {
+      EXPECT_TRUE(plan->tables[n].Validate(s.workload.period()).ok());
+    }
+    // Utility is monotone: a superset of faults never increases utility.
+    for (const FaultSet& smaller : strategy->PlannedSets()) {
+      if (smaller.size() < faults.size() && faults.Covers(smaller)) {
+        EXPECT_LE(plan->utility, strategy->Lookup(smaller)->utility + 1e-9)
+            << faults.ToString() << " vs " << smaller.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerProperty,
+                         ::testing::Combine(::testing::Range<uint64_t>(1, 9),
+                                            ::testing::Values(1u, 2u)),
+                         [](const ::testing::TestParamInfo<PlannerParam>& param_info) {
+                           return "s" + std::to_string(std::get<0>(param_info.param)) + "_f" +
+                                  std::to_string(std::get<1>(param_info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Property: network packet conservation across random traffic.
+// ---------------------------------------------------------------------------
+
+class NetworkConservation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NetworkConservation, SentEqualsDeliveredPlusDropped) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  Topology topo = Topology::Ring(6, 2'000'000, Microseconds(5));
+  Simulator sim(seed);
+  NetworkConfig config;
+  config.loss_probability = 0.05;
+  Network net(&sim, &topo, config);
+  struct Empty : Payload {};
+  uint64_t receiver_count = 0;
+  for (size_t i = 0; i < topo.node_count(); ++i) {
+    net.SetReceiver(NodeId(static_cast<uint32_t>(i)),
+                    [&receiver_count](const Packet&) { ++receiver_count; });
+  }
+  // One node goes down mid-run; random sends before and after.
+  const NodeId down(static_cast<uint32_t>(rng.NextBelow(6)));
+  sim.At(Milliseconds(50), [&net, down]() { net.SetNodeDown(down, true); });
+  for (int i = 0; i < 300; ++i) {
+    const NodeId src(static_cast<uint32_t>(rng.NextBelow(6)));
+    NodeId dst(static_cast<uint32_t>(rng.NextBelow(6)));
+    const uint32_t bytes = static_cast<uint32_t>(rng.NextInRange(16, 2048));
+    const SimTime at = rng.NextInRange(0, Milliseconds(100));
+    sim.At(at, [&net, src, dst, bytes]() {
+      net.Send(src, dst, bytes, TrafficClass::kForeground, std::make_shared<Empty>());
+    });
+  }
+  sim.RunToCompletion();
+  const NetworkStats& stats = net.stats();
+  EXPECT_EQ(stats.packets_sent,
+            stats.packets_delivered + stats.packets_dropped_loss + stats.packets_dropped_down +
+                stats.packets_dropped_unreachable + stats.packets_dropped_backlog);
+  EXPECT_EQ(receiver_count, stats.packets_delivered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkConservation, ::testing::Range<uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------------
+// Property: plant excursion is monotone in outage length (for integrating /
+// unstable plants), and the binary-searched max tolerable outage really is
+// the boundary.
+// ---------------------------------------------------------------------------
+
+class OutageMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(OutageMonotonicity, ExcursionMonotoneAndBoundaryTight) {
+  std::unique_ptr<Plant> plant;
+  std::unique_ptr<Controller> controller;
+  OutageParams params;
+  double hi = 60.0;
+  switch (GetParam()) {
+    case 0:
+      plant = std::make_unique<PressureVessel>();
+      controller = MakePressureController();
+      break;
+    case 1:
+      plant = std::make_unique<InvertedPendulum>();
+      controller = MakePendulumController();
+      params.settle_time = 20.0;
+      hi = 10.0;
+      break;
+    default:
+      plant = std::make_unique<CruiseControl>();
+      controller = MakeCruiseController();
+      hi = 120.0;
+      break;
+  }
+  double prev = -1.0;
+  for (double outage = 0.0; outage <= hi / 4; outage += hi / 16) {
+    params.outage = outage;
+    const double exc = SimulateOutage(plant.get(), controller.get(), params).max_excursion;
+    EXPECT_GE(exc, prev - 1e-6) << "excursion not monotone at outage " << outage;
+    prev = exc;
+  }
+  const double r_max = MaxTolerableOutage(plant.get(), controller.get(), params, hi, 0.05);
+  if (r_max < hi) {
+    params.outage = r_max * 0.9;
+    EXPECT_FALSE(SimulateOutage(plant.get(), controller.get(), params).violated);
+    params.outage = r_max * 1.2 + 0.1;
+    EXPECT_TRUE(SimulateOutage(plant.get(), controller.get(), params).violated);
+  }
+}
+
+std::string PlantParamName(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0:
+      return "vessel";
+    case 1:
+      return "pendulum";
+    default:
+      return "cruise";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Plants, OutageMonotonicity, ::testing::Values(0, 1, 2),
+                         PlantParamName);
+
+// ---------------------------------------------------------------------------
+// Property: determinism — same seed, same everything.
+// ---------------------------------------------------------------------------
+
+class Determinism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Determinism, IdenticalReportsForIdenticalSeeds) {
+  auto run = [&](uint64_t seed) {
+    BtrConfig config;
+    config.planner.max_faults = 1;
+    config.planner.recovery_bound = Milliseconds(500);
+    config.seed = seed;
+    BtrSystem system(MakeAvionicsScenario(), config);
+    EXPECT_TRUE(system.Plan().ok());
+    system.AddFault(
+        {NodeId(5), Milliseconds(150), FaultBehavior::kOmission, 0, NodeId::Invalid(), 0});
+    auto report = system.Run(80);
+    EXPECT_TRUE(report.ok());
+    return std::make_tuple(report->events_executed, report->network.total_link_bytes,
+                           report->correctness.correct_instances,
+                           report->faults[0].first_conviction,
+                           report->total_node_stats.evidence_generated);
+  };
+  EXPECT_EQ(run(GetParam()), run(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Determinism, ::testing::Values(1, 7, 1234567));
+
+}  // namespace
+}  // namespace btr

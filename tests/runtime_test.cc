@@ -1,0 +1,381 @@
+// Runtime behavior tests: every adversary behavior against the full system,
+// detection kinds, convergence, degradation, and the kR bound.
+
+#include <gtest/gtest.h>
+
+#include "src/core/btr_system.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+namespace {
+
+BtrConfig DefaultConfig(uint32_t f = 1) {
+  BtrConfig config;
+  config.planner.max_faults = f;
+  config.planner.recovery_bound = Milliseconds(500);
+  config.seed = 7;
+  return config;
+}
+
+NodeId PrimaryHostOf(const BtrSystem& system, const std::string& task_name) {
+  const TaskId task = system.scenario().workload.FindTask(task_name);
+  const Plan* root = system.strategy().Lookup(FaultSet());
+  return root->placement[system.planner().graph().PrimaryOf(task)];
+}
+
+NodeId ReplicaHostOf(const BtrSystem& system, const std::string& task_name, uint32_t replica) {
+  const TaskId task = system.scenario().workload.FindTask(task_name);
+  const Plan* root = system.strategy().Lookup(FaultSet());
+  return root->placement[system.planner().graph().ReplicasOf(task)[replica]];
+}
+
+NodeId CheckerHostOf(const BtrSystem& system, const std::string& task_name) {
+  const TaskId task = system.scenario().workload.FindTask(task_name);
+  const Plan* root = system.strategy().Lookup(FaultSet());
+  return root->placement[system.planner().graph().CheckerOf(task)];
+}
+
+TEST(Runtime, OmissionFaultIsDetectedViaPathBlame) {
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = PrimaryHostOf(system, "control_law");
+  system.AddFault({victim, Milliseconds(100), FaultBehavior::kOmission, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(150);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->faults[0].first_conviction, kSimTimeNever);
+  EXPECT_GT(report->total_node_stats.path_declarations, 0u);
+  EXPECT_FALSE(report->correctness.btr_violated)
+      << "recovery " << ToMillisF(report->correctness.max_recovery) << " ms";
+}
+
+TEST(Runtime, EquivocationIsDetectedAndProven) {
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = PrimaryHostOf(system, "att_fusion");
+  system.AddFault(
+      {victim, Milliseconds(100), FaultBehavior::kEquivocate, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(150);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->faults[0].first_conviction, kSimTimeNever);
+  EXPECT_FALSE(report->correctness.btr_violated);
+}
+
+TEST(Runtime, DelayFaultIsDetected) {
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = PrimaryHostOf(system, "att_fusion");
+  // Delay outputs by 6 ms: far outside any window, inside the period.
+  system.AddFault(
+      {victim, Milliseconds(100), FaultBehavior::kDelay, Milliseconds(6), NodeId::Invalid(), 0});
+  auto report = system.Run(150);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->faults[0].first_conviction, kSimTimeNever);
+}
+
+TEST(Runtime, CrashOfReplicaHostKeepsOutputsFlowing) {
+  // Losing a NON-primary replica host must not disturb sink outputs at all:
+  // consumers read the primary, and the checker tolerates a missing record
+  // by declaring paths (which convicts the crashed node via heartbeats too).
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = ReplicaHostOf(system, "control_law", 1);
+  const NodeId primary = PrimaryHostOf(system, "control_law");
+  ASSERT_NE(victim, primary);
+  system.AddFault({victim, Milliseconds(100), FaultBehavior::kCrash, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(150);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->faults[0].first_conviction, kSimTimeNever);
+  // Value/late errors must not appear; at most a brief transition blip of
+  // missing outputs is allowed within R.
+  EXPECT_EQ(report->correctness.incorrect_value, 0u);
+  EXPECT_FALSE(report->correctness.btr_violated);
+}
+
+TEST(Runtime, CrashOfCheckerHostIsDetectedByHeartbeats) {
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = CheckerHostOf(system, "control_law");
+  system.AddFault({victim, Milliseconds(100), FaultBehavior::kCrash, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(150);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->faults[0].first_conviction, kSimTimeNever);
+  EXPECT_FALSE(report->correctness.btr_violated);
+}
+
+TEST(Runtime, SelectiveOmissionEventuallyAccumulatesBlame) {
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = PrimaryHostOf(system, "att_fusion");
+  const NodeId target = CheckerHostOf(system, "att_fusion");
+  system.AddFault(
+      {victim, Milliseconds(100), FaultBehavior::kSelectiveOmission, 0, target, 0});
+  auto report = system.Run(200);
+  ASSERT_TRUE(report.ok());
+  // Starving a single target yields one problematic path: not enough for
+  // conviction on its own (the paper's omission-attribution limit), but the
+  // checker also misses the record, so no wrong VALUES may appear.
+  EXPECT_EQ(report->correctness.incorrect_value, 0u);
+  EXPECT_GT(report->total_node_stats.path_declarations, 0u);
+}
+
+TEST(Runtime, OmissionBlameDoesNotCascadeDownstream) {
+  // A silent producer starves the whole chain behind it. Gap notices must
+  // keep the blame on the silent node: every honest node switches mode
+  // exactly once (for the real fault) and no innocent node is convicted.
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = PrimaryHostOf(system, "att_fusion");
+  system.AddFault({victim, Milliseconds(100), FaultBehavior::kOmission, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(200);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->faults[0].first_conviction, kSimTimeNever);
+  const uint64_t honest = system.scenario().topology.node_count() - 1;
+  EXPECT_EQ(report->total_node_stats.mode_switches, honest)
+      << "more switches than honest nodes => someone innocent was convicted";
+  EXPECT_FALSE(report->correctness.btr_violated);
+}
+
+TEST(Runtime, HonestNodesConvergeToTheSamePlan) {
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = PrimaryHostOf(system, "control_law");
+  system.AddFault(
+      {victim, Milliseconds(100), FaultBehavior::kValueCorruption, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(200);
+  ASSERT_TRUE(report.ok());
+  // Every honest node eventually convicted the victim (full distribution).
+  EXPECT_NE(report->faults[0].last_conviction, kSimTimeNever);
+  EXPECT_GE(report->faults[0].distribution_latency, 0);
+}
+
+TEST(Runtime, DetectionLatencyIsBoundedByAFewPeriods) {
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = PrimaryHostOf(system, "control_law");
+  system.AddFault(
+      {victim, Milliseconds(100), FaultBehavior::kValueCorruption, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(200);
+  ASSERT_TRUE(report.ok());
+  ASSERT_GE(report->faults[0].detection_latency, 0);
+  // Commission faults are caught by the next checker activation: within two
+  // periods (20 ms) plus evidence latency.
+  EXPECT_LE(report->faults[0].detection_latency, Milliseconds(30));
+}
+
+TEST(Runtime, TwoSequentialFaultsWithF2StayBounded) {
+  BtrConfig config = DefaultConfig(2);
+  BtrSystem system(MakeAvionicsScenario(8), config);
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId first = PrimaryHostOf(system, "control_law");
+  const NodeId second = PrimaryHostOf(system, "att_fusion");
+  ASSERT_NE(first, second);
+  system.AddFault(
+      {first, Milliseconds(100), FaultBehavior::kValueCorruption, 0, NodeId::Invalid(), 0});
+  system.AddFault({second, Milliseconds(800), FaultBehavior::kCrash, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(300);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->faults.size(), 2u);
+  EXPECT_NE(report->faults[0].first_conviction, kSimTimeNever);
+  EXPECT_NE(report->faults[1].first_conviction, kSimTimeNever);
+  EXPECT_FALSE(report->correctness.btr_violated);
+  // Cumulative bad time obeys the k*R bound.
+  EXPECT_LE(report->correctness.total_bad_time, 2 * config.planner.recovery_bound);
+}
+
+TEST(Runtime, EvidenceFloodWithCountermeasureConvictsFlooder) {
+  BtrConfig config = DefaultConfig();
+  config.runtime.endorsement_abuse = true;
+  BtrSystem system(MakeAvionicsScenario(), config);
+  ASSERT_TRUE(system.Plan().ok());
+  // Flood from a compute node.
+  const NodeId flooder = PrimaryHostOf(system, "control_law");
+  system.AddFault(
+      {flooder, Milliseconds(100), FaultBehavior::kEvidenceFlood, 0, NodeId::Invalid(), 16});
+  auto report = system.Run(200);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->faults[0].first_conviction, kSimTimeNever)
+      << "endorsement abuse should convict the flooder";
+  EXPECT_GT(report->total_node_stats.evidence_rejected, 0u);
+}
+
+TEST(Runtime, EvidenceFloodWithoutCountermeasureIsNotConvicted) {
+  BtrConfig config = DefaultConfig();
+  config.runtime.endorsement_abuse = false;
+  BtrSystem system(MakeAvionicsScenario(), config);
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId flooder = PrimaryHostOf(system, "control_law");
+  system.AddFault(
+      {flooder, Milliseconds(100), FaultBehavior::kEvidenceFlood, 0, NodeId::Invalid(), 16});
+  auto report = system.Run(200);
+  ASSERT_TRUE(report.ok());
+  // The naive distributor keeps validating garbage forever.
+  EXPECT_EQ(report->faults[0].first_conviction, kSimTimeNever);
+  EXPECT_GT(report->total_node_stats.evidence_rejected, 0u);
+}
+
+TEST(Runtime, ModeSwitchesHappenOnConviction) {
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = PrimaryHostOf(system, "control_law");
+  system.AddFault({victim, Milliseconds(100), FaultBehavior::kCrash, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(150);
+  ASSERT_TRUE(report.ok());
+  // Every honest node that convicted should have switched mode once.
+  EXPECT_GT(report->total_node_stats.mode_switches, 0u);
+}
+
+TEST(Runtime, NoFalseConvictionsWithoutFaults) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    BtrConfig config = DefaultConfig();
+    config.seed = seed;
+    BtrSystem system(MakeAvionicsScenario(), config);
+    ASSERT_TRUE(system.Plan().ok());
+    auto report = system.Run(100);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->total_node_stats.mode_switches, 0u) << "seed " << seed;
+    EXPECT_EQ(report->total_node_stats.evidence_generated, 0u) << "seed " << seed;
+    EXPECT_EQ(report->correctness.correct_instances, report->correctness.total_instances);
+  }
+}
+
+TEST(Runtime, ScadaScenarioRecoversFromValveControllerFault) {
+  BtrConfig config = DefaultConfig();
+  config.planner.recovery_bound = Milliseconds(2000);
+  BtrSystem system(MakeScadaScenario(), config);
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = PrimaryHostOf(system, "relief_logic");
+  system.AddFault(
+      {victim, Milliseconds(500), FaultBehavior::kValueCorruption, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(100);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->faults[0].first_conviction, kSimTimeNever);
+  EXPECT_FALSE(report->correctness.btr_violated);
+}
+
+TEST(Runtime, ConvoyScenarioSurvivesVehicleCrash) {
+  BtrConfig config = DefaultConfig();
+  config.planner.recovery_bound = Milliseconds(1000);
+  BtrSystem system(MakeConvoyScenario(4), config);
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = PrimaryHostOf(system, "acc_ctl2");
+  system.AddFault({victim, Milliseconds(200), FaultBehavior::kCrash, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(150);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->faults[0].first_conviction, kSimTimeNever);
+  EXPECT_FALSE(report->correctness.btr_violated)
+      << "recovery " << ToMillisF(report->correctness.max_recovery) << " ms";
+}
+
+TEST(Runtime, DegradedModeStillServesCriticalFlowsUnderScarcity) {
+  // Only two flight computers: a fault forces degradation, and what remains
+  // served must include the safety-critical flows whenever possible.
+  BtrConfig config = DefaultConfig();
+  BtrSystem system(MakeAvionicsScenario(2), config);
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = PrimaryHostOf(system, "control_law");
+  system.AddFault({victim, Milliseconds(100), FaultBehavior::kCrash, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(150);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->correctness.btr_violated);
+  // The elevator flow must be served in the new mode (victim is a flight
+  // computer, not a sensor node).
+  const Plan* degraded = system.strategy().Lookup(FaultSet({victim}));
+  ASSERT_NE(degraded, nullptr);
+  EXPECT_TRUE(degraded->ServesSink(system.scenario().workload.FindTask("elevator")));
+}
+
+TEST(Runtime, StateTransferHappensForStatefulMigration) {
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = PrimaryHostOf(system, "control_law");
+  system.AddFault({victim, Milliseconds(100), FaultBehavior::kCrash, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(150);
+  ASSERT_TRUE(report.ok());
+  // Control traffic (state transfer) flowed during the transition, unless
+  // every migrated task landed where a sibling replica already lived.
+  const Plan* root = system.strategy().Lookup(FaultSet());
+  const Plan* next = system.strategy().Lookup(FaultSet({victim}));
+  ASSERT_NE(next, nullptr);
+  const PlanDelta delta = ComputeDelta(*root, *next, system.planner().graph());
+  if (delta.state_bytes_moved > 0) {
+    EXPECT_GT(report->network.bytes_by_class[static_cast<int>(TrafficClass::kControl)], 0u);
+  }
+}
+
+TEST(Runtime, ReportAccountsCpuAndNetwork) {
+  BtrSystem system(MakeAvionicsScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  auto report = system.Run(50);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->total_node_stats.busy, 0);
+  EXPECT_GT(report->total_node_stats.crypto, 0);
+  EXPECT_GT(report->network.bytes_by_class[static_cast<int>(TrafficClass::kForeground)], 0u);
+  EXPECT_EQ(report->periods, 50u);
+  EXPECT_GT(report->events_executed, 0u);
+  EXPECT_EQ(report->per_node.size(), system.scenario().topology.node_count());
+}
+
+TEST(Runtime, RunIsDeterministicForSameSeed) {
+  auto run_once = [](uint64_t seed) {
+    BtrConfig config = DefaultConfig();
+    config.seed = seed;
+    BtrSystem system(MakeAvionicsScenario(), config);
+    EXPECT_TRUE(system.Plan().ok());
+    const NodeId victim = PrimaryHostOf(system, "control_law");
+    system.AddFault(
+        {victim, Milliseconds(100), FaultBehavior::kValueCorruption, 0, NodeId::Invalid(), 0});
+    auto report = system.Run(100);
+    EXPECT_TRUE(report.ok());
+    return std::make_tuple(report->faults[0].first_conviction,
+                           report->correctness.correct_instances,
+                           report->events_executed);
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(std::get<2>(run_once(5)), 0u);
+}
+
+TEST(Runtime, ClockSkewWithinEpsilonCausesNoFalseAccusations) {
+  // Nodes read arrivals through skewed clocks; as long as the skew bound is
+  // below epsilon, a fault-free run must stay evidence-free.
+  BtrConfig config = DefaultConfig();
+  config.runtime.max_clock_offset = Microseconds(60);
+  config.runtime.epsilon = Microseconds(100);
+  BtrSystem system(MakeAvionicsScenario(), config);
+  ASSERT_TRUE(system.Plan().ok());
+  auto report = system.Run(100);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total_node_stats.evidence_generated, 0u);
+  EXPECT_EQ(report->total_node_stats.mode_switches, 0u);
+}
+
+TEST(Runtime, SkewBeyondEpsilonStillCatchesRealDelayFault) {
+  BtrConfig config = DefaultConfig();
+  config.runtime.max_clock_offset = Microseconds(60);
+  BtrSystem system(MakeAvionicsScenario(), config);
+  ASSERT_TRUE(system.Plan().ok());
+  const NodeId victim = PrimaryHostOf(system, "att_fusion");
+  system.AddFault(
+      {victim, Milliseconds(100), FaultBehavior::kDelay, Milliseconds(6), NodeId::Invalid(), 0});
+  auto report = system.Run(150);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->faults[0].first_conviction, kSimTimeNever);
+  EXPECT_FALSE(report->correctness.btr_violated);
+}
+
+TEST(Runtime, RunWithoutPlanFails) {
+  BtrSystem system(MakeScadaScenario(), DefaultConfig());
+  auto report = system.Run(10);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Runtime, InvalidFaultNodeRejected) {
+  BtrSystem system(MakeScadaScenario(), DefaultConfig());
+  ASSERT_TRUE(system.Plan().ok());
+  system.AddFault({NodeId(999), 0, FaultBehavior::kCrash, 0, NodeId::Invalid(), 0});
+  auto report = system.Run(10);
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace btr

@@ -1,0 +1,182 @@
+// Unit tests for the discrete-event engine and local clocks.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+
+namespace btr {
+namespace {
+
+TEST(EventQueue, DeliversInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  while (!q.Empty()) {
+    q.RunNext();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesDeliverInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.Empty()) {
+    q.RunNext();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueue, CancelPreventsDelivery) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.Schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(h));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, DoubleCancelIsSafe) {
+  EventQueue q;
+  EventHandle h = q.Schedule(10, [] {});
+  EXPECT_TRUE(q.Cancel(h));
+  EXPECT_FALSE(q.Cancel(h));
+  EXPECT_FALSE(q.Cancel(EventHandle()));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventHandle h = q.Schedule(10, [] {});
+  q.Schedule(20, [] {});
+  q.Cancel(h);
+  EXPECT_EQ(q.NextTime(), 20);
+  EXPECT_EQ(q.PendingCount(), 1u);
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) {
+      q.Schedule(q.last_popped_time() + 10, chain);
+    }
+  };
+  q.Schedule(0, chain);
+  while (!q.Empty()) {
+    q.RunNext();
+  }
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.last_popped_time(), 40);
+}
+
+TEST(Simulator, NowAdvancesBeforeCallbacks) {
+  Simulator sim(1);
+  SimTime seen = -1;
+  sim.At(100, [&] { seen = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator sim(1);
+  SimTime seen = -1;
+  sim.At(50, [&] { sim.After(25, [&] { seen = sim.Now(); }); });
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, 75);
+}
+
+TEST(Simulator, CallbackSchedulingAtSameTimeRuns) {
+  // Regression: Now() must equal the event timestamp inside the callback so
+  // that sim.After(0, ...) never lands in the past.
+  Simulator sim(1);
+  int fired = 0;
+  sim.At(10, [&] {
+    sim.At(20, [&] { ++fired; });
+  });
+  sim.At(15, [&] {
+    sim.After(0, [&] { ++fired; });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.At(10, [&] { ++fired; });
+  sim.At(30, [&] { ++fired; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 20);
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.At(1, [&] { ++fired; });
+  sim.At(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, CancelledEventDoesNotRun) {
+  Simulator sim(1);
+  bool fired = false;
+  EventHandle h = sim.At(10, [&] { fired = true; });
+  sim.Cancel(h);
+  sim.RunToCompletion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(LocalClock, PerfectClockIsIdentity) {
+  LocalClock clock;
+  EXPECT_EQ(clock.Read(12345), 12345);
+  EXPECT_EQ(clock.TrueTimeAt(777), 777);
+}
+
+TEST(LocalClock, OffsetShiftsReading) {
+  LocalClock clock(Microseconds(5), 0.0);
+  EXPECT_EQ(clock.Read(Milliseconds(1)), Milliseconds(1) + Microseconds(5));
+}
+
+TEST(LocalClock, DriftGrowsWithTime) {
+  LocalClock clock(0, 100.0);  // 100 ppm fast
+  const SimTime t = Seconds(10);
+  EXPECT_NEAR(static_cast<double>(clock.Read(t) - t), 1e9 * 10 * 100e-6, 1.0);
+}
+
+TEST(LocalClock, TrueTimeInvertsRead) {
+  LocalClock clock(Microseconds(3), 50.0);
+  const SimTime t = Seconds(2);
+  EXPECT_NEAR(static_cast<double>(clock.TrueTimeAt(clock.Read(t))), static_cast<double>(t), 2.0);
+}
+
+TEST(LocalClock, MaxErrorBoundsActualError) {
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    LocalClock clock = LocalClock::Random(&rng, Microseconds(50), 200.0);
+    const SimDuration run = Seconds(5);
+    const SimDuration bound = clock.MaxError(run);
+    for (SimTime t = 0; t <= run; t += run / 10) {
+      EXPECT_LE(std::abs(clock.Read(t) - t), bound);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace btr

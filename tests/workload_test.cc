@@ -1,0 +1,186 @@
+// Unit tests for the dataflow model and the scenario generators.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/dataflow.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+namespace {
+
+Dataflow MakeDiamond() {
+  // src -> a -> sink, src -> b -> sink.
+  Dataflow w(Milliseconds(10));
+  const TaskId src = w.AddSource("src", Microseconds(10), NodeId(0), Criticality::kHigh);
+  const TaskId a = w.AddCompute("a", Microseconds(100), 0, Criticality::kHigh);
+  const TaskId b = w.AddCompute("b", Microseconds(100), 128, Criticality::kLow);
+  const TaskId sink = w.AddSink("sink", Microseconds(10), NodeId(1), Criticality::kHigh,
+                                Milliseconds(8));
+  w.Connect(src, a, 64);
+  w.Connect(src, b, 64);
+  w.Connect(a, sink, 64);
+  w.Connect(b, sink, 64);
+  return w;
+}
+
+TEST(Dataflow, ValidDiamondPasses) {
+  Dataflow w = MakeDiamond();
+  EXPECT_TRUE(w.Validate().ok()) << w.Validate().ToString();
+}
+
+TEST(Dataflow, TopologicalOrderRespectsEdges) {
+  Dataflow w = MakeDiamond();
+  const auto& order = w.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<size_t> pos(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    pos[order[i].value()] = i;
+  }
+  for (const ChannelSpec& ch : w.channels()) {
+    EXPECT_LT(pos[ch.from.value()], pos[ch.to.value()]);
+  }
+}
+
+TEST(Dataflow, AncestorsOfSink) {
+  Dataflow w = MakeDiamond();
+  const TaskId sink = w.FindTask("sink");
+  const auto ancestors = w.AncestorsOf(sink);
+  EXPECT_EQ(ancestors.size(), 3u);  // src, a, b
+}
+
+TEST(Dataflow, ReachesSinkMask) {
+  Dataflow w = MakeDiamond();
+  const auto mask = w.ReachesSinkMask({w.FindTask("sink")});
+  EXPECT_TRUE(mask[w.FindTask("src").value()]);
+  EXPECT_TRUE(mask[w.FindTask("a").value()]);
+  EXPECT_TRUE(mask[w.FindTask("sink").value()]);
+  const auto empty_mask = w.ReachesSinkMask({});
+  EXPECT_FALSE(empty_mask[w.FindTask("src").value()]);
+}
+
+TEST(Dataflow, FindTask) {
+  Dataflow w = MakeDiamond();
+  EXPECT_TRUE(w.FindTask("a").valid());
+  EXPECT_FALSE(w.FindTask("nope").valid());
+}
+
+TEST(Dataflow, InputsOutputs) {
+  Dataflow w = MakeDiamond();
+  EXPECT_EQ(w.Inputs(w.FindTask("sink")).size(), 2u);
+  EXPECT_EQ(w.Outputs(w.FindTask("src")).size(), 2u);
+  EXPECT_EQ(w.Inputs(w.FindTask("src")).size(), 0u);
+}
+
+TEST(Dataflow, ValidateRejectsCycle) {
+  Dataflow w(Milliseconds(10));
+  const TaskId src = w.AddSource("src", 10, NodeId(0), Criticality::kLow);
+  const TaskId a = w.AddCompute("a", 10, 0, Criticality::kLow);
+  const TaskId b = w.AddCompute("b", 10, 0, Criticality::kLow);
+  const TaskId sink = w.AddSink("sink", 10, NodeId(0), Criticality::kLow, Milliseconds(1));
+  w.Connect(src, a, 8);
+  w.Connect(a, b, 8);
+  w.Connect(b, a, 8);  // cycle
+  w.Connect(b, sink, 8);
+  EXPECT_FALSE(w.Validate().ok());
+}
+
+TEST(Dataflow, ValidateRejectsUnpinnedSource) {
+  Dataflow w(Milliseconds(10));
+  const TaskId src = w.AddSource("src", 10, NodeId::Invalid(), Criticality::kLow);
+  const TaskId sink = w.AddSink("sink", 10, NodeId(0), Criticality::kLow, Milliseconds(1));
+  w.Connect(src, sink, 8);
+  EXPECT_FALSE(w.Validate().ok());
+}
+
+TEST(Dataflow, ValidateRejectsDeadlineBeyondPeriod) {
+  Dataflow w(Milliseconds(10));
+  const TaskId src = w.AddSource("src", 10, NodeId(0), Criticality::kLow);
+  const TaskId sink = w.AddSink("sink", 10, NodeId(0), Criticality::kLow, Milliseconds(11));
+  w.Connect(src, sink, 8);
+  EXPECT_FALSE(w.Validate().ok());
+}
+
+TEST(Dataflow, ValidateRejectsSinkWithOutputs) {
+  Dataflow w(Milliseconds(10));
+  const TaskId src = w.AddSource("src", 10, NodeId(0), Criticality::kLow);
+  const TaskId sink = w.AddSink("sink", 10, NodeId(0), Criticality::kLow, Milliseconds(1));
+  const TaskId sink2 = w.AddSink("sink2", 10, NodeId(0), Criticality::kLow, Milliseconds(1));
+  w.Connect(src, sink, 8);
+  w.Connect(sink, sink2, 8);
+  EXPECT_FALSE(w.Validate().ok());
+}
+
+TEST(Dataflow, ValidateRejectsZeroByteChannel) {
+  Dataflow w(Milliseconds(10));
+  const TaskId src = w.AddSource("src", 10, NodeId(0), Criticality::kLow);
+  const TaskId sink = w.AddSink("sink", 10, NodeId(0), Criticality::kLow, Milliseconds(1));
+  w.Connect(src, sink, 0);
+  EXPECT_FALSE(w.Validate().ok());
+}
+
+TEST(Criticality, WeightsAreMonotone) {
+  EXPECT_LT(CriticalityWeight(Criticality::kBestEffort), CriticalityWeight(Criticality::kLow));
+  EXPECT_LT(CriticalityWeight(Criticality::kLow), CriticalityWeight(Criticality::kMedium));
+  EXPECT_LT(CriticalityWeight(Criticality::kMedium), CriticalityWeight(Criticality::kHigh));
+  EXPECT_LT(CriticalityWeight(Criticality::kHigh),
+            CriticalityWeight(Criticality::kSafetyCritical));
+}
+
+TEST(Criticality, SafetyCriticalDominatesAllBestEffort) {
+  // One safety-critical flow outweighs any plausible count of best-effort.
+  EXPECT_GT(CriticalityWeight(Criticality::kSafetyCritical),
+            100 * CriticalityWeight(Criticality::kBestEffort));
+}
+
+// --- generators ---
+
+TEST(Generators, AvionicsScenarioIsValid) {
+  Scenario s = MakeAvionicsScenario();
+  EXPECT_TRUE(s.topology.Validate().ok());
+  EXPECT_TRUE(s.workload.Validate().ok()) << s.workload.Validate().ToString();
+  EXPECT_EQ(s.workload.SinkIds().size(), 4u);
+  // The flight-control chain is safety-critical.
+  EXPECT_EQ(s.workload.task(s.workload.FindTask("control_law")).criticality,
+            Criticality::kSafetyCritical);
+}
+
+TEST(Generators, ScadaScenarioIsValid) {
+  Scenario s = MakeScadaScenario();
+  EXPECT_TRUE(s.topology.Validate().ok());
+  EXPECT_TRUE(s.workload.Validate().ok()) << s.workload.Validate().ToString();
+  EXPECT_TRUE(s.workload.FindTask("relief_valve").valid());
+}
+
+TEST(Generators, ConvoyScenarioIsValid) {
+  Scenario s = MakeConvoyScenario(5);
+  EXPECT_TRUE(s.topology.Validate().ok());
+  EXPECT_TRUE(s.workload.Validate().ok()) << s.workload.Validate().ToString();
+  EXPECT_EQ(s.workload.SinkIds().size(), 4u);  // one throttle per follower
+}
+
+TEST(Generators, RandomScenarioIsValidAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    RandomDagParams params;
+    Scenario s = MakeRandomScenario(&rng, params);
+    EXPECT_TRUE(s.topology.Validate().ok()) << "seed " << seed;
+    EXPECT_TRUE(s.workload.Validate().ok())
+        << "seed " << seed << ": " << s.workload.Validate().ToString();
+  }
+}
+
+TEST(Generators, RandomScenarioRespectsParams) {
+  Rng rng(3);
+  RandomDagParams params;
+  params.sources = 2;
+  params.sinks = 5;
+  params.layers = 2;
+  params.tasks_per_layer = 3;
+  Scenario s = MakeRandomScenario(&rng, params);
+  EXPECT_EQ(s.workload.SourceIds().size(), 2u);
+  EXPECT_EQ(s.workload.SinkIds().size(), 5u);
+  EXPECT_EQ(s.workload.ComputeIds().size(), 6u);
+}
+
+}  // namespace
+}  // namespace btr
