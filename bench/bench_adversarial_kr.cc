@@ -32,7 +32,7 @@ void Run() {
     const Dataflow& w = system.scenario().workload;
     for (TaskId t : w.ComputeIds()) {
       for (uint32_t rep : system.planner().graph().ReplicasOf(t)) {
-        const NodeId host = root->placement[rep];
+        const NodeId host = root->placement()[rep];
         if (host.valid() &&
             std::find(victims.begin(), victims.end(), host) == victims.end()) {
           victims.push_back(host);

@@ -54,7 +54,7 @@ void Run() {
     const double pbft = k <= 1 ? full_utility : 0.0;
     const double unrep = k == 0 ? full_utility : 0.0;
     table.AddRow({std::to_string(k) + (k == 0 ? " (none)" : ""),
-                  CellDouble(plan->utility, 0) + " / " + CellDouble(full_utility, 0),
+                  CellDouble(plan->utility(), 0) + " / " + CellDouble(full_utility, 0),
                   all_critical ? "all served" : "degraded", CellDouble(pbft, 0),
                   CellDouble(unrep, 0)});
   }

@@ -33,7 +33,7 @@ double FullyServedFraction(double wcet_scale, bool locality, int trials) {
     config.locality_heuristic = locality;
     Planner planner(&scenario.topology, &scenario.workload, config);
     auto plan = planner.PlanForMode(FaultSet(), {});
-    if (plan.ok() && plan->shed_sinks.empty()) {
+    if (plan.ok() && plan->shed_sinks().empty()) {
       ++ok;
     }
   }

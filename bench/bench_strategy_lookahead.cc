@@ -75,7 +75,7 @@ LookaheadResult Measure(bool lookahead) {
       continue;
     }
     const Plan* child = strategy->Lookup(faults);
-    utility_sum += child->utility;
+    utility_sum += child->utility();
     ++modes2;
     for (NodeId y : faults.nodes()) {
       std::vector<NodeId> reduced;
@@ -96,13 +96,13 @@ LookaheadResult Measure(bool lookahead) {
         if (task.kind != AugKind::kWorkload || task.state_bytes == 0) {
           continue;
         }
-        const NodeId new_host = child->placement[aug];
+        const NodeId new_host = child->placement()[aug];
         if (!new_host.valid()) {
           continue;
         }
         bool donor = false;
         for (uint32_t rep : g.ReplicasOf(task.workload_task)) {
-          const NodeId old_host = parent->placement[rep];
+          const NodeId old_host = parent->placement()[rep];
           if (!old_host.valid() || faults.Contains(old_host)) {
             continue;
           }

@@ -27,8 +27,8 @@ void Row(Table* table, const std::string& name, Scenario scenario, SimDuration r
   std::set<NodeId> hosts;
   for (TaskId t : system.scenario().workload.ComputeIds()) {
     for (uint32_t rep : system.planner().graph().ReplicasOf(t)) {
-      if (root->placement[rep].valid()) {
-        hosts.insert(root->placement[rep]);
+      if (root->placement()[rep].valid()) {
+        hosts.insert(root->placement()[rep]);
       }
     }
   }

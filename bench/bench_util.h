@@ -37,7 +37,7 @@ inline NodeId PrimaryHostOf(const BtrSystem& system, const std::string& task_nam
   if (!task.valid() || root == nullptr) {
     return NodeId::Invalid();
   }
-  return root->placement[system.planner().graph().PrimaryOf(task)];
+  return root->placement()[system.planner().graph().PrimaryOf(task)];
 }
 
 // Host of the primary of the most critical compute task, preferring hosts
@@ -58,7 +58,7 @@ inline NodeId MostCriticalPrimaryHost(const BtrSystem& system) {
   });
   NodeId fallback;
   for (TaskId t : by_criticality) {
-    const NodeId host = root->placement[system.planner().graph().PrimaryOf(t)];
+    const NodeId host = root->placement()[system.planner().graph().PrimaryOf(t)];
     if (!host.valid()) {
       continue;
     }

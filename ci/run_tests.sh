@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the full test suite from a clean
+# checkout. Mirrors .github/workflows/ci.yml for environments without
+# GitHub Actions.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure --no-tests=error -j

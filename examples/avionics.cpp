@@ -51,13 +51,13 @@ int main() {
     };
     size_t replicas = 0;
     for (uint32_t rep : system.planner().graph().ReplicasOf(w.FindTask("control_law"))) {
-      if (plan->placement[rep].valid()) {
+      if (plan->placement()[rep].valid()) {
         ++replicas;
       }
     }
     table.AddRow({faults.empty() ? "(none)" : faults.ToString(), served("elevator"),
                   served("outflow_valve"), served("seatback"), served("telem_tx"),
-                  CellDouble(plan->utility, 0), CellInt(static_cast<int64_t>(replicas))});
+                  CellDouble(plan->utility(), 0), CellInt(static_cast<int64_t>(replicas))});
   }
   std::printf("\nper-mode service (degradation by criticality):\n%s", table.Render().c_str());
 

@@ -189,7 +189,7 @@ int main(int argc, char** argv) {
           target = t;
         }
       }
-      victim = system.strategy().Lookup(FaultSet())->placement[system.planner().graph()
+      victim = system.strategy().Lookup(FaultSet())->placement()[system.planner().graph()
                                                                    .PrimaryOf(target)];
     }
     FaultInjection injection;

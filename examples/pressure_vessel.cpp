@@ -41,7 +41,7 @@ int main() {
   const Dataflow& w = system.scenario().workload;
   const Plan* root = system.strategy().Lookup(FaultSet());
   const NodeId victim =
-      root->placement[system.planner().graph().PrimaryOf(w.FindTask("relief_logic"))];
+      root->placement()[system.planner().graph().PrimaryOf(w.FindTask("relief_logic"))];
   system.AddFault({victim, Seconds(1), FaultBehavior::kValueCorruption, 0,
                    NodeId::Invalid(), 0});
   std::printf("attack: PLC %s (relief logic) signs corrupted valve commands from t=1 s\n",

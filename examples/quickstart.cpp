@@ -42,7 +42,7 @@ int main() {
   //    it signs corrupted outputs.
   const TaskId control_law = system.scenario().workload.FindTask("control_law");
   const Plan* root = system.strategy().Lookup(FaultSet());
-  const NodeId victim = root->placement[system.planner().graph().PrimaryOf(control_law)];
+  const NodeId victim = root->placement()[system.planner().graph().PrimaryOf(control_law)];
   system.AddFault(FaultInjection{victim, Milliseconds(200), FaultBehavior::kValueCorruption,
                                  0, NodeId::Invalid(), 0});
   std::printf("adversary: corrupting %s (hosts the control law) at t=200 ms\n",

@@ -1,0 +1,58 @@
+// A small fixed-size worker pool for the offline planner.
+//
+// Planning a strategy is embarrassingly parallel within one fault-set level
+// (all level-k modes depend only on level k-1), so the StrategyBuilder
+// submits each wave as a batch of independent jobs. The pool is intentionally
+// minimal: fixed worker count, one blocking ParallelFor batch at a time, no
+// futures.
+
+#ifndef BTR_SRC_COMMON_THREAD_POOL_H_
+#define BTR_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace btr {
+
+class ThreadPool {
+ public:
+  // `threads` = 0 picks the hardware concurrency (at least 1). A pool of
+  // size 1 runs jobs inline on the calling thread — no worker is spawned, so
+  // single-threaded builds stay exactly as deterministic and debuggable as
+  // the pre-pool planner.
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return thread_count_; }
+
+  // Runs fn(0) ... fn(count - 1) across the pool and blocks until every
+  // call returned. `fn` must be safe to invoke concurrently. If any call
+  // throws, the first captured exception is rethrown on the calling thread
+  // after the batch drains (matching what a serial loop would do).
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  size_t thread_count_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::queue<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_COMMON_THREAD_POOL_H_

@@ -28,6 +28,7 @@ Status BtrSystem::Plan() {
     return strategy.status();
   }
   strategy_ = std::move(strategy).value();
+  strategy_index_ = StrategyIndex(strategy_);
   planned_ = true;
   return Status::Ok();
 }
@@ -66,6 +67,7 @@ StatusOr<RunReport> BtrSystem::Run(uint64_t periods) {
   ctx.workload = &scenario_.workload;
   ctx.graph = &planner_->graph();
   ctx.strategy = &strategy_;
+  ctx.strategy_index = &strategy_index_;
   ctx.planner = planner_.get();
   ctx.keys = &keys;
   ctx.adversary = &adversary_;

@@ -77,6 +77,8 @@ class BtrSystem {
 
   const Scenario& scenario() const { return scenario_; }
   const Strategy& strategy() const { return strategy_; }
+  // O(1) fault-set -> plan index over the strategy (valid after Plan()).
+  const StrategyIndex& strategy_index() const { return strategy_index_; }
   const Planner& planner() const { return *planner_; }
   const AdversarySpec& adversary() const { return adversary_; }
   const BtrConfig& config() const { return config_; }
@@ -87,6 +89,7 @@ class BtrSystem {
   BtrConfig config_;
   std::unique_ptr<Planner> planner_;
   Strategy strategy_;
+  StrategyIndex strategy_index_;
   AdversarySpec adversary_;
   bool planned_ = false;
 };

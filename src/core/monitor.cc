@@ -82,7 +82,7 @@ double Monitor::PlanUtility(const FaultSet& faults) const {
   if (plan == nullptr) {
     return 0.0;  // beyond f: no guarantees
   }
-  return plan->utility;
+  return plan->utility();
 }
 
 CorrectnessReport Monitor::Evaluate(uint64_t periods) const {

@@ -1,12 +1,9 @@
 #include "src/core/planner.h"
 
 #include <algorithm>
-#include <cassert>
-#include <deque>
-#include <unordered_map>
 
 #include "src/common/log.h"
-#include "src/rt/list_scheduler.h"
+#include "src/core/strategy_builder.h"
 
 namespace btr {
 
@@ -17,436 +14,63 @@ Planner::Planner(const Topology* topo, const Dataflow* workload, PlannerConfig c
     config_.augment.replication = config_.max_faults + 1;
   }
   graph_ = std::make_unique<AugmentedGraph>(workload_, topo_->node_count(), config_.augment);
-}
-
-uint32_t Planner::ReplicasInMode(size_t manifested) const {
-  // With k faults already manifested, at most f - k more can appear; keeping
-  // (f - k) + 1 replicas preserves detection of every remaining fault.
-  const uint32_t f = config_.max_faults;
-  const uint32_t k = static_cast<uint32_t>(manifested);
-  return k >= f ? 1 : f - k + 1;
-}
-
-SimDuration Planner::SerializationOnHop(const Hop& hop, uint32_t bytes) const {
-  const LinkSpec& spec = topo_->link(hop.link);
-  const double share = 1.0 / static_cast<double>(spec.endpoints.size());
-  const double bps =
-      static_cast<double>(spec.bandwidth_bps) * share * config_.network.foreground_fraction;
-  return static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 / bps * 1e9) + 1;
+  admission_ = std::make_unique<SinkAdmission>(workload_);
+  latency_ = std::make_unique<LatencyModel>(topo_, &config_);
+  placement_ = std::make_unique<PlacementStage>(topo_, workload_, graph_.get(), &config_);
+  schedule_ = std::make_unique<ScheduleStage>(topo_, workload_, graph_.get(), latency_.get());
 }
 
 SimDuration Planner::EdgeLatencyBudget(NodeId from, NodeId to, uint32_t bytes,
                                        const RoutingTable& routing) const {
-  return EdgeLatencyBudgetLoaded(from, to, bytes, routing, nullptr);
+  return latency_->EdgeBudget(from, to, bytes, routing, nullptr);
 }
 
 SimDuration Planner::EdgeLatencyBudgetLoaded(NodeId from, NodeId to, uint32_t bytes,
                                              const RoutingTable& routing,
                                              const std::vector<uint64_t>* node_fg_bytes) const {
-  if (from == to) {
-    return 0;
-  }
-  const Route& route = routing.RouteBetween(from, to);
-  if (route.empty()) {
-    return -1;  // unreachable under this mode's routing
-  }
-  SimDuration budget = 0;
-  for (const Hop& hop : route) {
-    // The message's own serialization gets the contention headroom factor;
-    // queueing is bounded separately: in the worst case every other
-    // foreground byte the transmitting node sends this period is ahead of
-    // this message in the same guardian queue.
-    budget += static_cast<SimDuration>(config_.comm_budget_factor *
-                                       static_cast<double>(SerializationOnHop(hop, bytes)));
-    if (node_fg_bytes != nullptr) {
-      const uint64_t queued = (*node_fg_bytes)[hop.sender.value()];
-      const uint32_t clamped =
-          static_cast<uint32_t>(std::min<uint64_t>(queued, 0xFFFFFFFFull));
-      budget += SerializationOnHop(hop, clamped);
-    }
-    budget += topo_->link(hop.link).propagation;
-  }
-  return budget + config_.epsilon;
+  return latency_->EdgeBudget(from, to, bytes, routing, node_fg_bytes);
 }
 
-// Per-attempt planning state.
-struct Planner::ModeContext {
-  std::vector<bool> available;                       // per node
-  std::vector<NodeId> available_list;
-  std::shared_ptr<const RoutingTable> routing;
-  std::vector<bool> active;                          // per aug id
-  std::vector<NodeId> placement;                     // per aug id
-  std::vector<SimDuration> node_load;                // accumulated busy time
-  std::vector<int> vulnerability;                    // per node: isolation risk
-};
-
-namespace {
-
-// Connected components of the available-node graph with one more node
-// removed; used for the lookahead vulnerability score.
-std::vector<int> ComponentsWithout(const Topology& topo, const std::vector<bool>& available,
-                                   NodeId removed) {
-  const size_t n = topo.node_count();
-  std::vector<int> comp(n, -1);
-  int next = 0;
-  for (size_t start = 0; start < n; ++start) {
-    if (!available[start] || NodeId(static_cast<uint32_t>(start)) == removed ||
-        comp[start] != -1) {
-      continue;
-    }
-    const int c = next++;
-    std::deque<size_t> frontier{start};
-    comp[start] = c;
-    while (!frontier.empty()) {
-      const size_t u = frontier.front();
-      frontier.pop_front();
-      for (NodeId v : topo.Neighbors(NodeId(static_cast<uint32_t>(u)))) {
-        if (!available[v.value()] || v == removed || comp[v.value()] != -1) {
-          continue;
-        }
-        comp[v.value()] = c;
-        frontier.push_back(v.value());
-      }
-    }
-  }
-  return comp;
+PlannerMetrics Planner::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  return metrics_;
 }
 
-}  // namespace
-
-double Planner::PlacementScore(const ModeContext& ctx, uint32_t aug_id, NodeId candidate,
-                               const std::vector<const Plan*>& parents) const {
-  const AugTask& task = graph_->task(aug_id);
-  const SimDuration period = workload_->period();
-
-  double score = config_.weight_load *
-                 static_cast<double>(ctx.node_load[candidate.value()] + task.wcet) /
-                 static_cast<double>(period);
-
-  if (config_.locality_heuristic) {
-    double comm = 0.0;
-    auto add_peer = [&](uint32_t peer, uint32_t bytes) {
-      if (!ctx.active[peer] || !ctx.placement[peer].valid()) {
-        return;
-      }
-      const size_t hops = ctx.routing->HopCount(candidate, ctx.placement[peer]);
-      comm += static_cast<double>(hops) * static_cast<double>(bytes);
-    };
-    for (const AugEdge& e : graph_->InEdges(aug_id)) {
-      add_peer(e.from, e.bytes);
-    }
-    for (const AugEdge& e : graph_->OutEdges(aug_id)) {
-      add_peer(e.to, e.bytes);
-    }
-    score += config_.weight_locality * comm / 10000.0;
-  }
-
-  if (config_.parent_stickiness && !parents.empty()) {
-    bool same_slot = false;   // candidate held this very replica before
-    bool has_state = false;   // candidate held *some* replica of the task
-    for (const Plan* parent : parents) {
-      if (parent == nullptr) {
-        continue;
-      }
-      if (parent->placement[aug_id] == candidate) {
-        same_slot = true;
-      }
-      if (task.kind == AugKind::kWorkload) {
-        for (uint32_t sibling : graph_->ReplicasOf(task.workload_task)) {
-          if (parent->placement[sibling] == candidate) {
-            has_state = true;
-          }
-        }
-      }
-    }
-    if (!same_slot) {
-      // Moving is expensive; moving somewhere that already has the task's
-      // state (a sibling replica) costs half as much.
-      score += config_.weight_parent * (has_state ? 0.5 : 1.0);
-    }
-  }
-
-  if (config_.lookahead && task.state_bytes > 0) {
-    const double state_scale = 1.0 + static_cast<double>(task.state_bytes) / 4096.0;
-    score += config_.weight_lookahead *
-             static_cast<double>(ctx.vulnerability[candidate.value()]) * state_scale / 10.0;
-  }
-  return score;
+void Planner::RecordBuildMetrics(size_t modes_deduped, size_t unique_plans, size_t waves,
+                                 size_t max_wave_modes, size_t threads_used) const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  metrics_.modes_deduped = modes_deduped;
+  metrics_.unique_plans = unique_plans;
+  metrics_.waves = waves;
+  metrics_.max_wave_modes = max_wave_modes;
+  metrics_.threads_used = threads_used;
 }
 
 StatusOr<Plan> Planner::TryPlan(const FaultSet& faults, const std::vector<const Plan*>& parents,
                                 const std::vector<TaskId>& served_sinks,
                                 const std::shared_ptr<const RoutingTable>& routing) const {
-  ++metrics_.schedule_attempts;
-  const size_t node_count = topo_->node_count();
-  const SimDuration period = workload_->period();
-
-  ModeContext ctx;
-  ctx.available.assign(node_count, true);
-  for (NodeId x : faults.nodes()) {
-    ctx.available[x.value()] = false;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++metrics_.schedule_attempts;
   }
-  for (size_t n = 0; n < node_count; ++n) {
-    if (ctx.available[n]) {
-      ctx.available_list.push_back(NodeId(static_cast<uint32_t>(n)));
-    }
+  ModeContext ctx = placement_->PrepareContext(faults, routing);
+  placement_->ActivateTasks(&ctx, served_sinks);
+  Status placed = placement_->Place(&ctx, parents);
+  if (!placed.ok()) {
+    return placed;
   }
-  ctx.routing = routing;
-  ctx.active.assign(graph_->size(), false);
-  ctx.placement.assign(graph_->size(), NodeId::Invalid());
-  ctx.node_load.assign(node_count, 0);
-
-  // Lookahead vulnerability: for each available node v, in how many
-  // single-further-fault scenarios does v end up cut off from the part of
-  // the system that holds the sensors and actuators? A task stranded away
-  // from the I/O cannot serve any flow, and its state cannot be fetched.
-  ctx.vulnerability.assign(node_count, 0);
-  if (config_.lookahead && faults.size() < config_.max_faults) {
-    std::vector<NodeId> io_nodes;
-    for (const TaskSpec& spec : workload_->tasks()) {
-      if (spec.pinned_node.valid() && ctx.available[spec.pinned_node.value()]) {
-        io_nodes.push_back(spec.pinned_node);
-      }
-    }
-    for (NodeId y : ctx.available_list) {
-      const std::vector<int> comp = ComponentsWithout(*topo_, ctx.available, y);
-      // The component that matters: the one holding the most I/O nodes
-      // (ties broken toward the lower component id, deterministically).
-      std::map<int, size_t> io_per_comp;
-      for (NodeId io : io_nodes) {
-        if (io != y && comp[io.value()] >= 0) {
-          ++io_per_comp[comp[io.value()]];
-        }
-      }
-      int io_comp = -1;
-      size_t best = 0;
-      for (const auto& [c, count] : io_per_comp) {
-        if (count > best) {
-          best = count;
-          io_comp = c;
-        }
-      }
-      if (io_comp < 0) {
-        continue;
-      }
-      for (NodeId v : ctx.available_list) {
-        if (v != y && comp[v.value()] != io_comp) {
-          ++ctx.vulnerability[v.value()];
-        }
-      }
-    }
+  StatusOr<PlanBody> body = schedule_->BuildBody(ctx, served_sinks);
+  if (!body.ok()) {
+    return body.status();
   }
-
-  // --- Determine active augmented tasks ---
-  const uint32_t replicas_kept = ReplicasInMode(faults.size());
-  const std::vector<bool> needed = workload_->ReachesSinkMask(served_sinks);
-  for (const TaskSpec& spec : workload_->tasks()) {
-    if (!needed[spec.id.value()]) {
-      continue;
-    }
-    const std::vector<uint32_t>& reps = graph_->ReplicasOf(spec.id);
-    const uint32_t keep = std::min<uint32_t>(replicas_kept, static_cast<uint32_t>(reps.size()));
-    for (uint32_t r = 0; r < keep; ++r) {
-      ctx.active[reps[r]] = true;
-    }
-    const uint32_t chk = graph_->CheckerOf(spec.id);
-    if (chk != AugmentedGraph::kNone) {
-      ctx.active[chk] = true;
-    }
+  if (LogEnabled(LogLevel::kDebug)) {
+    const size_t scheduled = static_cast<size_t>(
+        std::count_if(body->placement.begin(), body->placement.end(),
+                      [](NodeId n) { return n.valid(); }));
+    BTR_LOG(kDebug, "planner") << "mode " << faults.ToString() << " scheduled " << scheduled
+                               << " jobs";
   }
-  for (NodeId n : ctx.available_list) {
-    ctx.active[graph_->VerifierOf(n)] = true;
-  }
-
-  // --- Placement ---
-  // Deterministic order: workload topological order, replicas ascending,
-  // then the task's checker; verifiers are pinned anyway.
-  std::vector<uint32_t> order;
-  for (TaskId t : workload_->TopologicalOrder()) {
-    for (uint32_t rep : graph_->ReplicasOf(t)) {
-      if (ctx.active[rep]) {
-        order.push_back(rep);
-      }
-    }
-    const uint32_t chk = graph_->CheckerOf(t);
-    if (chk != AugmentedGraph::kNone && ctx.active[chk]) {
-      order.push_back(chk);
-    }
-  }
-  for (NodeId n : ctx.available_list) {
-    order.push_back(graph_->VerifierOf(n));
-  }
-
-  for (uint32_t aug_id : order) {
-    const AugTask& task = graph_->task(aug_id);
-    if (task.pinned.valid()) {
-      if (!ctx.available[task.pinned.value()]) {
-        return Status::Infeasible("pinned task " + task.name + " on faulty node");
-      }
-      ctx.placement[aug_id] = task.pinned;
-      ctx.node_load[task.pinned.value()] += task.wcet;
-      continue;
-    }
-    // Hard constraints.
-    std::vector<bool> banned(node_count, false);
-    if (task.kind == AugKind::kWorkload || task.kind == AugKind::kChecker) {
-      for (uint32_t sibling : graph_->ReplicasOf(task.workload_task)) {
-        if (sibling != aug_id && ctx.active[sibling] && ctx.placement[sibling].valid()) {
-          banned[ctx.placement[sibling].value()] = true;
-        }
-      }
-    }
-    // Connectivity constraint: the candidate must be able to exchange
-    // messages with every already-placed communication peer (a fault can
-    // disconnect part of the topology).
-    auto reachable_to_peers = [&](NodeId cand) {
-      for (const AugEdge& e : graph_->InEdges(aug_id)) {
-        if (ctx.active[e.from] && ctx.placement[e.from].valid() &&
-            !ctx.routing->Reachable(ctx.placement[e.from], cand)) {
-          return false;
-        }
-      }
-      for (const AugEdge& e : graph_->OutEdges(aug_id)) {
-        if (ctx.active[e.to] && ctx.placement[e.to].valid() &&
-            !ctx.routing->Reachable(cand, ctx.placement[e.to])) {
-          return false;
-        }
-      }
-      return true;
-    };
-    NodeId best;
-    double best_score = 0.0;
-    for (NodeId cand : ctx.available_list) {
-      if (banned[cand.value()]) {
-        continue;
-      }
-      if (!reachable_to_peers(cand)) {
-        continue;
-      }
-      const double score = PlacementScore(ctx, aug_id, cand, parents);
-      if (!best.valid() || score < best_score) {
-        best = cand;
-        best_score = score;
-      }
-    }
-    if (!best.valid()) {
-      return Status::Infeasible("no feasible node for " + task.name);
-    }
-    ctx.placement[aug_id] = best;
-    ctx.node_load[best.value()] += task.wcet;
-  }
-
-  // --- Scheduling ---
-  std::vector<uint32_t> dense_to_aug;
-  std::vector<uint32_t> aug_to_dense(graph_->size(), AugmentedGraph::kNone);
-  for (uint32_t id = 0; id < graph_->size(); ++id) {
-    if (ctx.active[id]) {
-      aug_to_dense[id] = static_cast<uint32_t>(dense_to_aug.size());
-      dense_to_aug.push_back(id);
-    }
-  }
-  std::vector<SchedJob> jobs;
-  jobs.reserve(dense_to_aug.size());
-  for (uint32_t dense = 0; dense < dense_to_aug.size(); ++dense) {
-    const AugTask& task = graph_->task(dense_to_aug[dense]);
-    SchedJob job;
-    job.id = dense;
-    job.node = ctx.placement[task.id].value();
-    job.wcet = task.wcet;
-    job.release = 0;
-    job.deadline = period;
-    if (task.kind == AugKind::kWorkload && task.replica == 0 &&
-        workload_->task(task.workload_task).kind == TaskKind::kSink) {
-      job.deadline = workload_->task(task.workload_task).relative_deadline;
-    }
-    job.priority_rank = -static_cast<int>(task.criticality);
-    jobs.push_back(job);
-  }
-  // Effective wire size of an augmented edge: the runtime sends the larger
-  // of the channel payload and the signed record itself.
-  auto effective_bytes = [this](const AugEdge& e) -> uint32_t {
-    const AugTask& from = graph_->task(e.from);
-    uint32_t wire = 48;
-    if (from.kind == AugKind::kWorkload) {
-      wire += 28 * static_cast<uint32_t>(workload_->Inputs(from.workload_task).size());
-    }
-    return std::max(e.bytes, wire);
-  };
-
-  // Worst-case queueing context: total foreground bytes each node puts on
-  // the wire per period under this placement.
-  std::vector<uint64_t> node_fg_bytes(node_count, 0);
-  for (const AugEdge& e : graph_->edges()) {
-    if (!ctx.active[e.from] || !ctx.active[e.to]) {
-      continue;
-    }
-    if (ctx.placement[e.from] == ctx.placement[e.to]) {
-      continue;  // loopback does not touch the medium
-    }
-    node_fg_bytes[ctx.placement[e.from].value()] += effective_bytes(e);
-  }
-
-  std::vector<SchedEdge> edges;
-  std::vector<SimDuration> edge_budget(graph_->edges().size(), -1);
-  for (size_t i = 0; i < graph_->edges().size(); ++i) {
-    const AugEdge& e = graph_->edges()[i];
-    if (!ctx.active[e.from] || !ctx.active[e.to]) {
-      continue;
-    }
-    SchedEdge se;
-    se.from = aug_to_dense[e.from];
-    se.to = aug_to_dense[e.to];
-    se.comm_delay = EdgeLatencyBudgetLoaded(ctx.placement[e.from], ctx.placement[e.to],
-                                            effective_bytes(e), *ctx.routing, &node_fg_bytes);
-    if (se.comm_delay < 0) {
-      // A pinned endpoint ended up unreachable in this mode; the caller
-      // sheds the affected flow and retries.
-      return Status::Infeasible(graph_->task(e.from).name + " cannot reach " +
-                                graph_->task(e.to).name);
-    }
-    edge_budget[i] = se.comm_delay;
-    edges.push_back(se);
-  }
-
-  ListScheduler scheduler(node_count, period);
-  StatusOr<SchedResult> sched = scheduler.Schedule(jobs, edges);
-  if (!sched.ok()) {
-    return sched.status();
-  }
-
-  // --- Assemble the plan ---
-  Plan plan;
-  plan.faults = faults;
-  plan.routing = routing;
-  plan.edge_budget = std::move(edge_budget);
-  plan.placement = ctx.placement;
-  // Inactive tasks are shed: clear their placement.
-  for (uint32_t id = 0; id < graph_->size(); ++id) {
-    if (!ctx.active[id]) {
-      plan.placement[id] = NodeId::Invalid();
-    }
-  }
-  plan.start.assign(graph_->size(), -1);
-  for (uint32_t dense = 0; dense < dense_to_aug.size(); ++dense) {
-    plan.start[dense_to_aug[dense]] = sched->start[dense];
-  }
-  plan.tables.assign(node_count, ScheduleTable());
-  BTR_LOG(kDebug, "planner") << "mode " << faults.ToString() << " scheduled " << jobs.size()
-                             << " jobs";
-  for (size_t n = 0; n < node_count; ++n) {
-    for (const ScheduleEntry& e : sched->tables[n].entries()) {
-      plan.tables[n].Add(dense_to_aug[e.job], e.start, e.duration);
-    }
-    plan.tables[n].SortByStart();
-  }
-  for (TaskId sink : workload_->SinkIds()) {
-    if (std::find(served_sinks.begin(), served_sinks.end(), sink) == served_sinks.end()) {
-      plan.shed_sinks.push_back(sink);
-    } else {
-      plan.utility += CriticalityWeight(workload_->task(sink).criticality);
-    }
-  }
-  return plan;
+  return Plan(faults, routing, std::move(body).value());
 }
 
 StatusOr<Plan> Planner::PlanForMode(const FaultSet& faults,
@@ -456,35 +80,15 @@ StatusOr<Plan> Planner::PlanForMode(const FaultSet& faults,
   }
   auto routing = std::make_shared<RoutingTable>(*topo_, faults.nodes());
 
-  // Which sinks can be served at all?
-  std::vector<TaskId> served;
-  for (TaskId sink : workload_->SinkIds()) {
-    const TaskSpec& spec = workload_->task(sink);
-    if (faults.Contains(spec.pinned_node)) {
-      continue;
-    }
-    bool sources_ok = true;
-    for (TaskId anc : workload_->AncestorsOf(sink)) {
-      const TaskSpec& a = workload_->task(anc);
-      if (a.kind == TaskKind::kSource && faults.Contains(a.pinned_node)) {
-        sources_ok = false;
-        break;
-      }
-    }
-    if (sources_ok) {
-      served.push_back(sink);
-    }
-  }
-  // Shedding order: lowest criticality last in the vector.
-  std::stable_sort(served.begin(), served.end(), [this](TaskId a, TaskId b) {
-    return workload_->task(a).criticality > workload_->task(b).criticality;
-  });
+  // Stage: sink admission (which flows can run at all, shedding order).
+  std::vector<TaskId> served = admission_->Admit(faults);
 
   for (;;) {
     StatusOr<Plan> attempt = TryPlan(faults, parents, served, routing);
     if (attempt.ok()) {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
       ++metrics_.modes_planned;
-      if (!attempt->shed_sinks.empty()) {
+      if (!attempt->shed_sinks().empty()) {
         ++metrics_.modes_degraded;
       }
       return attempt;
@@ -499,67 +103,9 @@ StatusOr<Plan> Planner::PlanForMode(const FaultSet& faults,
   }
 }
 
-namespace {
-
-// Enumerates all size-k subsets of [0, n) in lexicographic order.
-void EnumerateSubsets(size_t n, size_t k, std::vector<uint32_t>* current,
-                      const std::function<void(const std::vector<uint32_t>&)>& visit,
-                      uint32_t first = 0) {
-  if (current->size() == k) {
-    visit(*current);
-    return;
-  }
-  for (uint32_t i = first; i < n; ++i) {
-    current->push_back(i);
-    EnumerateSubsets(n, k, current, visit, i + 1);
-    current->pop_back();
-  }
-}
-
-}  // namespace
-
 StatusOr<Strategy> Planner::BuildStrategy() const {
-  Strategy strategy;
-  Status failure = Status::Ok();
-  for (size_t k = 0; k <= config_.max_faults && failure.ok(); ++k) {
-    std::vector<uint32_t> scratch;
-    EnumerateSubsets(topo_->node_count(), k, &scratch,
-                     [&](const std::vector<uint32_t>& subset) {
-                       if (!failure.ok()) {
-                         return;
-                       }
-                       std::vector<NodeId> nodes;
-                       nodes.reserve(subset.size());
-                       for (uint32_t v : subset) {
-                         nodes.push_back(NodeId(v));
-                       }
-                       const FaultSet faults(std::move(nodes));
-                       std::vector<const Plan*> parents;
-                       for (NodeId x : faults.nodes()) {
-                         FaultSet parent_set = faults;
-                         std::vector<NodeId> reduced;
-                         for (NodeId y : faults.nodes()) {
-                           if (y != x) {
-                             reduced.push_back(y);
-                           }
-                         }
-                         const Plan* parent = strategy.Lookup(FaultSet(std::move(reduced)));
-                         if (parent != nullptr) {
-                           parents.push_back(parent);
-                         }
-                       }
-                       StatusOr<Plan> plan = PlanForMode(faults, parents);
-                       if (!plan.ok()) {
-                         failure = plan.status();
-                         return;
-                       }
-                       strategy.Insert(std::move(plan).value());
-                     });
-  }
-  if (!failure.ok()) {
-    return failure;
-  }
-  return strategy;
+  StrategyBuilder builder(this, config_.planner_threads);
+  return builder.Build();
 }
 
 }  // namespace btr

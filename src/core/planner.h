@@ -6,63 +6,44 @@
 // single target for the adversary and (b) bounding rescheduling time online
 // is hard; a table lookup is trivially bounded.
 //
-// Per-mode pipeline:
-//   1. Augment the dataflow with replicas, checkers, and verifier budgets.
-//      In a mode with k manifested faults only (f - k + 1) replicas are kept
-//      per task: that is what detection of the *remaining* possible faults
-//      needs, and it frees resources for degraded modes.
-//   2. Decide which sinks can be served at all (a faulty sensor/actuator
-//      node sheds the flows pinned to it).
-//   3. Place tasks on the surviving nodes: hard constraints (replica
-//      dispersion, checker independence, pinning) plus scored heuristics —
-//      load balance, communication locality, parent-plan stickiness
-//      (minimize the reassignment delta that dominates recovery time), and
-//      strategic lookahead (avoid parking stateful tasks where one more
-//      fault would strand them, the paper's chess/game-tree concern).
-//   4. List-schedule the placed tasks with communication-delay budgets; if
-//      infeasible, shed the least-critical served sink and retry (the
-//      paper's criticality-aware degradation).
+// The planner is a thin orchestrator over the composable pipeline stages in
+// planner_stages.h:
+//
+//   1. SinkAdmission decides which sinks can be served at all (a faulty
+//      sensor/actuator node sheds the flows pinned to it).
+//   2. PlacementStage augments availability with the lookahead
+//      vulnerability context, thins replicas to what detection of the
+//      *remaining* possible faults needs, and greedily places tasks under
+//      hard constraints (replica dispersion, checker independence, pinning)
+//      plus scored heuristics — load balance, communication locality,
+//      parent-plan stickiness, and strategic lookahead.
+//   3. ScheduleStage list-schedules the placed tasks with
+//      communication-delay budgets; if infeasible, the planner sheds the
+//      least-critical served sink and retries (criticality-aware
+//      degradation).
+//
+// Whole strategies are compiled by the wave-parallel StrategyBuilder
+// (strategy_builder.h); Planner::BuildStrategy is a convenience wrapper.
+// PlanForMode is thread-safe: all per-mode state lives on the stack, and
+// the shared metrics are mutex-guarded.
 
 #ifndef BTR_SRC_CORE_PLANNER_H_
 #define BTR_SRC_CORE_PLANNER_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/core/augment.h"
 #include "src/core/plan.h"
+#include "src/core/planner_config.h"
+#include "src/core/planner_stages.h"
 #include "src/net/network.h"
 #include "src/net/topology.h"
 #include "src/workload/dataflow.h"
 
 namespace btr {
-
-struct PlannerConfig {
-  uint32_t max_faults = 1;                  // f
-  SimDuration recovery_bound = Seconds(1);  // R (reporting / runtime budget)
-  AugmentConfig augment;                    // replication defaults to f + 1
-  NetworkConfig network;                    // for serialization-time budgets
-
-  bool locality_heuristic = true;   // prefer placements near communicating peers
-  bool parent_stickiness = true;    // prefer parent-mode placements
-  bool lookahead = true;            // penalize strandable stateful placements
-  bool shed_by_criticality = true;  // degrade lowest criticality first
-  double comm_budget_factor = 1.5;  // headroom on per-message serialization
-  SimDuration epsilon = Microseconds(100);  // clock-skew bound for windows
-
-  // Scoring weights (unitless; relative).
-  double weight_load = 1.0;
-  double weight_locality = 0.5;
-  double weight_parent = 2.0;
-  double weight_lookahead = 1.0;
-};
-
-struct PlannerMetrics {
-  size_t modes_planned = 0;
-  size_t modes_degraded = 0;   // at least one sink shed
-  size_t schedule_attempts = 0;
-};
 
 class Planner {
  public:
@@ -70,48 +51,57 @@ class Planner {
 
   const AugmentedGraph& graph() const { return *graph_; }
   const PlannerConfig& config() const { return config_; }
+  const Topology& topology() const { return *topo_; }
 
   // Plans a single mode. `parents` are the plans for the immediate subsets
-  // (|S| - 1); may be empty for the root mode.
+  // (|S| - 1); may be empty for the root mode. Safe to call concurrently.
   StatusOr<Plan> PlanForMode(const FaultSet& faults,
                              const std::vector<const Plan*>& parents) const;
 
-  // Enumerates every fault set up to max_faults and plans it.
+  // Enumerates every fault set up to max_faults and plans it. Convenience
+  // wrapper over StrategyBuilder with config().planner_threads workers.
   StatusOr<Strategy> BuildStrategy() const;
 
   // Budgeted one-way latency for `bytes` from `from` to `to` under `routing`
-  // (foreground class): serialization on every hop with contention headroom,
-  // plus propagation, plus the clock-skew bound.
+  // (foreground class); see LatencyModel::EdgeBudget.
   SimDuration EdgeLatencyBudget(NodeId from, NodeId to, uint32_t bytes,
                                 const RoutingTable& routing) const;
 
   // As above, additionally bounding queueing by the per-node foreground
-  // traffic totals (what TryPlan uses once placement is known).
+  // traffic totals.
   SimDuration EdgeLatencyBudgetLoaded(NodeId from, NodeId to, uint32_t bytes,
                                       const RoutingTable& routing,
                                       const std::vector<uint64_t>* node_fg_bytes) const;
 
-  const PlannerMetrics& metrics() const { return metrics_; }
+  // Stage access (StrategyBuilder, ablation benches, tests).
+  const SinkAdmission& sink_admission() const { return *admission_; }
+  const PlacementStage& placement_stage() const { return *placement_; }
+  const ScheduleStage& schedule_stage() const { return *schedule_; }
+  const LatencyModel& latency_model() const { return *latency_; }
+
+  // Snapshot of the counters (copy: the live struct is updated under a lock
+  // by concurrent planning threads).
+  PlannerMetrics metrics() const;
+
+  // Merges strategy-compilation counters into the metrics (called by
+  // StrategyBuilder once per build).
+  void RecordBuildMetrics(size_t modes_deduped, size_t unique_plans, size_t waves,
+                          size_t max_wave_modes, size_t threads_used) const;
 
  private:
-  struct ModeContext;
-
-  // Replicas kept per replicated task when k faults have manifested.
-  uint32_t ReplicasInMode(size_t manifested) const;
-
-  SimDuration SerializationOnHop(const Hop& hop, uint32_t bytes) const;
-
   StatusOr<Plan> TryPlan(const FaultSet& faults, const std::vector<const Plan*>& parents,
                          const std::vector<TaskId>& served_sinks,
                          const std::shared_ptr<const RoutingTable>& routing) const;
-
-  double PlacementScore(const ModeContext& ctx, uint32_t aug_id, NodeId candidate,
-                        const std::vector<const Plan*>& parents) const;
 
   const Topology* topo_;
   const Dataflow* workload_;
   PlannerConfig config_;
   std::unique_ptr<AugmentedGraph> graph_;
+  std::unique_ptr<SinkAdmission> admission_;
+  std::unique_ptr<LatencyModel> latency_;
+  std::unique_ptr<PlacementStage> placement_;
+  std::unique_ptr<ScheduleStage> schedule_;
+  mutable std::mutex metrics_mu_;
   mutable PlannerMetrics metrics_;
 };
 

@@ -15,6 +15,27 @@ constexpr uint64_t kCorruptionMask = 0xBAD0BAD0BAD0BAD0ULL;
 // Buffer retention horizon, in periods.
 constexpr uint64_t kBufferHorizon = 4;
 
+// C++17 substitute for C++20 std::erase_if on associative containers.
+template <typename Container, typename Pred>
+void EraseIf(Container& container, Pred pred) {
+  for (auto it = container.begin(); it != container.end();) {
+    if (pred(*it)) {
+      it = container.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// Plan lookup on the recovery path: the flat O(1) index when the caller
+// provided one, the strategy's own (hashed) lookup otherwise.
+const Plan* LookupPlan(const RuntimeContext& ctx, const FaultSet& faults) {
+  if (ctx.strategy_index != nullptr) {
+    return ctx.strategy_index->Find(faults);
+  }
+  return ctx.strategy->Lookup(faults);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -37,7 +58,7 @@ BtrRuntime::~BtrRuntime() = default;
 
 void BtrRuntime::Start(uint64_t periods) {
   periods_ = periods;
-  const Plan* root = ctx_.strategy->Lookup(FaultSet());
+  const Plan* root = LookupPlan(ctx_, FaultSet());
   assert(root != nullptr && "strategy must contain the fault-free plan");
   ctx_.network->SetRouting(root->routing);
 
@@ -146,7 +167,7 @@ NodeRuntime::NodeRuntime(BtrRuntime* owner, const RuntimeContext& ctx, NodeId id
       signer_(signer),
       validator_(ctx.keys, ctx.workload, ctx.config.validation),
       blame_(ctx.config.blame_threshold, ctx.config.blame_window_periods) {
-  plan_ = ctx_.strategy->Lookup(FaultSet());
+  plan_ = LookupPlan(ctx_, FaultSet());
   // Each node reads time through its own (periodically resynchronized)
   // clock: a deterministic per-node residual offset bounded by
   // max_clock_offset. The detector's epsilon must cover it.
@@ -188,16 +209,16 @@ void NodeRuntime::BeginPeriod(uint64_t period) {
   // Garbage-collect stale buffers.
   if (period >= kBufferHorizon) {
     const uint64_t floor = period - kBufferHorizon;
-    std::erase_if(inputs_, [floor](const auto& kv) { return kv.first.second < floor; });
-    std::erase_if(replica_records_,
-                  [floor](const auto& kv) { return std::get<1>(kv.first) < floor; });
-    std::erase_if(heartbeats_seen_, [floor](const auto& kv) { return kv.second < floor; });
-    std::erase_if(declared_, [floor](const auto& kv) { return std::get<2>(kv) < floor; });
+    EraseIf(inputs_, [floor](const auto& kv) { return kv.first.second < floor; });
+    EraseIf(replica_records_,
+            [floor](const auto& kv) { return std::get<1>(kv.first) < floor; });
+    EraseIf(heartbeats_seen_, [floor](const auto& kv) { return kv.second < floor; });
+    EraseIf(declared_, [floor](const auto& kv) { return std::get<2>(kv) < floor; });
   }
 
   const SimDuration period_len = ctx_.workload->period();
   const SimTime base = static_cast<SimTime>(period) * period_len;
-  for (const ScheduleEntry& entry : plan_->tables[id_.value()].entries()) {
+  for (const ScheduleEntry& entry : plan_->tables()[id_.value()].entries()) {
     // Jobs take effect at completion time: outputs are sent when the WCET
     // window closes.
     ctx_.sim->At(base + entry.start + entry.duration,
@@ -210,7 +231,7 @@ void NodeRuntime::ExecuteJob(uint32_t aug_id, uint64_t period) {
     return;
   }
   // A mode switch between scheduling and execution invalidates the job.
-  if (!plan_->placement[aug_id].valid() || plan_->placement[aug_id] != id_) {
+  if (!plan_->placement()[aug_id].valid() || plan_->placement()[aug_id] != id_) {
     return;
   }
   const AugTask& task = ctx_.graph->task(aug_id);
@@ -255,7 +276,7 @@ void NodeRuntime::ExecuteWorkload(const AugTask& task, uint64_t period) {
         // dataflow), or we are inside a mode-switch quiet window (a migrated
         // producer may legitimately be waiting for its state transfer).
         const uint32_t producer_primary = ctx_.graph->PrimaryOf(ch.from);
-        const NodeId producer_node = plan_->placement[producer_primary];
+        const NodeId producer_node = plan_->placement()[producer_primary];
         const auto gap_it =
             replica_records_.find(std::make_tuple(ch.from.value(), period, 0u));
         const bool excused_by_gap =
@@ -314,20 +335,20 @@ void NodeRuntime::ExecuteWorkload(const AugTask& task, uint64_t period) {
     for (const ChannelSpec& ch : ctx_.workload->Outputs(spec.id)) {
       const uint32_t bytes = std::max(ch.message_bytes, record_bytes);
       for (uint32_t consumer : ctx_.graph->ReplicasOf(ch.to)) {
-        const NodeId to = plan_->placement[consumer];
+        const NodeId to = plan_->placement()[consumer];
         if (to.valid()) {
           dests.push_back(Dest{to, bytes});
         }
       }
       const uint32_t consumer_chk = ctx_.graph->CheckerOf(ch.to);
-      if (consumer_chk != AugmentedGraph::kNone && plan_->placement[consumer_chk].valid()) {
-        dests.push_back(Dest{plan_->placement[consumer_chk], bytes});
+      if (consumer_chk != AugmentedGraph::kNone && plan_->placement()[consumer_chk].valid()) {
+        dests.push_back(Dest{plan_->placement()[consumer_chk], bytes});
       }
     }
   }
   const uint32_t own_chk = ctx_.graph->CheckerOf(spec.id);
-  if (own_chk != AugmentedGraph::kNone && plan_->placement[own_chk].valid()) {
-    dests.push_back(Dest{plan_->placement[own_chk], record_bytes});
+  if (own_chk != AugmentedGraph::kNone && plan_->placement()[own_chk].valid()) {
+    dests.push_back(Dest{plan_->placement()[own_chk], record_bytes});
   }
 
   // Adversarial send behavior.
@@ -395,19 +416,19 @@ void NodeRuntime::SendGapNotice(const AugTask& task, uint64_t period,
   if (task.replica == 0) {
     for (const ChannelSpec& ch : ctx_.workload->Outputs(spec.id)) {
       for (uint32_t consumer : ctx_.graph->ReplicasOf(ch.to)) {
-        if (plan_->placement[consumer].valid()) {
-          dests.push_back(plan_->placement[consumer]);
+        if (plan_->placement()[consumer].valid()) {
+          dests.push_back(plan_->placement()[consumer]);
         }
       }
       const uint32_t consumer_chk = ctx_.graph->CheckerOf(ch.to);
-      if (consumer_chk != AugmentedGraph::kNone && plan_->placement[consumer_chk].valid()) {
-        dests.push_back(plan_->placement[consumer_chk]);
+      if (consumer_chk != AugmentedGraph::kNone && plan_->placement()[consumer_chk].valid()) {
+        dests.push_back(plan_->placement()[consumer_chk]);
       }
     }
   }
   const uint32_t own_chk = ctx_.graph->CheckerOf(spec.id);
-  if (own_chk != AugmentedGraph::kNone && plan_->placement[own_chk].valid()) {
-    dests.push_back(plan_->placement[own_chk]);
+  if (own_chk != AugmentedGraph::kNone && plan_->placement()[own_chk].valid()) {
+    dests.push_back(plan_->placement()[own_chk]);
   }
   for (NodeId to : dests) {
     if (fault != nullptr && fault->behavior == FaultBehavior::kSelectiveOmission &&
@@ -456,7 +477,7 @@ void NodeRuntime::ExecuteChecker(const AugTask& task, uint64_t period) {
 
   for (uint32_t replica_aug : ctx_.graph->ReplicasOf(spec.id)) {
     const AugTask& rep = ctx_.graph->task(replica_aug);
-    const NodeId rep_node = plan_->placement[replica_aug];
+    const NodeId rep_node = plan_->placement()[replica_aug];
     if (!rep_node.valid()) {
       continue;  // replica shed in this mode
     }
@@ -749,7 +770,7 @@ void NodeRuntime::OnPacket(const Packet& packet) {
     const TaskSpec& spec = ctx_.workload->task(req->task);
     bool hosting = false;
     for (uint32_t rep : ctx_.graph->ReplicasOf(req->task)) {
-      if (plan_->placement[rep] == id_) {
+      if (plan_->placement()[rep] == id_) {
         hosting = true;
         break;
       }
@@ -791,17 +812,17 @@ void NodeRuntime::CheckArrivalWindow(const Packet& packet, const OutputRecord& r
     return;
   }
   const uint32_t producer_aug = reps[record.replica];
-  const NodeId producer_node = plan_->placement[producer_aug];
+  const NodeId producer_node = plan_->placement()[producer_aug];
   if (!producer_node.valid() || producer_node != record.sender || producer_node == id_) {
     return;
   }
-  if (plan_->start[producer_aug] < 0) {
+  if (plan_->start()[producer_aug] < 0) {
     return;
   }
   const SimDuration period_len = ctx_.workload->period();
   const AugTask& producer = ctx_.graph->task(producer_aug);
   const SimTime expected_send = static_cast<SimTime>(record.period) * period_len +
-                                plan_->start[producer_aug] + producer.wcet;
+                                plan_->start()[producer_aug] + producer.wcet;
   const SimDuration budget = plan_->ArrivalBudget(*ctx_.graph, producer_aug, id_);
   if (budget < 0) {
     return;  // no planned edge toward this node; nothing to check against
@@ -920,7 +941,7 @@ void NodeRuntime::Convict(NodeId node, EvidenceKind kind) {
   owner_->RecordConviction(ConvictionEvent{node, id_, ctx_.sim->Now(), kind});
   BTR_LOG(kInfo, "runtime") << ToString(id_) << " convicts " << ToString(node) << " ("
                             << EvidenceKindName(kind) << ")";
-  const Plan* next = ctx_.strategy->Lookup(fault_set_);
+  const Plan* next = LookupPlan(ctx_, fault_set_);
   if (next == nullptr) {
     BTR_LOG(kWarning, "runtime")
         << ToString(id_) << ": no plan for " << fault_set_.ToString() << " (beyond f)";
@@ -937,14 +958,14 @@ void NodeRuntime::RequestMigrationState(const Plan* old_plan, const Plan* new_pl
     if (task.kind != AugKind::kWorkload || task.state_bytes == 0) {
       continue;
     }
-    if (new_plan->placement[aug_id] != id_) {
+    if (new_plan->placement()[aug_id] != id_) {
       continue;
     }
     // Did this node already hold a copy (any replica of the same task)?
     bool had_copy = false;
     NodeId donor;
     for (uint32_t rep : ctx_.graph->ReplicasOf(task.workload_task)) {
-      const NodeId old_host = old_plan->placement[rep];
+      const NodeId old_host = old_plan->placement()[rep];
       if (old_host == id_) {
         had_copy = true;
         break;

@@ -101,6 +101,8 @@ struct RuntimeContext {
   const Dataflow* workload = nullptr;
   const AugmentedGraph* graph = nullptr;
   const Strategy* strategy = nullptr;
+  // O(1) lookup over `strategy` for the recovery hot path (mode switches).
+  const StrategyIndex* strategy_index = nullptr;
   const Planner* planner = nullptr;
   const KeyStore* keys = nullptr;
   const AdversarySpec* adversary = nullptr;

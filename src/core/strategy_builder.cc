@@ -1,0 +1,77 @@
+#include "src/core/strategy_builder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/planner.h"
+#include "src/core/planner_stages.h"
+
+namespace btr {
+
+StrategyBuilder::StrategyBuilder(const Planner* planner, size_t threads)
+    : planner_(planner), threads_(threads) {}
+
+StatusOr<Strategy> StrategyBuilder::Build() {
+  const size_t node_count = planner_->topology().node_count();
+  const uint32_t max_faults = planner_->config().max_faults;
+
+  Strategy strategy;
+  ThreadPool pool(threads_);
+  size_t max_wave_modes = 0;
+
+  for (size_t k = 0; k <= max_faults; ++k) {
+    const std::vector<FaultSet> wave = ModeEnumerator::Level(node_count, k);
+    max_wave_modes = std::max(max_wave_modes, wave.size());
+    std::vector<std::optional<StatusOr<Plan>>> results(wave.size());
+
+    // All of wave k's parents sit in level k - 1, fully inserted by now, so
+    // the workers only ever read the strategy — no synchronization needed.
+    // One infeasible mode fails the whole build, so later jobs bail out
+    // early instead of planning modes whose result will be discarded.
+    std::atomic<bool> failed{false};
+    pool.ParallelFor(wave.size(), [&](size_t i) {
+      if (failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      const FaultSet& faults = wave[i];
+      std::vector<const Plan*> parents;
+      parents.reserve(faults.size());
+      for (NodeId x : faults.nodes()) {
+        const Plan* parent = strategy.Lookup(faults.Without(x));
+        if (parent != nullptr) {
+          parents.push_back(parent);
+        }
+      }
+      results[i] = planner_->PlanForMode(faults, parents);
+      if (!results[i]->ok()) {
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+
+    // A cancelled wave leaves the jobs after the failure unplanned; report
+    // the failure that triggered it.
+    if (failed.load(std::memory_order_relaxed)) {
+      for (std::optional<StatusOr<Plan>>& result : results) {
+        if (result.has_value() && !result->ok()) {
+          return result->status();
+        }
+      }
+      return Status::Internal("wave cancelled without a failure status");
+    }
+    // Insert in enumeration order (determinism: body ids and dedup choices
+    // are independent of which worker finished first).
+    for (std::optional<StatusOr<Plan>>& result : results) {
+      strategy.Insert(std::move(*result).value());
+    }
+  }
+
+  planner_->RecordBuildMetrics(strategy.dedup_hits(), strategy.unique_plan_count(),
+                               static_cast<size_t>(max_faults) + 1, max_wave_modes,
+                               pool.thread_count());
+  return strategy;
+}
+
+}  // namespace btr

@@ -1,0 +1,48 @@
+// Wave-parallel strategy compilation.
+//
+// The strategy has one plan per fault set of size <= f. Mode dependencies
+// form levels: the plan for S uses the plans for the |S| - 1 subsets of S
+// (parent stickiness), and nothing else. So the builder plans level k only
+// after level k - 1 is fully inserted, and plans all C(n, k) modes of one
+// level concurrently on a thread pool — the "wave".
+//
+// Parents are resolved *by canonical fault-set id* against the strategy
+// being built (FaultSet is canonical by construction: sorted, deduplicated).
+// This keeps parent resolution correct under plan deduplication: the lookup
+// returns the per-mode entry — whose fault set and routing are the parent's
+// own — even when its schedule body is physically shared with other modes.
+//
+// Determinism: each mode is planned independently from immutable inputs,
+// and results are inserted in enumeration order after the wave completes,
+// so the strategy is bit-identical for any thread count.
+
+#ifndef BTR_SRC_CORE_STRATEGY_BUILDER_H_
+#define BTR_SRC_CORE_STRATEGY_BUILDER_H_
+
+#include <cstddef>
+
+#include "src/common/status.h"
+#include "src/core/plan.h"
+
+namespace btr {
+
+class Planner;
+
+class StrategyBuilder {
+ public:
+  // `threads` = 0 picks one worker per hardware thread; 1 is fully serial.
+  explicit StrategyBuilder(const Planner* planner, size_t threads = 0);
+
+  // Plans every fault set up to the planner's max_faults, level by level.
+  // On success the planner's metrics carry the build counters (modes
+  // deduped, unique plans, waves, wave width, threads used).
+  StatusOr<Strategy> Build();
+
+ private:
+  const Planner* planner_;
+  size_t threads_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_CORE_STRATEGY_BUILDER_H_

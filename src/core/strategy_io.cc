@@ -1,12 +1,38 @@
 #include "src/core/strategy_io.h"
 
 #include <sstream>
+#include <unordered_map>
+#include <vector>
 
 namespace btr {
 namespace {
 
 constexpr char kMagic[] = "BTRSTRATEGY";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
+
+void WriteBody(std::ostringstream& out, const PlanBody& body) {
+  out << "U " << body.utility << "\n";
+  for (uint32_t aug = 0; aug < body.placement.size(); ++aug) {
+    if (body.placement[aug].valid()) {
+      out << "P " << aug << " " << body.placement[aug].value() << " " << body.start[aug]
+          << "\n";
+    }
+  }
+  for (TaskId sink : body.shed_sinks) {
+    out << "S " << sink.value() << "\n";
+  }
+  for (size_t node = 0; node < body.tables.size(); ++node) {
+    for (const ScheduleEntry& e : body.tables[node].entries()) {
+      out << "T " << node << " " << e.job << " " << e.start << " " << e.duration << "\n";
+    }
+  }
+  for (size_t i = 0; i < body.edge_budget().size(); ++i) {
+    if (body.edge_budget()[i] >= 0) {
+      out << "B " << i << " " << body.edge_budget()[i] << "\n";
+    }
+  }
+  out << "END\n";
+}
 
 }  // namespace
 
@@ -16,34 +42,35 @@ std::string SaveStrategy(const Strategy& strategy, const AugmentedGraph& graph,
   out << kMagic << " v" << kVersion << "\n";
   out << "DIM " << graph.size() << " " << topo.node_count() << " " << graph.edges().size()
       << "\n";
-  for (const FaultSet& faults : strategy.PlannedSets()) {
-    const Plan* plan = strategy.Lookup(faults);
-    out << "MODE " << faults.size();
-    for (NodeId n : faults.nodes()) {
+  // File-local body ids by first use in canonical mode order, so the blob
+  // is a pure function of the strategy's content (save-load-save is
+  // byte-stable regardless of in-memory insertion order).
+  const std::vector<FaultSet> sets = strategy.PlannedSets();
+  std::unordered_map<const PlanBody*, size_t> file_ids;
+  std::vector<const PlanBody*> file_bodies;
+  std::vector<size_t> mode_refs;
+  mode_refs.reserve(sets.size());
+  for (const FaultSet& faults : sets) {
+    const PlanBody* body = strategy.Lookup(faults)->body.get();
+    auto [it, inserted] = file_ids.emplace(body, file_bodies.size());
+    if (inserted) {
+      file_bodies.push_back(body);
+    }
+    mode_refs.push_back(it->second);
+  }
+  out << "PLANS " << file_bodies.size() << "\n";
+  for (size_t id = 0; id < file_bodies.size(); ++id) {
+    out << "PLAN " << id << "\n";
+    WriteBody(out, *file_bodies[id]);
+  }
+  // Modes reference their body by id; routing is rebuilt on load.
+  out << "MODES " << sets.size() << "\n";
+  for (size_t m = 0; m < sets.size(); ++m) {
+    out << "MODE " << sets[m].size();
+    for (NodeId n : sets[m].nodes()) {
       out << " " << n.value();
     }
-    out << "\n";
-    out << "U " << plan->utility << "\n";
-    for (uint32_t aug = 0; aug < plan->placement.size(); ++aug) {
-      if (plan->placement[aug].valid()) {
-        out << "P " << aug << " " << plan->placement[aug].value() << " " << plan->start[aug]
-            << "\n";
-      }
-    }
-    for (TaskId sink : plan->shed_sinks) {
-      out << "S " << sink.value() << "\n";
-    }
-    for (size_t node = 0; node < plan->tables.size(); ++node) {
-      for (const ScheduleEntry& e : plan->tables[node].entries()) {
-        out << "T " << node << " " << e.job << " " << e.start << " " << e.duration << "\n";
-      }
-    }
-    for (size_t i = 0; i < plan->edge_budget.size(); ++i) {
-      if (plan->edge_budget[i] >= 0) {
-        out << "B " << i << " " << plan->edge_budget[i] << "\n";
-      }
-    }
-    out << "END\n";
+    out << " REF " << mode_refs[m] << "\n";
   }
   return out.str();
 }
@@ -54,8 +81,8 @@ StatusOr<Strategy> LoadStrategy(const std::string& text, const AugmentedGraph& g
   std::string magic;
   std::string version;
   in >> magic >> version;
-  if (magic != kMagic || version != "v1") {
-    return Status::InvalidArgument("not a BTRSTRATEGY v1 blob");
+  if (magic != kMagic || version != "v2") {
+    return Status::InvalidArgument("not a BTRSTRATEGY v2 blob");
   }
   std::string tag;
   in >> tag;
@@ -70,80 +97,119 @@ StatusOr<Strategy> LoadStrategy(const std::string& text, const AugmentedGraph& g
     return Status::InvalidArgument("strategy dimensions do not match graph/topology");
   }
 
-  Strategy strategy;
-  Plan plan;
-  bool in_mode = false;
-  while (in >> tag) {
-    if (tag == "MODE") {
-      size_t k = 0;
-      if (!(in >> k)) {
-        return Status::InvalidArgument("malformed MODE");
-      }
-      std::vector<NodeId> nodes;
-      for (size_t i = 0; i < k; ++i) {
-        uint32_t v = 0;
-        if (!(in >> v) || v >= node_count) {
-          return Status::InvalidArgument("malformed MODE nodes");
-        }
-        nodes.push_back(NodeId(v));
-      }
-      plan = Plan();
-      plan.faults = FaultSet(std::move(nodes));
-      plan.placement.assign(aug_count, NodeId::Invalid());
-      plan.start.assign(aug_count, -1);
-      plan.tables.assign(node_count, ScheduleTable());
-      plan.edge_budget.assign(edge_count, -1);
-      plan.routing = std::make_shared<RoutingTable>(topo, plan.faults.nodes());
-      in_mode = true;
-    } else if (!in_mode) {
-      return Status::InvalidArgument("record outside MODE block: " + tag);
-    } else if (tag == "U") {
-      in >> plan.utility;
-    } else if (tag == "P") {
-      uint32_t aug = 0;
-      uint32_t node = 0;
-      SimDuration start = 0;
-      if (!(in >> aug >> node >> start) || aug >= aug_count || node >= node_count) {
-        return Status::InvalidArgument("malformed P record");
-      }
-      plan.placement[aug] = NodeId(node);
-      plan.start[aug] = start;
-    } else if (tag == "S") {
-      uint32_t sink = 0;
-      if (!(in >> sink)) {
-        return Status::InvalidArgument("malformed S record");
-      }
-      plan.shed_sinks.push_back(TaskId(sink));
-    } else if (tag == "T") {
-      size_t node = 0;
-      uint32_t job = 0;
-      SimDuration start = 0;
-      SimDuration duration = 0;
-      if (!(in >> node >> job >> start >> duration) || node >= node_count ||
-          job >= aug_count) {
-        return Status::InvalidArgument("malformed T record");
-      }
-      plan.tables[node].Add(job, start, duration);
-    } else if (tag == "B") {
-      size_t idx = 0;
-      SimDuration budget = 0;
-      if (!(in >> idx >> budget) || idx >= edge_count) {
-        return Status::InvalidArgument("malformed B record");
-      }
-      plan.edge_budget[idx] = budget;
-    } else if (tag == "END") {
-      for (ScheduleTable& t : plan.tables) {
-        t.SortByStart();
-      }
-      strategy.Insert(std::move(plan));
-      plan = Plan();
-      in_mode = false;
-    } else {
-      return Status::InvalidArgument("unknown record: " + tag);
-    }
+  size_t plan_count = 0;
+  if (!(in >> tag >> plan_count) || tag != "PLANS") {
+    return Status::InvalidArgument("missing PLANS header");
   }
-  if (in_mode) {
-    return Status::InvalidArgument("truncated strategy (missing END)");
+  // Every body occupies at least a "PLAN n\nEND\n" line pair, so a count
+  // beyond the blob size is a forged header — reject before reserving.
+  if (plan_count > text.size()) {
+    return Status::InvalidArgument("implausible PLANS count");
+  }
+
+  std::vector<std::shared_ptr<const PlanBody>> bodies;
+  bodies.reserve(plan_count);
+  for (size_t id = 0; id < plan_count; ++id) {
+    size_t declared_id = 0;
+    if (!(in >> tag >> declared_id) || tag != "PLAN" || declared_id != id) {
+      return Status::InvalidArgument("malformed PLAN header");
+    }
+    PlanBody body;
+    body.placement.assign(aug_count, NodeId::Invalid());
+    body.start.assign(aug_count, -1);
+    body.tables.assign(node_count, ScheduleTable());
+    std::vector<SimDuration> edge_budget(edge_count, -1);
+    bool ended = false;
+    while (!ended && (in >> tag)) {
+      if (tag == "U") {
+        if (!(in >> body.utility)) {
+          return Status::InvalidArgument("malformed U record");
+        }
+      } else if (tag == "P") {
+        uint32_t aug = 0;
+        uint32_t node = 0;
+        SimDuration start = 0;
+        if (!(in >> aug >> node >> start) || aug >= aug_count || node >= node_count) {
+          return Status::InvalidArgument("malformed P record");
+        }
+        body.placement[aug] = NodeId(node);
+        body.start[aug] = start;
+      } else if (tag == "S") {
+        uint32_t sink = 0;
+        if (!(in >> sink)) {
+          return Status::InvalidArgument("malformed S record");
+        }
+        body.shed_sinks.push_back(TaskId(sink));
+      } else if (tag == "T") {
+        size_t node = 0;
+        uint32_t job = 0;
+        SimDuration start = 0;
+        SimDuration duration = 0;
+        if (!(in >> node >> job >> start >> duration) || node >= node_count ||
+            job >= aug_count) {
+          return Status::InvalidArgument("malformed T record");
+        }
+        body.tables[node].Add(job, start, duration);
+      } else if (tag == "B") {
+        size_t idx = 0;
+        SimDuration budget = 0;
+        if (!(in >> idx >> budget) || idx >= edge_count) {
+          return Status::InvalidArgument("malformed B record");
+        }
+        edge_budget[idx] = budget;
+      } else if (tag == "END") {
+        ended = true;
+      } else {
+        return Status::InvalidArgument("unknown record: " + tag);
+      }
+    }
+    if (!ended) {
+      return Status::InvalidArgument("truncated plan body (missing END)");
+    }
+    for (ScheduleTable& t : body.tables) {
+      t.SortByStart();
+    }
+    body.set_edge_budget(std::move(edge_budget));
+    bodies.push_back(std::make_shared<const PlanBody>(std::move(body)));
+  }
+
+  size_t mode_count = 0;
+  if (!(in >> tag >> mode_count) || tag != "MODES") {
+    return Status::InvalidArgument("missing MODES header");
+  }
+  if (mode_count > text.size()) {
+    return Status::InvalidArgument("implausible MODES count");
+  }
+  Strategy strategy;
+  for (size_t m = 0; m < mode_count; ++m) {
+    size_t k = 0;
+    if (!(in >> tag >> k) || tag != "MODE") {
+      return Status::InvalidArgument("malformed MODE");
+    }
+    std::vector<NodeId> nodes;
+    for (size_t i = 0; i < k; ++i) {
+      uint32_t v = 0;
+      if (!(in >> v) || v >= node_count) {
+        return Status::InvalidArgument("malformed MODE nodes");
+      }
+      nodes.push_back(NodeId(v));
+    }
+    size_t ref = 0;
+    if (!(in >> tag >> ref) || tag != "REF" || ref >= bodies.size()) {
+      return Status::InvalidArgument("malformed MODE body reference");
+    }
+    Plan plan;
+    plan.faults = FaultSet(std::move(nodes));
+    if (strategy.Lookup(plan.faults) != nullptr) {
+      return Status::InvalidArgument("duplicate MODE for " + plan.faults.ToString());
+    }
+    plan.body = bodies[ref];
+    // Routing is a pure function of (topology, fault set); rebuild it.
+    plan.routing = std::make_shared<RoutingTable>(topo, plan.faults.nodes());
+    strategy.Insert(std::move(plan));
+  }
+  if (in >> tag) {
+    return Status::InvalidArgument("trailing data after MODES: " + tag);
   }
   if (strategy.Lookup(FaultSet()) == nullptr) {
     return Status::InvalidArgument("strategy has no fault-free mode");

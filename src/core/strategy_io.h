@@ -4,8 +4,12 @@
 // so that correct nodes will have a consistent view of it at runtime". This
 // module provides that representation: a line-oriented text format that
 // round-trips a Strategy exactly (placements, start offsets, tables, edge
-// budgets, shed sinks, utility). Routing tables are not stored — they are a
-// pure function of (topology, fault set) and are rebuilt on load.
+// budgets, shed sinks, utility). The v2 format mirrors the deduplicated
+// in-memory layout: each unique plan body is written once (PLAN blocks),
+// and every mode is a one-line fault set + body reference (MODE ... REF n),
+// so the blob shrinks with the same dedup ratio as the strategy. Routing
+// tables are not stored — they are a pure function of (topology, fault set)
+// and are rebuilt on load; body sharing survives the round trip.
 
 #ifndef BTR_SRC_CORE_STRATEGY_IO_H_
 #define BTR_SRC_CORE_STRATEGY_IO_H_

@@ -71,7 +71,7 @@ TransitionBound AnalyzeOne(const Plan& from, const Plan& to, const AugmentedGrap
     if (task.kind != AugKind::kWorkload || task.state_bytes == 0) {
       continue;
     }
-    const NodeId new_host = to.placement[aug];
+    const NodeId new_host = to.placement()[aug];
     if (!new_host.valid()) {
       continue;
     }
@@ -80,7 +80,7 @@ TransitionBound AnalyzeOne(const Plan& from, const Plan& to, const AugmentedGrap
     NodeId donor;
     SimDuration donor_cost = 0;
     for (uint32_t rep : graph.ReplicasOf(task.workload_task)) {
-      const NodeId old_host = from.placement[rep];
+      const NodeId old_host = from.placement()[rep];
       if (!old_host.valid() || to.faults.Contains(old_host)) {
         continue;
       }

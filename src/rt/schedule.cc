@@ -4,12 +4,30 @@
 
 namespace btr {
 
+const std::vector<ScheduleEntry>& ScheduleTable::EmptyEntries() {
+  static const std::vector<ScheduleEntry> kEmpty;
+  return kEmpty;
+}
+
+std::vector<ScheduleEntry>& ScheduleTable::Detach() {
+  if (entries_ == nullptr) {
+    entries_ = std::make_shared<std::vector<ScheduleEntry>>();
+  } else if (entries_.use_count() > 1) {
+    entries_ = std::make_shared<std::vector<ScheduleEntry>>(*entries_);
+  }
+  return *entries_;
+}
+
 void ScheduleTable::Add(uint32_t job, SimDuration start, SimDuration duration) {
-  entries_.push_back(ScheduleEntry{job, start, duration});
+  Detach().push_back(ScheduleEntry{job, start, duration});
 }
 
 void ScheduleTable::SortByStart() {
-  std::sort(entries_.begin(), entries_.end(), [](const ScheduleEntry& a, const ScheduleEntry& b) {
+  if (entries_ == nullptr) {
+    return;
+  }
+  std::vector<ScheduleEntry>& entries = Detach();
+  std::sort(entries.begin(), entries.end(), [](const ScheduleEntry& a, const ScheduleEntry& b) {
     if (a.start != b.start) {
       return a.start < b.start;
     }
@@ -19,10 +37,28 @@ void ScheduleTable::SortByStart() {
 
 SimDuration ScheduleTable::BusyTime() const {
   SimDuration sum = 0;
-  for (const ScheduleEntry& e : entries_) {
+  for (const ScheduleEntry& e : entries()) {
     sum += e.duration;
   }
   return sum;
+}
+
+bool operator==(const ScheduleTable& a, const ScheduleTable& b) {
+  if (a.entries_ == b.entries_) {
+    return true;
+  }
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  if (ea.size() != eb.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < ea.size(); ++i) {
+    if (ea[i].job != eb[i].job || ea[i].start != eb[i].start ||
+        ea[i].duration != eb[i].duration) {
+      return false;
+    }
+  }
+  return true;
 }
 
 double ScheduleTable::Utilization(SimDuration period) const {
@@ -35,7 +71,7 @@ double ScheduleTable::Utilization(SimDuration period) const {
 SimDuration ScheduleTable::FindGap(SimDuration earliest, SimDuration duration,
                                    SimDuration period) const {
   SimDuration cursor = earliest < 0 ? 0 : earliest;
-  for (const ScheduleEntry& e : entries_) {
+  for (const ScheduleEntry& e : entries()) {
     const SimDuration end = e.start + e.duration;
     if (end <= cursor) {
       continue;
@@ -53,8 +89,9 @@ SimDuration ScheduleTable::FindGap(SimDuration earliest, SimDuration duration,
 
 Status ScheduleTable::Validate(SimDuration period) const {
   SimDuration prev_end = 0;
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    const ScheduleEntry& e = entries_[i];
+  const std::vector<ScheduleEntry>& all = entries();
+  for (size_t i = 0; i < all.size(); ++i) {
+    const ScheduleEntry& e = all[i];
     if (e.duration <= 0) {
       return Status::InvalidArgument("schedule entry with non-positive duration");
     }
@@ -64,7 +101,7 @@ Status ScheduleTable::Validate(SimDuration period) const {
     if (i > 0 && e.start < prev_end) {
       return Status::InvalidArgument("overlapping schedule entries");
     }
-    if (i > 0 && e.start < entries_[i - 1].start) {
+    if (i > 0 && e.start < all[i - 1].start) {
       return Status::InvalidArgument("schedule entries not sorted");
     }
     prev_end = e.start + e.duration;

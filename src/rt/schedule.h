@@ -7,6 +7,7 @@
 #ifndef BTR_SRC_RT_SCHEDULE_H_
 #define BTR_SRC_RT_SCHEDULE_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/common/status.h"
@@ -23,15 +24,23 @@ struct ScheduleEntry {
 };
 
 // A single node's table for one period.
+//
+// Storage is copy-on-write: copying a table shares the underlying entry
+// vector, and the first mutation of a shared table detaches a private copy.
+// The strategy store exploits this — many fault modes prescribe identical
+// tables for untouched nodes, and after deduplication they all point at one
+// physical entry vector (see Strategy::Insert).
 class ScheduleTable {
  public:
   ScheduleTable() = default;
 
   void Add(uint32_t job, SimDuration start, SimDuration duration);
 
-  const std::vector<ScheduleEntry>& entries() const { return entries_; }
-  bool empty() const { return entries_.empty(); }
-  size_t size() const { return entries_.size(); }
+  const std::vector<ScheduleEntry>& entries() const {
+    return entries_ != nullptr ? *entries_ : EmptyEntries();
+  }
+  bool empty() const { return entries().empty(); }
+  size_t size() const { return entries().size(); }
 
   // Sorts entries by start time (runtime dispatch order).
   void SortByStart();
@@ -49,8 +58,25 @@ class ScheduleTable {
   // Validates: entries sorted, non-overlapping, inside [0, period].
   Status Validate(SimDuration period) const;
 
+  // True if both tables are backed by the same physical entry vector
+  // (deduplication diagnostics; empty tables compare false unless both
+  // share a non-null buffer).
+  bool SharesStorageWith(const ScheduleTable& other) const {
+    return entries_ != nullptr && entries_ == other.entries_;
+  }
+
+  // Identity of the backing entry vector (nullptr for an empty default
+  // table); used by the strategy store to count shared storage once.
+  const void* storage_key() const { return entries_.get(); }
+
+  friend bool operator==(const ScheduleTable& a, const ScheduleTable& b);
+
  private:
-  std::vector<ScheduleEntry> entries_;
+  static const std::vector<ScheduleEntry>& EmptyEntries();
+  // Gives this table sole ownership of its entries before a mutation.
+  std::vector<ScheduleEntry>& Detach();
+
+  std::shared_ptr<std::vector<ScheduleEntry>> entries_;
 };
 
 }  // namespace btr

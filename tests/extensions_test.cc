@@ -70,7 +70,7 @@ TEST_F(PlannedAvionics, MeasuredRecoveryNeverExceedsAnalyzedBound) {
     ASSERT_TRUE(system.Plan().ok());
     const Plan* root = system.strategy().Lookup(FaultSet());
     const TaskId law = system.scenario().workload.FindTask("control_law");
-    const NodeId victim = root->placement[system.planner().graph().PrimaryOf(law)];
+    const NodeId victim = root->placement()[system.planner().graph().PrimaryOf(law)];
     system.AddFault(
         {victim, Milliseconds(100), FaultBehavior::kValueCorruption, 0, NodeId::Invalid(), 0});
     auto report = system.Run(150);
@@ -111,18 +111,17 @@ TEST(TransitionAnalysis, StateTransferGrowsTheBound) {
     const auto& reps = graph.ReplicasOf(mid);
 
     auto make_plan = [&](const FaultSet& faults, NodeId rep0, NodeId rep1) {
-      Plan plan;
-      plan.faults = faults;
-      plan.placement.assign(graph.size(), NodeId::Invalid());
-      plan.start.assign(graph.size(), 0);
-      plan.tables.assign(topo.node_count(), ScheduleTable());
-      plan.edge_budget.assign(graph.edges().size(), -1);
-      plan.routing = std::make_shared<RoutingTable>(topo, faults.nodes());
-      plan.placement[reps[0]] = rep0;
+      PlanBody body;
+      body.placement.assign(graph.size(), NodeId::Invalid());
+      body.start.assign(graph.size(), 0);
+      body.tables.assign(topo.node_count(), ScheduleTable());
+      body.set_edge_budget(std::vector<SimDuration>(graph.edges().size(), -1));
+      body.placement[reps[0]] = rep0;
       if (rep1.valid()) {
-        plan.placement[reps[1]] = rep1;
+        body.placement[reps[1]] = rep1;
       }
-      return plan;
+      return Plan(faults, std::make_shared<RoutingTable>(topo, faults.nodes()),
+                  std::move(body));
     };
     Strategy strategy;
     strategy.Insert(make_plan(FaultSet(), NodeId(2), NodeId(3)));
@@ -170,7 +169,7 @@ TEST(MissPattern, DegenerateParameters) {
 TEST_F(PlannedAvionics, RunSatisfiesWeaklyHardConstraintUnderFault) {
   const TaskId law = system_.scenario().workload.FindTask("control_law");
   const Plan* root = system_.strategy().Lookup(FaultSet());
-  const NodeId victim = root->placement[system_.planner().graph().PrimaryOf(law)];
+  const NodeId victim = root->placement()[system_.planner().graph().PrimaryOf(law)];
   system_.AddFault(
       {victim, Milliseconds(200), FaultBehavior::kValueCorruption, 0, NodeId::Invalid(), 0});
   auto report = system_.Run(200);
@@ -202,17 +201,17 @@ TEST_F(PlannedAvionics, StrategyRoundTripsThroughText) {
     const Plan* original = system_.strategy().Lookup(faults);
     const Plan* restored = loaded->Lookup(faults);
     ASSERT_NE(restored, nullptr) << faults.ToString();
-    EXPECT_EQ(original->placement, restored->placement);
-    EXPECT_EQ(original->start, restored->start);
-    EXPECT_EQ(original->shed_sinks, restored->shed_sinks);
-    EXPECT_EQ(original->edge_budget, restored->edge_budget);
-    EXPECT_DOUBLE_EQ(original->utility, restored->utility);
+    EXPECT_EQ(original->placement(), restored->placement());
+    EXPECT_EQ(original->start(), restored->start());
+    EXPECT_EQ(original->shed_sinks(), restored->shed_sinks());
+    EXPECT_EQ(original->edge_budget(), restored->edge_budget());
+    EXPECT_DOUBLE_EQ(original->utility(), restored->utility());
     for (size_t n = 0; n < topo.node_count(); ++n) {
-      ASSERT_EQ(original->tables[n].size(), restored->tables[n].size());
-      for (size_t i = 0; i < original->tables[n].size(); ++i) {
-        EXPECT_EQ(original->tables[n].entries()[i].job, restored->tables[n].entries()[i].job);
-        EXPECT_EQ(original->tables[n].entries()[i].start,
-                  restored->tables[n].entries()[i].start);
+      ASSERT_EQ(original->tables()[n].size(), restored->tables()[n].size());
+      for (size_t i = 0; i < original->tables()[n].size(); ++i) {
+        EXPECT_EQ(original->tables()[n].entries()[i].job, restored->tables()[n].entries()[i].job);
+        EXPECT_EQ(original->tables()[n].entries()[i].start,
+                  restored->tables()[n].entries()[i].start);
       }
     }
     // Routing rebuilt from the fault set must exclude the faulty relays.
@@ -236,6 +235,7 @@ TEST_F(PlannedAvionics, LoadRejectsCorruptBlobs) {
   const Topology& topo = system_.scenario().topology;
   EXPECT_FALSE(LoadStrategy("garbage", graph, topo).ok());
   EXPECT_FALSE(LoadStrategy("BTRSTRATEGY v1\nDIM 1 2 3\n", graph, topo).ok());
+  EXPECT_FALSE(LoadStrategy("BTRSTRATEGY v2\nDIM 1 2 3\n", graph, topo).ok());
 
   std::string blob = SaveStrategy(system_.strategy(), graph, topo);
   // Truncate mid-mode.
@@ -246,10 +246,10 @@ TEST_F(PlannedAvionics, LoadRejectsCorruptBlobs) {
 TEST_F(PlannedAvionics, LoadRejectsOutOfRangeRecords) {
   const AugmentedGraph& graph = system_.planner().graph();
   const Topology& topo = system_.scenario().topology;
-  std::string blob = "BTRSTRATEGY v1\nDIM " + std::to_string(graph.size()) + " " +
+  std::string blob = "BTRSTRATEGY v2\nDIM " + std::to_string(graph.size()) + " " +
                      std::to_string(topo.node_count()) + " " +
                      std::to_string(graph.edges().size()) + "\n";
-  blob += "MODE 0\nP 99999 0 0\nEND\n";
+  blob += "PLANS 1\nPLAN 0\nP 99999 0 0\nEND\nMODES 1\nMODE 0 REF 0\n";
   EXPECT_FALSE(LoadStrategy(blob, graph, topo).ok());
 }
 

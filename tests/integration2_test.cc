@@ -22,7 +22,7 @@ BtrConfig DefaultConfig(uint32_t f = 1, uint64_t seed = 7) {
 NodeId PrimaryHostOf(const BtrSystem& system, const std::string& task_name) {
   const TaskId task = system.scenario().workload.FindTask(task_name);
   const Plan* root = system.strategy().Lookup(FaultSet());
-  return root->placement[system.planner().graph().PrimaryOf(task)];
+  return root->placement()[system.planner().graph().PrimaryOf(task)];
 }
 
 TEST(Integration2, SimultaneousDoubleFaultWithF2Recovers) {
@@ -97,7 +97,7 @@ TEST(Integration2, LoadedStrategyRunsIdenticallyToOriginal) {
     const Plan* a = original.strategy().Lookup(faults);
     const Plan* b = loaded->Lookup(faults);
     ASSERT_NE(b, nullptr);
-    EXPECT_EQ(a->placement, b->placement);
+    EXPECT_EQ(a->placement(), b->placement());
   }
   const auto reloaded_result = run(&reloaded);
   EXPECT_EQ(original_result, reloaded_result);

@@ -51,7 +51,7 @@ NodeId PrimaryHostOf(const BtrSystem& system, const std::string& task_name) {
   EXPECT_TRUE(task.valid()) << "no task named " << task_name;
   const Plan* root = system.strategy().Lookup(FaultSet());
   EXPECT_NE(root, nullptr);
-  return root->placement[system.planner().graph().PrimaryOf(task)];
+  return root->placement()[system.planner().graph().PrimaryOf(task)];
 }
 
 TEST(Integration, ValueCorruptionRecoversWithinBound) {

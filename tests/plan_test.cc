@@ -66,19 +66,24 @@ struct DeltaFixture {
     graph = std::make_unique<AugmentedGraph>(&workload, 3, config);
   }
 
-  Plan EmptyPlan() const {
-    Plan p;
-    p.placement.assign(graph->size(), NodeId::Invalid());
-    p.start.assign(graph->size(), -1);
-    return p;
+  PlanBody EmptyBody() const {
+    PlanBody body;
+    body.placement.assign(graph->size(), NodeId::Invalid());
+    body.start.assign(graph->size(), -1);
+    return body;
+  }
+
+  Plan MakePlan(FaultSet faults, PlanBody body) const {
+    return Plan(std::move(faults), nullptr, std::move(body));
   }
 };
 
 TEST(PlanDelta, IdenticalPlansHaveZeroDelta) {
   DeltaFixture fx;
-  Plan a = fx.EmptyPlan();
-  a.placement[0] = NodeId(0);
-  a.placement[1] = NodeId(1);
+  PlanBody body = fx.EmptyBody();
+  body.placement[0] = NodeId(0);
+  body.placement[1] = NodeId(1);
+  const Plan a = fx.MakePlan(FaultSet(), std::move(body));
   const PlanDelta d = ComputeDelta(a, a, *fx.graph);
   EXPECT_EQ(d.tasks_moved, 0u);
   EXPECT_EQ(d.tasks_started, 0u);
@@ -89,17 +94,19 @@ TEST(PlanDelta, IdenticalPlansHaveZeroDelta) {
 TEST(PlanDelta, CountsMovesStartsStops) {
   DeltaFixture fx;
   const auto& reps = fx.graph->ReplicasOf(fx.workload.FindTask("m"));
-  Plan a = fx.EmptyPlan();
-  Plan b = fx.EmptyPlan();
+  PlanBody body_a = fx.EmptyBody();
+  PlanBody body_b = fx.EmptyBody();
   // Replica 0 moves node0 -> node2 (512 bytes of state).
-  a.placement[reps[0]] = NodeId(0);
-  b.placement[reps[0]] = NodeId(2);
+  body_a.placement[reps[0]] = NodeId(0);
+  body_b.placement[reps[0]] = NodeId(2);
   // Replica 1 stops.
-  a.placement[reps[1]] = NodeId(1);
+  body_a.placement[reps[1]] = NodeId(1);
   // Source starts (no state).
   const uint32_t src_aug = fx.graph->PrimaryOf(fx.workload.FindTask("s"));
-  b.placement[src_aug] = NodeId(0);
+  body_b.placement[src_aug] = NodeId(0);
 
+  const Plan a = fx.MakePlan(FaultSet(), std::move(body_a));
+  const Plan b = fx.MakePlan(FaultSet(), std::move(body_b));
   const PlanDelta d = ComputeDelta(a, b, *fx.graph);
   EXPECT_EQ(d.tasks_moved, 1u);
   EXPECT_EQ(d.tasks_stopped, 1u);
@@ -109,48 +116,94 @@ TEST(PlanDelta, CountsMovesStartsStops) {
 
 TEST(Strategy, InsertAndLookup) {
   Strategy strategy;
-  Plan p;
-  p.faults = FaultSet({NodeId(1)});
-  p.utility = 7.0;
-  strategy.Insert(p);
+  PlanBody body;
+  body.utility = 7.0;
+  strategy.Insert(Plan(FaultSet({NodeId(1)}), nullptr, std::move(body)));
   ASSERT_NE(strategy.Lookup(FaultSet({NodeId(1)})), nullptr);
-  EXPECT_EQ(strategy.Lookup(FaultSet({NodeId(1)}))->utility, 7.0);
+  EXPECT_EQ(strategy.Lookup(FaultSet({NodeId(1)}))->utility(), 7.0);
   EXPECT_EQ(strategy.Lookup(FaultSet({NodeId(2)})), nullptr);
   EXPECT_EQ(strategy.mode_count(), 1u);
+  EXPECT_EQ(strategy.unique_plan_count(), 1u);
 }
 
 TEST(Strategy, LookupIsExactMatch) {
   Strategy strategy;
-  Plan root;
-  strategy.Insert(root);  // empty fault set
+  strategy.Insert(Plan(FaultSet(), nullptr, PlanBody()));  // empty fault set
   EXPECT_NE(strategy.Lookup(FaultSet()), nullptr);
   EXPECT_EQ(strategy.Lookup(FaultSet({NodeId(0)})), nullptr);
 }
 
 TEST(Strategy, PlannedSetsEnumerates) {
   Strategy strategy;
-  Plan a;
-  a.faults = FaultSet({NodeId(2)});
-  Plan b;
-  b.faults = FaultSet();
-  strategy.Insert(a);
-  strategy.Insert(b);
+  strategy.Insert(Plan(FaultSet({NodeId(2)}), nullptr, PlanBody()));
+  strategy.Insert(Plan(FaultSet(), nullptr, PlanBody()));
   const auto sets = strategy.PlannedSets();
   ASSERT_EQ(sets.size(), 2u);
-  EXPECT_EQ(sets[0], FaultSet());  // map order: {} < {n2}
+  EXPECT_EQ(sets[0], FaultSet());  // canonical order: {} < {n2}
   EXPECT_EQ(sets[1], FaultSet({NodeId(2)}));
+}
+
+TEST(Strategy, DedupSharesIdenticalBodies) {
+  DeltaFixture fx;
+  Strategy strategy;
+  PlanBody body = fx.EmptyBody();
+  body.placement[0] = NodeId(0);
+  const Plan* a = strategy.Insert(fx.MakePlan(FaultSet(), body));
+  const Plan* b = strategy.Insert(fx.MakePlan(FaultSet({NodeId(2)}), body));
+  EXPECT_EQ(strategy.mode_count(), 2u);
+  EXPECT_EQ(strategy.unique_plan_count(), 1u);
+  EXPECT_EQ(strategy.dedup_hits(), 1u);
+  EXPECT_EQ(a->body.get(), b->body.get());  // physically shared
+  EXPECT_NE(a->faults, b->faults);          // per-mode identity kept
+  EXPECT_LT(strategy.DedupRatio(), 1.0);    // storage shrank vs verbatim
+
+  // A different schedule must get its own body.
+  PlanBody other = fx.EmptyBody();
+  other.placement[0] = NodeId(1);
+  const Plan* c = strategy.Insert(fx.MakePlan(FaultSet({NodeId(1)}), std::move(other)));
+  EXPECT_EQ(strategy.unique_plan_count(), 2u);
+  EXPECT_NE(c->body.get(), a->body.get());
+}
+
+TEST(StrategyIndex, FindsEveryModeAndRejectsUnknown) {
+  DeltaFixture fx;
+  Strategy strategy;
+  strategy.Insert(fx.MakePlan(FaultSet(), fx.EmptyBody()));
+  strategy.Insert(fx.MakePlan(FaultSet({NodeId(0)}), fx.EmptyBody()));
+  strategy.Insert(fx.MakePlan(FaultSet({NodeId(0), NodeId(2)}), fx.EmptyBody()));
+
+  StrategyIndex index(strategy);
+  EXPECT_EQ(index.size(), 3u);
+  for (const FaultSet& faults : strategy.PlannedSets()) {
+    EXPECT_EQ(index.Find(faults), strategy.Lookup(faults)) << faults.ToString();
+  }
+  EXPECT_EQ(index.Find(FaultSet({NodeId(1)})), nullptr);
+  EXPECT_EQ(StrategyIndex().Find(FaultSet()), nullptr);
 }
 
 TEST(Strategy, MemoryFootprintGrowsWithPlans) {
   DeltaFixture fx;
   Strategy strategy;
-  Plan a = fx.EmptyPlan();
-  strategy.Insert(a);
+  strategy.Insert(fx.MakePlan(FaultSet(), fx.EmptyBody()));
   const size_t one = strategy.MemoryFootprintBytes();
-  Plan b = fx.EmptyPlan();
-  b.faults = FaultSet({NodeId(0)});
-  strategy.Insert(b);
+  strategy.Insert(fx.MakePlan(FaultSet({NodeId(0)}), fx.EmptyBody()));
   EXPECT_GT(strategy.MemoryFootprintBytes(), one);
+}
+
+TEST(Strategy, FootprintCountsSharedBodiesOnce) {
+  DeltaFixture fx;
+  PlanBody body = fx.EmptyBody();
+  body.placement[0] = NodeId(0);
+
+  Strategy deduped;
+  deduped.Insert(fx.MakePlan(FaultSet(), body));
+  deduped.Insert(fx.MakePlan(FaultSet({NodeId(1)}), body));
+  deduped.Insert(fx.MakePlan(FaultSet({NodeId(2)}), body));
+
+  // Three modes, one body: footprint must be far below three full bodies.
+  const size_t body_bytes = body.FootprintBytes();
+  EXPECT_LT(deduped.MemoryFootprintBytes(), 2 * body_bytes);
+  EXPECT_GE(deduped.MemoryFootprintBytes(), body_bytes);
 }
 
 }  // namespace

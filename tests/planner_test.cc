@@ -24,7 +24,7 @@ void CheckPlanInvariants(const Planner& planner, const Scenario& s, const Plan& 
 
   // 1. No task on a faulty node; pinned tasks on their pinned node.
   for (uint32_t id = 0; id < g.size(); ++id) {
-    const NodeId node = plan.placement[id];
+    const NodeId node = plan.placement()[id];
     if (!node.valid()) {
       continue;
     }
@@ -38,24 +38,24 @@ void CheckPlanInvariants(const Planner& planner, const Scenario& s, const Plan& 
   for (const TaskSpec& t : s.workload.tasks()) {
     std::set<NodeId> used;
     for (uint32_t rep : g.ReplicasOf(t.id)) {
-      const NodeId node = plan.placement[rep];
+      const NodeId node = plan.placement()[rep];
       if (node.valid()) {
         EXPECT_TRUE(used.insert(node).second) << t.name << " replicas colocated";
       }
     }
     const uint32_t chk = g.CheckerOf(t.id);
-    if (chk != AugmentedGraph::kNone && plan.placement[chk].valid()) {
-      EXPECT_EQ(used.count(plan.placement[chk]), 0u) << t.name << " checker colocated";
+    if (chk != AugmentedGraph::kNone && plan.placement()[chk].valid()) {
+      EXPECT_EQ(used.count(plan.placement()[chk]), 0u) << t.name << " checker colocated";
     }
   }
   // 3. Tables valid (sorted, non-overlapping, inside the period) and
   //    consistent with placement.
   for (size_t n = 0; n < s.topology.node_count(); ++n) {
-    const ScheduleTable& table = plan.tables[n];
+    const ScheduleTable& table = plan.tables()[n];
     EXPECT_TRUE(table.Validate(period).ok()) << table.Validate(period).ToString();
     for (const ScheduleEntry& e : table.entries()) {
-      EXPECT_EQ(plan.placement[e.job], NodeId(static_cast<uint32_t>(n)));
-      EXPECT_EQ(plan.start[e.job], e.start);
+      EXPECT_EQ(plan.placement()[e.job], NodeId(static_cast<uint32_t>(n)));
+      EXPECT_EQ(plan.start()[e.job], e.start);
       EXPECT_EQ(e.duration, g.task(e.job).wcet);
     }
   }
@@ -63,12 +63,12 @@ void CheckPlanInvariants(const Planner& planner, const Scenario& s, const Plan& 
   const auto& edges = g.edges();
   for (size_t i = 0; i < edges.size(); ++i) {
     const AugEdge& e = edges[i];
-    if (!plan.placement[e.from].valid() || !plan.placement[e.to].valid()) {
+    if (!plan.placement()[e.from].valid() || !plan.placement()[e.to].valid()) {
       continue;
     }
-    const SimDuration producer_finish = plan.start[e.from] + g.task(e.from).wcet;
-    EXPECT_GE(plan.start[e.to], producer_finish + (plan.edge_budget[i] > 0
-                                                       ? plan.edge_budget[i]
+    const SimDuration producer_finish = plan.start()[e.from] + g.task(e.from).wcet;
+    EXPECT_GE(plan.start()[e.to], producer_finish + (plan.edge_budget()[i] > 0
+                                                       ? plan.edge_budget()[i]
                                                        : 0))
         << g.task(e.from).name << " -> " << g.task(e.to).name;
   }
@@ -78,8 +78,8 @@ void CheckPlanInvariants(const Planner& planner, const Scenario& s, const Plan& 
       continue;
     }
     const uint32_t aug = g.PrimaryOf(sink);
-    ASSERT_TRUE(plan.placement[aug].valid());
-    EXPECT_LE(plan.start[aug] + g.task(aug).wcet, s.workload.task(sink).relative_deadline);
+    ASSERT_TRUE(plan.placement()[aug].valid());
+    EXPECT_LE(plan.start()[aug] + g.task(aug).wcet, s.workload.task(sink).relative_deadline);
   }
 }
 
@@ -88,7 +88,7 @@ TEST(Planner, RootPlanServesEverythingOnAvionics) {
   Planner planner(&s.topology, &s.workload, Config(1));
   auto plan = planner.PlanForMode(FaultSet(), {});
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
-  EXPECT_TRUE(plan->shed_sinks.empty());
+  EXPECT_TRUE(plan->shed_sinks().empty());
   CheckPlanInvariants(planner, s, *plan);
 }
 
@@ -122,7 +122,7 @@ TEST(Planner, ReplicationScalesWithF) {
   // All 3 replicas placed in the root mode.
   size_t placed = 0;
   for (uint32_t rep : planner.graph().ReplicasOf(s.workload.FindTask("control_law"))) {
-    if (root->placement[rep].valid()) {
+    if (root->placement()[rep].valid()) {
       ++placed;
     }
   }
@@ -138,7 +138,7 @@ TEST(Planner, DegradedModesKeepFewerReplicas) {
   ASSERT_TRUE(one_fault.ok());
   size_t placed = 0;
   for (uint32_t rep : planner.graph().ReplicasOf(s.workload.FindTask("control_law"))) {
-    if (one_fault->placement[rep].valid()) {
+    if (one_fault->placement()[rep].valid()) {
       ++placed;
     }
   }
@@ -165,7 +165,7 @@ TEST(Planner, UtilityReflectsShedding) {
   auto degraded = planner.PlanForMode(FaultSet({NodeId(0)}), {});
   ASSERT_TRUE(root.ok());
   ASSERT_TRUE(degraded.ok());
-  EXPECT_GT(root->utility, degraded->utility);
+  EXPECT_GT(root->utility(), degraded->utility());
 }
 
 TEST(Planner, SheddingDropsLowestCriticalityFirst) {
@@ -257,15 +257,15 @@ TEST(Planner, EdgeBudgetCoversActualFanout) {
   ASSERT_TRUE(plan.ok());
   const auto& edges = planner.graph().edges();
   for (size_t i = 0; i < edges.size(); ++i) {
-    if (plan->edge_budget[i] < 0) {
+    if (plan->edge_budget()[i] < 0) {
       continue;
     }
-    const NodeId from = plan->placement[edges[i].from];
-    const NodeId to = plan->placement[edges[i].to];
+    const NodeId from = plan->placement()[edges[i].from];
+    const NodeId to = plan->placement()[edges[i].to];
     if (from == to) {
-      EXPECT_EQ(plan->edge_budget[i], 0);
+      EXPECT_EQ(plan->edge_budget()[i], 0);
     } else {
-      EXPECT_GT(plan->edge_budget[i], 0);
+      EXPECT_GT(plan->edge_budget()[i], 0);
     }
   }
 }

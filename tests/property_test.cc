@@ -48,7 +48,7 @@ TEST_P(RecoveryProperty, FaultDetectedAndRecoveryBounded) {
     }
   }
   const Plan* root = system.strategy().Lookup(FaultSet());
-  const NodeId victim = root->placement[system.planner().graph().PrimaryOf(target)];
+  const NodeId victim = root->placement()[system.planner().graph().PrimaryOf(target)];
   ASSERT_TRUE(victim.valid());
 
   const SimDuration period = w.period();
@@ -125,25 +125,25 @@ TEST_P(PlannerProperty, StrategyInvariants) {
 
     // No placement on faulty nodes; replica dispersion; valid tables.
     for (uint32_t id = 0; id < g.size(); ++id) {
-      if (plan->placement[id].valid()) {
-        EXPECT_FALSE(faults.Contains(plan->placement[id]));
+      if (plan->placement()[id].valid()) {
+        EXPECT_FALSE(faults.Contains(plan->placement()[id]));
       }
     }
     for (const TaskSpec& t : s.workload.tasks()) {
       std::set<NodeId> used;
       for (uint32_t rep : g.ReplicasOf(t.id)) {
-        if (plan->placement[rep].valid()) {
-          EXPECT_TRUE(used.insert(plan->placement[rep]).second);
+        if (plan->placement()[rep].valid()) {
+          EXPECT_TRUE(used.insert(plan->placement()[rep]).second);
         }
       }
     }
     for (size_t n = 0; n < s.topology.node_count(); ++n) {
-      EXPECT_TRUE(plan->tables[n].Validate(s.workload.period()).ok());
+      EXPECT_TRUE(plan->tables()[n].Validate(s.workload.period()).ok());
     }
     // Utility is monotone: a superset of faults never increases utility.
     for (const FaultSet& smaller : strategy->PlannedSets()) {
       if (smaller.size() < faults.size() && faults.Covers(smaller)) {
-        EXPECT_LE(plan->utility, strategy->Lookup(smaller)->utility + 1e-9)
+        EXPECT_LE(plan->utility(), strategy->Lookup(smaller)->utility() + 1e-9)
             << faults.ToString() << " vs " << smaller.ToString();
       }
     }

@@ -20,19 +20,19 @@ BtrConfig DefaultConfig(uint32_t f = 1) {
 NodeId PrimaryHostOf(const BtrSystem& system, const std::string& task_name) {
   const TaskId task = system.scenario().workload.FindTask(task_name);
   const Plan* root = system.strategy().Lookup(FaultSet());
-  return root->placement[system.planner().graph().PrimaryOf(task)];
+  return root->placement()[system.planner().graph().PrimaryOf(task)];
 }
 
 NodeId ReplicaHostOf(const BtrSystem& system, const std::string& task_name, uint32_t replica) {
   const TaskId task = system.scenario().workload.FindTask(task_name);
   const Plan* root = system.strategy().Lookup(FaultSet());
-  return root->placement[system.planner().graph().ReplicasOf(task)[replica]];
+  return root->placement()[system.planner().graph().ReplicasOf(task)[replica]];
 }
 
 NodeId CheckerHostOf(const BtrSystem& system, const std::string& task_name) {
   const TaskId task = system.scenario().workload.FindTask(task_name);
   const Plan* root = system.strategy().Lookup(FaultSet());
-  return root->placement[system.planner().graph().CheckerOf(task)];
+  return root->placement()[system.planner().graph().CheckerOf(task)];
 }
 
 TEST(Runtime, OmissionFaultIsDetectedViaPathBlame) {
