@@ -6,9 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
+#include "src/common/block_pool.h"
+#include "src/common/flat_map.h"
+#include "src/common/packed_key.h"
 #include "src/core/btr_system.h"
 #include "src/core/evidence.h"
 #include "src/core/golden.h"
+#include "src/core/messages.h"
 #include "src/core/planner.h"
 #include "src/crypto/keys.h"
 #include "src/rt/list_scheduler.h"
@@ -34,6 +40,95 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  // O(1) cancel via generation-stamped handles (no shadow live-set).
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<EventHandle> handles(batch);
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < batch; ++i) {
+      handles[i] = q.Schedule((i * 7919) % 1000, [] {});
+    }
+    for (int i = 0; i < batch; i += 2) {
+      q.Cancel(handles[i]);
+    }
+    while (!q.Empty()) {
+      q.RunNext();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueCancel)->Arg(1024)->Arg(16384);
+
+void BM_FlatMapInsertFindErase(benchmark::State& state) {
+  // The runtime-state container: packed-key flat map.
+  Rng rng(7);
+  std::vector<uint64_t> keys(4096);
+  for (uint64_t& k : keys) {
+    k = PackIdPeriod(static_cast<uint32_t>(rng.NextBelow(64)), rng.NextBelow(1024));
+  }
+  for (auto _ : state) {
+    FlatMap64<uint64_t> m;
+    uint64_t sum = 0;
+    for (uint64_t k : keys) {
+      m.InsertOrAssign(k, k);
+    }
+    for (uint64_t k : keys) {
+      sum += *m.Find(k);
+    }
+    m.EraseIf([](uint64_t k, const uint64_t&) { return PeriodOfPackedKey(k) < 512; });
+    benchmark::DoNotOptimize(sum);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_FlatMapInsertFindErase);
+
+void BM_StdMapInsertFindErase(benchmark::State& state) {
+  // Reference point: the ordered container the runtime used to key by
+  // pairs/tuples (same packed keys for comparability).
+  Rng rng(7);
+  std::vector<uint64_t> keys(4096);
+  for (uint64_t& k : keys) {
+    k = PackIdPeriod(static_cast<uint32_t>(rng.NextBelow(64)), rng.NextBelow(1024));
+  }
+  for (auto _ : state) {
+    std::map<uint64_t, uint64_t> m;
+    uint64_t sum = 0;
+    for (uint64_t k : keys) {
+      m[k] = k;
+    }
+    for (uint64_t k : keys) {
+      sum += m.find(k)->second;
+    }
+    std::erase_if(m, [](const auto& kv) { return PeriodOfPackedKey(kv.first) < 512; });
+    benchmark::DoNotOptimize(sum);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_StdMapInsertFindErase);
+
+void BM_PooledPayloadAllocation(benchmark::State& state) {
+  // Freelist-pooled payloads vs the make_shared the runtime used per send.
+  auto pool = std::make_shared<BlockPool>();
+  for (auto _ : state) {
+    auto hb = MakePooled<Heartbeat>(pool);
+    hb->period = 1;
+    benchmark::DoNotOptimize(hb);
+  }
+}
+BENCHMARK(BM_PooledPayloadAllocation);
+
+void BM_MakeSharedPayloadAllocation(benchmark::State& state) {
+  for (auto _ : state) {
+    auto hb = std::make_shared<Heartbeat>();
+    hb->period = 1;
+    benchmark::DoNotOptimize(hb);
+  }
+}
+BENCHMARK(BM_MakeSharedPayloadAllocation);
 
 void BM_SignVerify(benchmark::State& state) {
   Rng rng(1);
@@ -96,6 +191,38 @@ void BM_EvidenceValidateCommission(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvidenceValidateCommission);
+
+void BM_EvidenceValidateBatch(benchmark::State& state) {
+  // The verifier-budget loop's batched path: one KeyStore pass for a chunk
+  // of declarer signatures, memoized digests across items.
+  Rng rng(1);
+  KeyStore keys(4, &rng);
+  Scenario scenario = MakeScadaScenario();
+  const Dataflow& w = scenario.workload;
+  EvidenceValidator validator(&keys, &w, EvidenceValidationConfig{});
+
+  constexpr size_t kBatch = 8;
+  std::vector<std::shared_ptr<EvidenceRecord>> records;
+  const EvidenceRecord* batch[kBatch];
+  for (size_t i = 0; i < kBatch; ++i) {
+    auto ev = std::make_shared<EvidenceRecord>();
+    ev->kind = EvidenceKind::kPathDeclaration;
+    ev->declarer = NodeId(1);
+    ev->period = i;
+    ev->path_a = NodeId(1);
+    ev->path_b = NodeId(2);
+    ev->declarer_sig = keys.SignerFor(NodeId(1)).Sign(ev->SealDigest());
+    batch[i] = ev.get();
+    records.push_back(std::move(ev));
+  }
+  EvidenceVerdict verdicts[kBatch];
+  for (auto _ : state) {
+    validator.ValidateBatch(batch, kBatch, verdicts);
+    benchmark::DoNotOptimize(verdicts[0].valid);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EvidenceValidateBatch);
 
 void BM_ListScheduler(benchmark::State& state) {
   const uint32_t n = static_cast<uint32_t>(state.range(0));

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Perf harness: builds Release, runs the bench binaries on a small smoke
+# preset, and emits machine-readable BENCH_runtime.json at the repo root so
+# every PR has a recorded perf trajectory.
+#
+# Usage:
+#   ci/run_benches.sh            # smoke preset (CI: fast, keeps binaries honest)
+#   ci/run_benches.sh --full     # E7 preset, more reps (perf work: real numbers)
+#
+# The JSON is a single object:
+#   {
+#     "preset": "...",
+#     "rows": [ {bench, preset, variant, periods, events, wall_ms,
+#                events_per_sec, fingerprint}, ... ]
+#   }
+# Fingerprints are seed-stable report digests: a changed fingerprint for an
+# unchanged seed means a behavior change, not just a perf change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESET=smoke
+REPS=2
+if [[ "${1:-}" == "--full" ]]; then
+  PRESET=e7
+  REPS=5
+fi
+
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-bench -j "$(nproc)" --target bench_sim_throughput
+
+OUT=BENCH_runtime.json
+ROWS=$(./build-bench/bench_sim_throughput "--preset=${PRESET}" "--reps=${REPS}" \
+  | sed -n 's/^BENCH_JSON //p' | paste -sd, -)
+
+{
+  echo '{'
+  echo "  \"preset\": \"${PRESET}\","
+  echo '  "rows": ['
+  echo "    ${ROWS}"
+  echo '  ]'
+  echo '}'
+} > "${OUT}"
+
+echo "wrote ${OUT}:"
+cat "${OUT}"

@@ -20,15 +20,39 @@ namespace btr {
 inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
 inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
 
-// FNV-1a over raw bytes, with a strengthening finalizer (from SplitMix64).
-uint64_t HashBytes(const void* data, size_t len, uint64_t seed = kFnvOffset);
+namespace hash_internal {
+// Strengthening finalizer (from SplitMix64).
+inline constexpr uint64_t Finalize(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace hash_internal
+
+// FNV-1a over raw bytes, with a strengthening finalizer. Inline so the
+// fixed-size hot uses (Hasher::Add of 4/8-byte fields, signature tags) are
+// fully unrolled by the compiler — these run millions of times per
+// simulated second. The byte-serial recurrence itself is unchanged, so
+// every digest in the system keeps its value.
+inline uint64_t HashBytes(const void* data, size_t len, uint64_t seed = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return hash_internal::Finalize(h);
+}
 
 inline uint64_t HashString(std::string_view s, uint64_t seed = kFnvOffset) {
   return HashBytes(s.data(), s.size(), seed);
 }
 
 // Combines two 64-bit hashes (boost::hash_combine style, 64-bit constants).
-uint64_t HashCombine(uint64_t a, uint64_t b);
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4);
+  return hash_internal::Finalize(a);
+}
 
 // Incremental hasher for composing digests of structured values.
 class Hasher {
@@ -57,7 +81,7 @@ class Hasher {
     return Add(v.size());
   }
 
-  uint64_t Digest() const;
+  uint64_t Digest() const { return hash_internal::Finalize(state_); }
 
  private:
   uint64_t state_ = kFnvOffset;

@@ -1,0 +1,173 @@
+// Small vector with inline storage for the data plane's tiny arrays.
+//
+// Every output record carries its claimed inputs (typically 1-3 entries,
+// bounded by task fan-in); with std::vector that is one heap allocation
+// per record per period per replica. InlineVec keeps up to N elements in
+// the object itself and only touches the heap beyond that, so the common
+// case allocates nothing. Deliberately minimal: just the operations the
+// record types use.
+
+#ifndef BTR_SRC_COMMON_INLINE_VEC_H_
+#define BTR_SRC_COMMON_INLINE_VEC_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace btr {
+
+template <typename T, size_t N>
+class InlineVec {
+  static_assert(std::is_nothrow_move_constructible_v<T>);
+
+ public:
+  InlineVec() = default;
+
+  InlineVec(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+  InlineVec& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  InlineVec(const InlineVec& other) { CopyFrom(other); }
+  InlineVec(InlineVec&& other) noexcept { MoveFrom(std::move(other)); }
+
+  InlineVec& operator=(const InlineVec& other) {
+    if (this != &other) {
+      clear();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  InlineVec& operator=(InlineVec&& other) noexcept {
+    if (this != &other) {
+      clear();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~InlineVec() { clear(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      Grow(capacity_ * 2);
+    }
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) {
+      Grow(n);
+    }
+  }
+
+  void clear() {
+    T* p = data();
+    for (size_t i = 0; i < size_; ++i) {
+      p[i].~T();
+    }
+    size_ = 0;
+    if (heap_ != nullptr) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+      capacity_ = N;
+    }
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) {
+      emplace_back(*first);
+    }
+  }
+
+ private:
+  T* data() { return heap_ != nullptr ? heap_ : InlineData(); }
+  const T* data() const { return heap_ != nullptr ? heap_ : InlineData(); }
+  T* InlineData() { return std::launder(reinterpret_cast<T*>(inline_)); }
+  const T* InlineData() const { return std::launder(reinterpret_cast<const T*>(inline_)); }
+
+  void Grow(size_t new_cap) {
+    new_cap = std::max(new_cap, N * 2);
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    T* old = data();
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(old[i]));
+      old[i].~T();
+    }
+    if (heap_ != nullptr) {
+      ::operator delete(heap_);
+    }
+    heap_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void CopyFrom(const InlineVec& other) {
+    reserve(other.size_);
+    T* p = data();
+    for (size_t i = 0; i < other.size_; ++i) {
+      ::new (static_cast<void*>(p + i)) T(other.data()[i]);
+    }
+    size_ = other.size_;
+  }
+
+  void MoveFrom(InlineVec&& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+      other.size_ = 0;
+      return;
+    }
+    T* src = other.InlineData();
+    T* dst = InlineData();
+    for (size_t i = 0; i < other.size_; ++i) {
+      ::new (static_cast<void*>(dst + i)) T(std::move(src[i]));
+      src[i].~T();
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_COMMON_INLINE_VEC_H_

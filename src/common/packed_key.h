@@ -1,0 +1,54 @@
+// Packed 64-bit keys for the runtime's flat hash maps.
+//
+// All per-period runtime state is keyed by small-id tuples — (task, period),
+// (node, period), (task, replica, period), (node, node, period). Packing the
+// tuple into one uint64 gives the flat maps a trivially hashable key and
+// keeps every call site building keys the same way (instead of ad-hoc
+// make_pair/make_tuple). The period always occupies the low 40 bits, so one
+// helper recovers it for retention GC regardless of which packing produced
+// the key.
+//
+// Ranges (debug-asserted): ids < 2^20 where 20 bits are given, < 2^12 for
+// node pairs, replica < 2^4, period < 2^40 (~35 years of 1ms periods).
+
+#ifndef BTR_SRC_COMMON_PACKED_KEY_H_
+#define BTR_SRC_COMMON_PACKED_KEY_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace btr {
+
+inline constexpr int kPackedPeriodBits = 40;
+inline constexpr uint64_t kPackedPeriodMask = (uint64_t{1} << kPackedPeriodBits) - 1;
+
+// (id, period): 24-bit id | 40-bit period. For input buffers keyed by
+// producer task and heartbeat sets keyed by node.
+constexpr uint64_t PackIdPeriod(uint32_t id, uint64_t period) {
+  assert(id < (uint32_t{1} << 24) && period <= kPackedPeriodMask);
+  return (static_cast<uint64_t>(id) << kPackedPeriodBits) | period;
+}
+
+// (task, replica, period): 20-bit task | 4-bit replica | 40-bit period. For
+// the checker's replica-record buffer.
+constexpr uint64_t PackTaskReplicaPeriod(uint32_t task, uint32_t replica, uint64_t period) {
+  assert(task < (uint32_t{1} << 20) && replica < (uint32_t{1} << 4) &&
+         period <= kPackedPeriodMask);
+  return (static_cast<uint64_t>(task) << (kPackedPeriodBits + 4)) |
+         (static_cast<uint64_t>(replica) << kPackedPeriodBits) | period;
+}
+
+// (lo, hi, period): 12-bit node | 12-bit node | 40-bit period. For the
+// dedup set of path declarations (callers pass endpoints in sorted order).
+constexpr uint64_t PackNodePairPeriod(uint32_t lo, uint32_t hi, uint64_t period) {
+  assert(lo < (uint32_t{1} << 12) && hi < (uint32_t{1} << 12) && period <= kPackedPeriodMask);
+  return (static_cast<uint64_t>(lo) << (kPackedPeriodBits + 12)) |
+         (static_cast<uint64_t>(hi) << kPackedPeriodBits) | period;
+}
+
+// The period component of any key built by the packers above.
+constexpr uint64_t PeriodOfPackedKey(uint64_t key) { return key & kPackedPeriodMask; }
+
+}  // namespace btr
+
+#endif  // BTR_SRC_COMMON_PACKED_KEY_H_

@@ -1,0 +1,114 @@
+// Small-buffer, move-only callable for the simulation hot path.
+//
+// std::function heap-allocates almost every capture the simulator produces
+// (per scheduled event, per network hop), which dominated the data-plane
+// profile. SmallFn stores callables up to InlineBytes inline — sized so the
+// event queue's and network's lambdas fit — and its storage lives inside
+// pooled event slots, so the steady-state path performs no allocation at
+// all. Oversized captures fall back to the heap (correct, just not free).
+
+#ifndef BTR_SRC_COMMON_SMALL_FN_H_
+#define BTR_SRC_COMMON_SMALL_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace btr {
+
+template <size_t InlineBytes = 48>
+class SmallFn {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= InlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (storage_) Fn(std::forward<F>(fn));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(fn));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // Destroys the held callable (releasing captured resources) without
+  // requiring a full reassignment; used when recycling event slots.
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*move)(void* from, void* to);  // move-construct `to` from `from`
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); }
+    static void Move(void* from, void* to) {
+      Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+      ::new (to) Fn(std::move(*src));
+      src->~Fn();
+    }
+    static void Destroy(void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); }
+    static constexpr Ops ops{&Invoke, &Move, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* Get(void* s) { return *std::launder(reinterpret_cast<Fn**>(s)); }
+    static void Invoke(void* s) { (*Get(s))(); }
+    static void Move(void* from, void* to) {
+      *reinterpret_cast<Fn**>(to) = Get(from);
+    }
+    static void Destroy(void* s) { delete Get(s); }
+    static constexpr Ops ops{&Invoke, &Move, &Destroy};
+  };
+
+  void MoveFrom(SmallFn&& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_COMMON_SMALL_FN_H_

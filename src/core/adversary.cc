@@ -24,20 +24,6 @@ const char* FaultBehaviorName(FaultBehavior b) {
   return "?";
 }
 
-const FaultInjection* AdversarySpec::ActiveOn(NodeId node, SimTime now) const {
-  const FaultInjection* best = nullptr;
-  for (const FaultInjection& inj : injections_) {
-    if (inj.node != node || inj.manifest_at > now) {
-      continue;
-    }
-    // Latest manifested injection wins (allows escalation scripts).
-    if (best == nullptr || inj.manifest_at > best->manifest_at) {
-      best = &inj;
-    }
-  }
-  return best;
-}
-
 SimTime AdversarySpec::ManifestTime(NodeId node) const {
   SimTime earliest = kSimTimeNever;
   for (const FaultInjection& inj : injections_) {

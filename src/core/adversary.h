@@ -48,8 +48,21 @@ class AdversarySpec {
 
   const std::vector<FaultInjection>& injections() const { return injections_; }
 
-  // The injection active on `node` at time `now`, or nullptr.
-  const FaultInjection* ActiveOn(NodeId node, SimTime now) const;
+  // The injection active on `node` at time `now`, or nullptr. Inline: the
+  // runtime consults the adversary before every dispatch and delivery.
+  const FaultInjection* ActiveOn(NodeId node, SimTime now) const {
+    const FaultInjection* best = nullptr;
+    for (const FaultInjection& inj : injections_) {
+      if (inj.node != node || inj.manifest_at > now) {
+        continue;
+      }
+      // Latest manifested injection wins (allows escalation scripts).
+      if (best == nullptr || inj.manifest_at > best->manifest_at) {
+        best = &inj;
+      }
+    }
+    return best;
+  }
 
   // Earliest manifestation on `node`; kSimTimeNever if the node stays honest.
   SimTime ManifestTime(NodeId node) const;

@@ -1,12 +1,69 @@
 #include "src/core/btr_system.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 
+#include "src/common/hash.h"
 #include "src/crypto/keys.h"
 #include "src/net/network.h"
 #include "src/sim/simulator.h"
 
 namespace btr {
+
+std::string SerializeRunReport(const RunReport& report) {
+  std::string out;
+  out.reserve(4096);
+  char buf[256];
+  auto line = [&out, &buf](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+    out += '\n';
+  };
+
+  const CorrectnessReport& c = report.correctness;
+  line("periods=%" PRIu64 " simulated_time=%" PRId64, report.periods, report.simulated_time);
+  line("correctness total=%" PRIu64 " correct=%" PRIu64 " bad_value=%" PRIu64
+       " late=%" PRIu64 " missing=%" PRIu64 " shed=%" PRIu64 " violated=%d",
+       c.total_instances, c.correct_instances, c.incorrect_value, c.incorrect_late,
+       c.incorrect_missing, c.shed_instances, c.btr_violated ? 1 : 0);
+  line("recovery max=%" PRId64 " total_bad=%" PRId64, c.max_recovery, c.total_bad_time);
+  for (const RecoveryMeasurement& rm : c.recoveries) {
+    line("recovery node=%u manifested=%" PRId64 " last_bad=%" PRId64 " time=%" PRId64
+         " bad_instances=%zu",
+         rm.node.value(), rm.manifested_at, rm.last_bad_output, rm.recovery_time,
+         rm.bad_instances);
+  }
+  line("sink_latency count=%zu sum=%.3f", c.sink_latency.count(),
+       c.sink_latency.empty() ? 0.0 : c.sink_latency.Sum());
+
+  const NetworkStats& n = report.network;
+  line("network sent=%" PRIu64 " delivered=%" PRIu64 " loss=%" PRIu64 " down=%" PRIu64
+       " unreachable=%" PRIu64 " backlog=%" PRIu64 " link_bytes=%" PRIu64,
+       n.packets_sent, n.packets_delivered, n.packets_dropped_loss, n.packets_dropped_down,
+       n.packets_dropped_unreachable, n.packets_dropped_backlog, n.total_link_bytes);
+
+  for (size_t i = 0; i < report.per_node.size(); ++i) {
+    const NodeStats& s = report.per_node[i];
+    line("node=%zu busy=%" PRId64 " crypto=%" PRId64 " verify=%" PRId64 " ev_gen=%" PRIu64
+         " ev_val=%" PRIu64 " ev_rej=%" PRIu64 " ev_drop=%" PRIu64 " paths=%" PRIu64
+         " switches=%" PRIu64 " queue_peak=%zu",
+         i, s.busy, s.crypto, s.verify_used, s.evidence_generated, s.evidence_validated,
+         s.evidence_rejected, s.evidence_dropped_queue, s.path_declarations, s.mode_switches,
+         s.evidence_queue_peak);
+  }
+  for (const RunReport::FaultOutcome& f : report.faults) {
+    line("fault node=%u behavior=%d first=%" PRId64 " last=%" PRId64 " detect=%" PRId64
+         " distribute=%" PRId64 " recover=%" PRId64,
+         f.node.value(), static_cast<int>(f.behavior), f.first_conviction, f.last_conviction,
+         f.detection_latency, f.distribution_latency, f.recovery_time);
+  }
+  return out;
+}
+
+uint64_t FingerprintRunReport(const RunReport& report) {
+  return HashString(SerializeRunReport(report));
+}
 
 BtrSystem::BtrSystem(Scenario scenario, BtrConfig config)
     : scenario_(std::move(scenario)), config_(config) {
@@ -59,6 +116,7 @@ StatusOr<RunReport> BtrSystem::Run(uint64_t periods) {
   KeyStore keys(scenario_.topology.node_count(), &key_rng);
   Monitor monitor(&scenario_.workload, &strategy_, &adversary_,
                   config_.planner.recovery_bound);
+  monitor.ReserveObservations(periods * scenario_.workload.SinkIds().size());
 
   RuntimeContext ctx;
   ctx.sim = &sim;

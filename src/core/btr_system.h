@@ -57,6 +57,15 @@ struct RunReport {
   uint64_t events_executed = 0;
 };
 
+// Deterministic textual dump of everything behaviorally observable in a run
+// (correctness report, network stats, per-node stats, fault outcomes). Two
+// runs of the same seeded scenario must produce byte-identical dumps; the
+// determinism regression test and the throughput bench both fingerprint it.
+std::string SerializeRunReport(const RunReport& report);
+
+// 64-bit fingerprint of SerializeRunReport (convenience for bench output).
+uint64_t FingerprintRunReport(const RunReport& report);
+
 class BtrSystem {
  public:
   BtrSystem(Scenario scenario, BtrConfig config);

@@ -35,12 +35,43 @@
 #include <set>
 #include <vector>
 
+#include "src/common/flat_map.h"
+#include "src/common/inline_vec.h"
 #include "src/common/types.h"
 #include "src/crypto/keys.h"
 #include "src/net/network.h"
 #include "src/workload/dataflow.h"
 
 namespace btr {
+
+// Memoized content digest. Records are hashed at every signing, dedup, and
+// validation step, and the same (shared) record object crosses many nodes,
+// so recomputing the recursive hash dominated evidence processing. The
+// cache is *sealed* explicitly by the code path that finished building the
+// record (content fields final); an unsealed record always recomputes, so
+// tests and adversaries that tamper with fields still see fresh digests.
+// Copies start unsealed: a copied-then-mutated record (equivocation) cannot
+// inherit a stale digest.
+class DigestCache {
+ public:
+  DigestCache() = default;
+  DigestCache(const DigestCache&) noexcept {}
+  DigestCache& operator=(const DigestCache&) noexcept {
+    valid_ = false;
+    return *this;
+  }
+
+  bool valid() const { return valid_; }
+  uint64_t value() const { return value_; }
+  void Set(uint64_t v) const {
+    value_ = v;
+    valid_ = true;
+  }
+
+ private:
+  mutable uint64_t value_ = 0;
+  mutable bool valid_ = false;
+};
 
 // A producer-signed input as referenced by an output record. The value
 // signature commits the producer to "task X output digest D in period p"
@@ -65,11 +96,15 @@ uint64_t InputContentDigest(TaskId producer, uint64_t period, uint64_t digest);
 // holds its own copies of those inputs) — up to the paper's acknowledged
 // limit for single-path omission claims.
 struct OutputRecord : Payload {
+  // Inline capacity 4 covers the fan-in of every generated workload; no
+  // allocation for the per-record input list on the hot path.
+  using SignedInputs = InlineVec<SignedInput, 4>;
+
   TaskId task;
   uint32_t replica = 0;
   uint64_t period = 0;
   uint64_t digest = 0;
-  std::vector<SignedInput> claimed_inputs;  // sorted by producer id
+  SignedInputs claimed_inputs;  // sorted by producer id
   NodeId sender;
   // Value signature over InputContentDigest(task, period, digest); consumers
   // embed it when they reference this output as one of their inputs.
@@ -77,10 +112,20 @@ struct OutputRecord : Payload {
   Signature sender_sig;  // over ContentDigest()
   // Gap notice fields.
   bool gap = false;
-  std::vector<TaskId> gap_missing;
+  InlineVec<TaskId, 4> gap_missing;
 
+  PayloadKind kind() const override { return PayloadKind::kOutputRecord; }
+
+  // Returns the memoized digest once SealDigest() ran; recomputes otherwise.
   uint64_t ContentDigest() const;
+  // Declares the content final: computes, caches, and returns the digest.
+  // Call exactly when signing the finished record.
+  uint64_t SealDigest() const;
   uint32_t WireBytes() const;
+
+ private:
+  uint64_t ComputeContentDigest() const;
+  DigestCache digest_cache_;
 };
 
 enum class EvidenceKind : int {
@@ -117,8 +162,19 @@ struct EvidenceRecord : Payload {
   std::shared_ptr<const EvidenceRecord> inner;
   Signature endorsement_sig;
 
+  // Note: EvidenceRecord is never a packet payload itself — it travels
+  // wrapped in an EvidenceMessage (messages.h), which carries the
+  // PayloadKind tag. The `kind` member above is the evidence taxonomy.
+
+  // Returns the memoized digest once SealDigest() ran; recomputes otherwise.
   uint64_t ContentDigest() const;
+  // Declares the content final: computes, caches, and returns the digest.
+  uint64_t SealDigest() const;
   uint32_t WireBytes() const;
+
+ private:
+  uint64_t ComputeContentDigest() const;
+  DigestCache digest_cache_;
 };
 
 // Validation outcome.
@@ -147,6 +203,15 @@ class EvidenceValidator {
 
   EvidenceVerdict Validate(const EvidenceRecord& ev) const;
 
+  // Batched form of the verifier-budget loop: verifies the declarer
+  // signatures of all `batch` items in one KeyStore pass (amortizing the
+  // host-side crypto work; content digests are memoized per record), then
+  // finishes each item's validation. Verdicts — including modeled costs —
+  // are identical to calling Validate per item, so behavior is bit-stable;
+  // only the host pays less.
+  void ValidateBatch(const EvidenceRecord* const* batch, size_t n,
+                     EvidenceVerdict* verdicts) const;
+
   // Validates an output record's signatures (used by checkers on receipt).
   bool ValidateRecordSignatures(const OutputRecord& rec) const;
 
@@ -154,6 +219,8 @@ class EvidenceValidator {
 
  private:
   SimDuration ReplayCost(TaskId task) const;
+  // Validation after the declarer signature was (batch-)checked.
+  EvidenceVerdict ValidateAttributed(const EvidenceRecord& ev) const;
 
   const KeyStore* keys_;
   const Dataflow* workload_;
@@ -210,7 +277,8 @@ class PathBlameTracker {
   std::set<NodeId> convicted_;
 };
 
-// Deduplicating evidence pool (per node).
+// Deduplicating evidence pool (per node). Flat-hashed by content digest:
+// the Contains probe runs for every queued evidence copy, every period.
 class EvidencePool {
  public:
   // Returns true if the record is new (by content digest).
@@ -219,7 +287,7 @@ class EvidencePool {
   size_t size() const { return by_digest_.size(); }
 
  private:
-  std::map<uint64_t, std::shared_ptr<const EvidenceRecord>> by_digest_;
+  FlatMap64<std::shared_ptr<const EvidenceRecord>> by_digest_;
 };
 
 }  // namespace btr

@@ -18,6 +18,8 @@ struct EvidenceMessage : Payload {
   std::shared_ptr<const EvidenceRecord> evidence;
   NodeId forwarder;
   Signature endorsement;  // forwarder's signature over evidence->ContentDigest()
+
+  PayloadKind kind() const override { return PayloadKind::kEvidence; }
 };
 
 // Periodic liveness beacon between one-hop neighbors. Missing heartbeats
@@ -27,6 +29,8 @@ struct Heartbeat : Payload {
   NodeId from;
   uint64_t period = 0;
   Signature sig;  // over HeartbeatDigest(from, period)
+
+  PayloadKind kind() const override { return PayloadKind::kHeartbeat; }
 };
 
 uint64_t HeartbeatDigest(NodeId from, uint64_t period);
@@ -37,6 +41,8 @@ struct StateRequest : Payload {
   TaskId task;
   uint32_t new_replica = 0;  // replica slot being (re)started
   NodeId requester;
+
+  PayloadKind kind() const override { return PayloadKind::kStateRequest; }
 };
 
 // The state payload itself; size dominates transition time for stateful
@@ -45,6 +51,8 @@ struct StateTransfer : Payload {
   TaskId task;
   uint32_t new_replica = 0;
   NodeId donor;
+
+  PayloadKind kind() const override { return PayloadKind::kStateTransfer; }
 };
 
 }  // namespace btr

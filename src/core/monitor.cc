@@ -14,11 +14,11 @@ Monitor::Monitor(const Dataflow* workload, const Strategy* strategy,
       oracle_(workload) {}
 
 void Monitor::RecordSinkOutput(TaskId sink, uint64_t period, uint64_t digest, SimTime at) {
-  const auto key = std::make_pair(sink.value(), period);
   // Keep the first output per instance; duplicates would only arise from a
   // faulty sink node re-actuating, which the physical world would also see
   // first-command.
-  observations_.emplace(key, SinkObservation{sink, period, digest, at});
+  observations_.Emplace(PackIdPeriod(sink.value(), period),
+                        SinkObservation{sink, period, digest, at});
 }
 
 bool MissPattern::SatisfiesMK(uint64_t m, uint64_t k) const {
@@ -52,9 +52,9 @@ MissPattern Monitor::SinkMissPattern(TaskId sink, uint64_t periods) const {
     if (plan == nullptr || !plan->ServesSink(sink)) {
       continue;  // shed: not an expected instance
     }
-    const auto it = observations_.find(std::make_pair(sink.value(), p));
-    const bool ok = it != observations_.end() && it->second.digest == oracle_.Golden(sink, p) &&
-                    it->second.at <= deadline;
+    const SinkObservation* obs = observations_.Find(PackIdPeriod(sink.value(), p));
+    const bool ok = obs != nullptr && obs->digest == oracle_.Golden(sink, p) &&
+                    obs->at <= deadline;
     pattern.correct.push_back(ok);
     if (ok) {
       run = 0;
@@ -138,12 +138,12 @@ CorrectnessReport Monitor::Evaluate(uint64_t periods) const {
         continue;
       }
       const bool expected = plan != nullptr && plan->ServesSink(sink);
-      const auto it = observations_.find(std::make_pair(sink.value(), p));
+      const SinkObservation* obs = observations_.Find(PackIdPeriod(sink.value(), p));
       if (!expected) {
         // A shed sink may correctly fail *silently* (Definition 3.1's
         // mixed-criticality extension), but an actuation an honest sink node
         // does perform must still be the right command: garbage counts.
-        if (it == observations_.end() || it->second.digest == oracle_.Golden(sink, p)) {
+        if (obs == nullptr || obs->digest == oracle_.Golden(sink, p)) {
           ++report.shed_instances;
         } else {
           ++report.total_instances;
@@ -154,17 +154,17 @@ CorrectnessReport Monitor::Evaluate(uint64_t periods) const {
       }
       ++report.total_instances;
       bool correct = false;
-      if (it == observations_.end()) {
+      if (obs == nullptr) {
         ++report.incorrect_missing;
-      } else if (it->second.digest != oracle_.Golden(sink, p)) {
+      } else if (obs->digest != oracle_.Golden(sink, p)) {
         ++report.incorrect_value;
-      } else if (it->second.at > deadline) {
+      } else if (obs->at > deadline) {
         ++report.incorrect_late;
       } else {
         correct = true;
         ++report.correct_instances;
         report.sink_latency.Add(
-            static_cast<double>(it->second.at - static_cast<SimTime>(p) * period_len));
+            static_cast<double>(obs->at - static_cast<SimTime>(p) * period_len));
       }
       if (!correct) {
         bad_instants.push_back(deadline);

@@ -14,10 +14,11 @@
 #ifndef BTR_SRC_CORE_MONITOR_H_
 #define BTR_SRC_CORE_MONITOR_H_
 
-#include <map>
 #include <optional>
 #include <vector>
 
+#include "src/common/flat_map.h"
+#include "src/common/packed_key.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/core/adversary.h"
@@ -82,6 +83,10 @@ class Monitor {
   // Runtime hooks.
   void RecordSinkOutput(TaskId sink, uint64_t period, uint64_t digest, SimTime at);
 
+  // Pre-sizes the observation table for the expected number of sink
+  // instances, so a long run does not rehash it dozens of times.
+  void ReserveObservations(size_t expected) { observations_.reserve(expected); }
+
   // Evaluates the run over periods [0, periods).
   CorrectnessReport Evaluate(uint64_t periods) const;
 
@@ -104,8 +109,10 @@ class Monitor {
   const AdversarySpec* adversary_;
   SimDuration recovery_bound_;
   GoldenOracle oracle_;
-  // (sink, period) -> first observation.
-  std::map<std::pair<uint32_t, uint64_t>, SinkObservation> observations_;
+  // PackIdPeriod(sink, period) -> first observation. Only probed by key
+  // (evaluation loops run over (sink, period) explicitly), so hash order
+  // never reaches the report.
+  FlatMap64<SinkObservation> observations_;
 };
 
 }  // namespace btr

@@ -22,11 +22,12 @@
 #define BTR_SRC_CORE_RUNTIME_H_
 
 #include <deque>
-#include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
+#include "src/common/block_pool.h"
+#include "src/common/flat_map.h"
+#include "src/common/packed_key.h"
 #include "src/core/adversary.h"
 #include "src/core/augment.h"
 #include "src/core/evidence.h"
@@ -137,6 +138,10 @@ class BtrRuntime {
   void RecordConviction(const ConvictionEvent& event);
 
   RuntimeContext ctx_;
+  // Freelist arena for message payloads, shared by every node runtime.
+  // shared_ptr: pooled payloads embed a handle, so in-flight messages keep
+  // the arena alive past the runtime if needed.
+  std::shared_ptr<BlockPool> payload_arena_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   std::vector<ConvictionEvent> convictions_;
   uint64_t periods_ = 0;
@@ -144,7 +149,8 @@ class BtrRuntime {
 
 class NodeRuntime {
  public:
-  NodeRuntime(BtrRuntime* owner, const RuntimeContext& ctx, NodeId id, Signer signer);
+  NodeRuntime(BtrRuntime* owner, const RuntimeContext& ctx, NodeId id, Signer signer,
+              std::shared_ptr<BlockPool> arena);
 
   NodeId id() const { return id_; }
   const NodeStats& stats() const { return stats_; }
@@ -171,6 +177,12 @@ class NodeRuntime {
 
   const FaultInjection* ActiveFault() const;
   bool Crashed() const;
+
+  // Pooled payload construction (freelist arena shared across nodes).
+  template <typename T, typename... Args>
+  std::shared_ptr<T> NewPayload(Args&&... args) {
+    return MakePooled<T>(arena_, std::forward<Args>(args)...);
+  }
 
   // --- dispatch ---
   void ExecuteJob(uint32_t aug_id, uint64_t period);
@@ -208,6 +220,7 @@ class NodeRuntime {
   Signer signer_;
   EvidenceValidator validator_;
   LocalClock clock_;
+  std::shared_ptr<BlockPool> arena_;  // payload freelist (shared, see owner)
 
   const Plan* plan_ = nullptr;          // active plan
   const Plan* pending_plan_ = nullptr;  // adopted at next period boundary
@@ -215,21 +228,33 @@ class NodeRuntime {
   uint64_t current_period_ = 0;
   uint64_t quiet_until_period_ = 0;     // timing checks suppressed before this
 
-  // Input buffers: (producer task, period) -> first received value.
-  std::map<std::pair<uint32_t, uint64_t>, ReceivedInput> inputs_;
-  // Replica records for checkers: (task, period, replica) -> record.
-  std::map<std::tuple<uint32_t, uint64_t, uint32_t>, std::shared_ptr<const OutputRecord>>
-      replica_records_;
-  // Heartbeats seen: (node, period).
-  std::set<std::pair<uint32_t, uint64_t>> heartbeats_seen_;
-  // Path declarations already made: (lo, hi, period).
-  std::set<std::tuple<uint32_t, uint32_t, uint64_t>> declared_;
-  // Tasks whose migration state has not arrived yet.
-  std::set<uint32_t> awaiting_state_;  // workload task ids
+  // Per-period runtime state, flat-hashed by packed 64-bit keys (see
+  // packed_key.h). Iteration order never reaches behavior: these are only
+  // probed by key and garbage-collected with order-independent predicates.
+  // Input buffers: PackIdPeriod(producer task, period) -> first received.
+  FlatMap64<ReceivedInput> inputs_;
+  // Replica records for checkers: PackTaskReplicaPeriod(task, replica,
+  // period) -> record.
+  FlatMap64<std::shared_ptr<const OutputRecord>> replica_records_;
+  // Heartbeats seen: PackIdPeriod(node, period).
+  FlatSet64 heartbeats_seen_;
+  // Path declarations already made: PackNodePairPeriod(lo, hi, period).
+  FlatSet64 declared_;
+  // Workload task ids whose migration state has not arrived yet.
+  FlatSet64 awaiting_state_;
 
   std::deque<PendingEvidence> evidence_queue_;
   EvidencePool pool_;
   PathBlameTracker blame_;
+
+  // Reused per-dispatch scratch (ExecuteWorkload/ExecuteChecker run once
+  // per job event and never reenter): avoids a vector allocation per job.
+  struct Dest {
+    NodeId node;
+    uint32_t bytes;
+  };
+  std::vector<Dest> dests_scratch_;
+  std::vector<InputValue> values_scratch_;
 
   NodeStats stats_;
 };

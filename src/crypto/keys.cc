@@ -3,17 +3,6 @@
 #include <cassert>
 
 namespace btr {
-namespace {
-
-uint64_t Tag(uint64_t secret, uint64_t digest) {
-  return HashCombine(HashCombine(secret, digest), 0x5174a9b1c3d5e7f9ULL);
-}
-
-}  // namespace
-
-Signature Signer::Sign(uint64_t digest) const {
-  return Signature{node_, Tag(secret_, digest)};
-}
 
 KeyStore::KeyStore(size_t node_count, Rng* rng) {
   secrets_.reserve(node_count);
@@ -24,11 +13,11 @@ KeyStore::KeyStore(size_t node_count, Rng* rng) {
 
 Signer KeyStore::SignerFor(NodeId node) const { return Signer(node, SecretFor(node)); }
 
-bool KeyStore::Verify(const Signature& sig, uint64_t digest) const {
-  if (!sig.signer.valid() || sig.signer.value() >= secrets_.size()) {
-    return false;
+void KeyStore::VerifyBatch(const Signature* sigs, const uint64_t* digests, bool* out,
+                           size_t n) const {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Verify(sigs[i], digests[i]);
   }
-  return sig.tag == Tag(SecretFor(sig.signer), digest);
 }
 
 uint64_t KeyStore::SecretFor(NodeId node) const {

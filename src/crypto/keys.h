@@ -22,6 +22,14 @@
 
 namespace btr {
 
+namespace crypto_internal {
+// Tag derivation shared by Sign and Verify. Inline: the data plane signs
+// or verifies something on nearly every message event.
+inline uint64_t Tag(uint64_t secret, uint64_t digest) {
+  return HashCombine(HashCombine(secret, digest), 0x5174a9b1c3d5e7f9ULL);
+}
+}  // namespace crypto_internal
+
 // A detached signature over a 64-bit content digest.
 struct Signature {
   NodeId signer;
@@ -44,7 +52,9 @@ class KeyStore;
 // Capability to sign with one node's key. Handed out once per node.
 class Signer {
  public:
-  Signature Sign(uint64_t digest) const;
+  Signature Sign(uint64_t digest) const {
+    return Signature{node_, crypto_internal::Tag(secret_, digest)};
+  }
   NodeId node() const { return node_; }
 
  private:
@@ -65,7 +75,17 @@ class KeyStore {
   Signer SignerFor(NodeId node) const;
 
   // Checks that `sig` is a valid signature by `sig.signer` over `digest`.
-  bool Verify(const Signature& sig, uint64_t digest) const;
+  bool Verify(const Signature& sig, uint64_t digest) const {
+    if (!sig.signer.valid() || sig.signer.value() >= secrets_.size()) {
+      return false;
+    }
+    return sig.tag == crypto_internal::Tag(secrets_[sig.signer.value()], digest);
+  }
+
+  // Verifies n (signature, digest) pairs in one pass: out[i] =
+  // Verify(sigs[i], digests[i]). The batched evidence-verification loop
+  // uses this so a queue drain costs one call instead of one per item.
+  void VerifyBatch(const Signature* sigs, const uint64_t* digests, bool* out, size_t n) const;
 
   size_t node_count() const { return secrets_.size(); }
 

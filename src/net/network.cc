@@ -31,6 +31,8 @@ Network::Network(Simulator* sim, const Topology* topo, NetworkConfig config)
   routing_ = std::make_shared<RoutingTable>(*topo);
 }
 
+Network::~Network() = default;
+
 void Network::SetReceiver(NodeId node, DeliveryFn fn) {
   receivers_[node.value()] = std::move(fn);
 }
@@ -51,8 +53,8 @@ double Network::ClassFraction(TrafficClass cls) const {
   return 0.0;
 }
 
-SimDuration Network::SerializationTime(LinkId link, NodeId sender, TrafficClass cls,
-                                       uint32_t size_bytes) const {
+SimDuration Network::SerializationTime(LinkId link, [[maybe_unused]] NodeId sender,
+                                       TrafficClass cls, uint32_t size_bytes) const {
   const LinkSpec& spec = topo_->link(link);
   assert(topo_->Attaches(link, sender));
   // Equal static split among attached senders (MAC-enforced allocation).
@@ -63,37 +65,56 @@ SimDuration Network::SerializationTime(LinkId link, NodeId sender, TrafficClass 
   return static_cast<SimDuration>(seconds * 1e9) + 1;
 }
 
+Packet* Network::AcquirePacket() {
+  if (!packet_free_.empty()) {
+    Packet* p = packet_free_.back();
+    packet_free_.pop_back();
+    return p;
+  }
+  packet_blocks_.push_back(std::make_unique<Packet>());
+  return packet_blocks_.back().get();
+}
+
+void Network::ReleasePacket(Packet* packet) {
+  packet->payload.reset();  // drop the payload reference promptly
+  packet_free_.push_back(packet);
+}
+
 MessageId Network::Send(NodeId src, NodeId dst, uint32_t size_bytes, TrafficClass cls,
                         PayloadPtr payload) {
   assert(src.valid() && dst.valid());
   ++stats_.packets_sent;
-  Packet p;
-  p.id = MessageId(next_message_++);
-  p.src = src;
-  p.dst = dst;
-  p.size_bytes = size_bytes;
-  p.cls = cls;
-  p.payload = std::move(payload);
-  p.sent_at = sim_->Now();
+  const MessageId id(next_message_++);
 
-  if (src == dst) {
-    // Loopback: deliver immediately (no medium usage).
-    sim_->After(0, [this, p]() mutable { Deliver(std::move(p)); });
-    return p.id;
-  }
-  if (!routing_->Reachable(src, dst)) {
+  const bool loopback = src == dst;
+  if (!loopback && !routing_->Reachable(src, dst)) {
     ++stats_.packets_dropped_unreachable;
     return MessageId::Invalid();
   }
-  ForwardHop(std::move(p), routing_, 0);
-  return p.id;
+  // One init block for both paths: the pooled Packet is reused, so every
+  // field must be (re)assigned here.
+  Packet* p = AcquirePacket();
+  p->id = id;
+  p->src = src;
+  p->dst = dst;
+  p->size_bytes = size_bytes;
+  p->cls = cls;
+  p->payload = std::move(payload);
+  p->sent_at = sim_->Now();
+  if (loopback) {
+    // Loopback: deliver immediately (no medium usage).
+    sim_->After(0, [this, p]() { Deliver(p); });
+  } else {
+    ForwardHop(p, routing_, 0);
+  }
+  return id;
 }
 
-void Network::ForwardHop(Packet packet, std::shared_ptr<const RoutingTable> routing,
+void Network::ForwardHop(Packet* packet, std::shared_ptr<const RoutingTable> routing,
                          size_t hop_index) {
-  const Route& route = routing->RouteBetween(packet.src, packet.dst);
+  const Route& route = routing->RouteBetween(packet->src, packet->dst);
   if (hop_index >= route.size()) {
-    Deliver(std::move(packet));
+    Deliver(packet);
     return;
   }
   const Hop& hop = route[hop_index];
@@ -102,53 +123,65 @@ void Network::ForwardHop(Packet packet, std::shared_ptr<const RoutingTable> rout
   if (hop_index > 0 &&
       (node_down_[hop.sender.value()] || relay_drop_[hop.sender.value()])) {
     ++stats_.packets_dropped_down;
+    ReleasePacket(packet);
     return;
   }
 
-  const GuardianKey key{hop.link.value(), hop.sender.value(),
-                        static_cast<int>(packet.cls)};
-  SimTime& next_free = guardian_next_free_[key];
+  SimTime& next_free = guardian_next_free_[GuardianKey(hop.link, hop.sender, packet->cls)];
   const SimTime now = sim_->Now();
   const SimTime depart = std::max(now, next_free);
   if (depart - now > config_.max_guardian_backlog) {
     ++stats_.packets_dropped_backlog;
-    ++stats_.backlog_drops_by_class[static_cast<int>(packet.cls)];
+    ++stats_.backlog_drops_by_class[static_cast<int>(packet->cls)];
+    ReleasePacket(packet);
     return;
   }
-  const SimDuration tx = SerializationTime(hop.link, hop.sender, packet.cls, packet.size_bytes);
+  const SimDuration tx =
+      CachedSerializationTime(hop.link, hop.sender, packet->cls, packet->size_bytes);
   next_free = depart + tx;
 
-  stats_.bytes_by_class[static_cast<int>(packet.cls)] += packet.size_bytes;
-  stats_.total_link_bytes += packet.size_bytes;
+  stats_.bytes_by_class[static_cast<int>(packet->cls)] += packet->size_bytes;
+  stats_.total_link_bytes += packet->size_bytes;
 
   const SimTime arrival = depart + tx + topo_->link(hop.link).propagation;
   const bool lost = config_.loss_probability > 0.0 && sim_->rng()->NextBool(config_.loss_probability);
-  sim_->At(arrival, [this, packet = std::move(packet), routing, hop_index, lost]() mutable {
-    if (lost) {
+  // Hop state is packed so the closure fits the event queue's inline
+  // buffer; the receiver is resolved now (the captured routing table is
+  // immutable, so the arrival-time lookup gave the same answer).
+  struct HopState {
+    uint32_t next_hop;
+    uint32_t receiver;
+    bool lost;
+  };
+  const HopState st{static_cast<uint32_t>(hop_index + 1), hop.receiver.value(), lost};
+  sim_->At(arrival, [this, packet, routing = std::move(routing), st]() mutable {
+    if (st.lost) {
       ++stats_.packets_dropped_loss;
+      ReleasePacket(packet);
       return;
     }
-    const Route& r = routing->RouteBetween(packet.src, packet.dst);
-    const NodeId receiver = r[hop_index].receiver;
-    if (node_down_[receiver.value()]) {
+    if (node_down_[st.receiver]) {
       ++stats_.packets_dropped_down;
+      ReleasePacket(packet);
       return;
     }
-    ForwardHop(std::move(packet), routing, hop_index + 1);
+    ForwardHop(packet, std::move(routing), st.next_hop);
   });
 }
 
-void Network::Deliver(Packet packet) {
-  if (node_down_[packet.dst.value()]) {
+void Network::Deliver(Packet* packet) {
+  if (node_down_[packet->dst.value()]) {
     ++stats_.packets_dropped_down;
+    ReleasePacket(packet);
     return;
   }
-  packet.delivered_at = sim_->Now();
+  packet->delivered_at = sim_->Now();
   ++stats_.packets_delivered;
-  DeliveryFn& fn = receivers_[packet.dst.value()];
+  DeliveryFn& fn = receivers_[packet->dst.value()];
   if (fn) {
-    fn(packet);
+    fn(*packet);
   }
+  ReleasePacket(packet);
 }
 
 void Network::SetNodeDown(NodeId node, bool down) { node_down_[node.value()] = down; }

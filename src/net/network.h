@@ -11,15 +11,20 @@
 // Multi-hop routes are store-and-forward through gateway nodes; a downed or
 // excluded relay drops the packet (this is exactly the "state stranded behind
 // node Y" hazard the paper's planner lookahead must avoid).
+//
+// Packets are freelist-pooled: a hop forwards the same pooled object through
+// the event queue instead of copying the packet into each hop's closure, and
+// the pool recycles it on delivery or drop. Payload objects are allocated
+// from a shared BlockPool (see MakePooled) by whoever builds them.
 
 #ifndef BTR_SRC_NET_NETWORK_H_
 #define BTR_SRC_NET_NETWORK_H_
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/types.h"
 #include "src/net/routing.h"
 #include "src/net/topology.h"
@@ -37,9 +42,21 @@ inline constexpr int kTrafficClassCount = 3;
 
 const char* TrafficClassName(TrafficClass cls);
 
+// Receiver-side dispatch tag so the delivery path is one virtual call + a
+// switch instead of a chain of dynamic_pointer_casts per packet.
+enum class PayloadKind : uint8_t {
+  kOutputRecord,
+  kEvidence,
+  kHeartbeat,
+  kStateRequest,
+  kStateTransfer,
+  kOther,  // test payloads, baseline protocols
+};
+
 // Base class for message payloads carried through the network.
 struct Payload {
   virtual ~Payload() = default;
+  virtual PayloadKind kind() const { return PayloadKind::kOther; }
 };
 using PayloadPtr = std::shared_ptr<const Payload>;
 
@@ -83,6 +100,7 @@ struct NetworkStats {
 class Network {
  public:
   Network(Simulator* sim, const Topology* topo, NetworkConfig config);
+  ~Network();
 
   // Installs the delivery callback for a node. One receiver per node.
   void SetReceiver(NodeId node, DeliveryFn fn);
@@ -114,25 +132,39 @@ class Network {
 
   const Topology& topology() const { return *topo_; }
 
+  // Pool occupancy diagnostics (bench counters).
+  size_t packet_pool_size() const { return packet_blocks_.size(); }
+
  private:
-  struct GuardianKey {
-    uint32_t link;
-    uint32_t sender;
-    int cls;
-    friend bool operator==(const GuardianKey& a, const GuardianKey& b) {
-      return a.link == b.link && a.sender == b.sender && a.cls == b.cls;
-    }
-  };
-  struct GuardianKeyHash {
-    size_t operator()(const GuardianKey& k) const {
-      return (static_cast<size_t>(k.link) << 24) ^ (static_cast<size_t>(k.sender) << 4) ^
-             static_cast<size_t>(k.cls);
-    }
-  };
+  // 64-bit guardian key: 24-bit link | 24-bit sender | class.
+  static uint64_t GuardianKey(LinkId link, NodeId sender, TrafficClass cls) {
+    return (static_cast<uint64_t>(link.value()) << 32) |
+           (static_cast<uint64_t>(sender.value()) << 8) | static_cast<uint64_t>(cls);
+  }
 
   double ClassFraction(TrafficClass cls) const;
-  void ForwardHop(Packet packet, std::shared_ptr<const RoutingTable> routing, size_t hop_index);
-  void Deliver(Packet packet);
+
+  // SerializationTime with the result memoized per (link, class, size):
+  // the hot path sends the same few message sizes on the same links every
+  // period, and the floating-point division is measurable there. Values
+  // are computed by the exact public formula, so timing is unchanged.
+  SimDuration CachedSerializationTime(LinkId link, NodeId sender, TrafficClass cls,
+                                      uint32_t size_bytes) {
+    const uint64_t key = (static_cast<uint64_t>(link.value()) << 40) |
+                         (static_cast<uint64_t>(cls) << 36) | size_bytes;
+    SimDuration& tx = serialization_cache_[key];
+    if (tx == 0) {
+      tx = SerializationTime(link, sender, cls, size_bytes);  // always >= 1
+    }
+    return tx;
+  }
+
+  Packet* AcquirePacket();
+  void ReleasePacket(Packet* packet);
+
+  void ForwardHop(Packet* packet, std::shared_ptr<const RoutingTable> routing,
+                  size_t hop_index);
+  void Deliver(Packet* packet);
 
   Simulator* sim_;
   const Topology* topo_;
@@ -141,9 +173,14 @@ class Network {
   std::vector<DeliveryFn> receivers_;
   std::vector<bool> node_down_;
   std::vector<bool> relay_drop_;
-  std::unordered_map<GuardianKey, SimTime, GuardianKeyHash> guardian_next_free_;
+  FlatMap64<SimTime> guardian_next_free_;
+  FlatMap64<SimDuration> serialization_cache_;
   NetworkStats stats_;
   uint32_t next_message_ = 0;
+
+  // Freelist-pooled in-flight packets.
+  std::vector<std::unique_ptr<Packet>> packet_blocks_;
+  std::vector<Packet*> packet_free_;
 };
 
 }  // namespace btr

@@ -10,6 +10,7 @@ NodeId Topology::AddNodes(size_t count) {
   const NodeId first(static_cast<uint32_t>(node_count_));
   node_count_ += count;
   links_at_.resize(node_count_);
+  neighbors_cache_.resize(node_count_);
   return first;
 }
 
@@ -30,6 +31,22 @@ LinkId Topology::AddLink(std::vector<NodeId> endpoints, int64_t bandwidth_bps,
   spec.propagation = propagation;
   spec.name = name.empty() ? "link" + std::to_string(id.value()) : std::move(name);
   links_.push_back(std::move(spec));
+  // Incremental adjacency update: splice the new link's endpoints into each
+  // other's sorted, deduplicated neighbor lists (O(endpoints^2) per link,
+  // not a full-graph rebuild).
+  const std::vector<NodeId>& eps = links_.back().endpoints;
+  for (NodeId a : eps) {
+    std::vector<NodeId>& nbrs = neighbors_cache_[a.value()];
+    for (NodeId b : eps) {
+      if (b == a) {
+        continue;
+      }
+      const auto pos = std::lower_bound(nbrs.begin(), nbrs.end(), b);
+      if (pos == nbrs.end() || *pos != b) {
+        nbrs.insert(pos, b);
+      }
+    }
+  }
   return id;
 }
 
@@ -43,16 +60,9 @@ bool Topology::Attaches(LinkId link, NodeId node) const {
   return std::find(eps.begin(), eps.end(), node) != eps.end();
 }
 
-std::vector<NodeId> Topology::Neighbors(NodeId node) const {
-  std::set<NodeId> out;
-  for (LinkId l : LinksAt(node)) {
-    for (NodeId n : links_[l.value()].endpoints) {
-      if (n != node) {
-        out.insert(n);
-      }
-    }
-  }
-  return std::vector<NodeId>(out.begin(), out.end());
+const std::vector<NodeId>& Topology::Neighbors(NodeId node) const {
+  assert(node.valid() && node.value() < node_count_);
+  return neighbors_cache_[node.value()];
 }
 
 Status Topology::Validate() const {

@@ -47,8 +47,11 @@ class Topology {
   // True if `link` attaches `node`.
   bool Attaches(LinkId link, NodeId node) const;
 
-  // Nodes reachable in one hop from `node` (deduplicated, sorted).
-  std::vector<NodeId> Neighbors(NodeId node) const;
+  // Nodes reachable in one hop from `node` (deduplicated, sorted). The
+  // adjacency cache is maintained eagerly by AddNodes/AddLink, so this
+  // const accessor never mutates and is safe to call from planner worker
+  // threads. The reference is invalidated by AddNodes/AddLink.
+  const std::vector<NodeId>& Neighbors(NodeId node) const;
 
   // Validates: every node has at least one link, all links >= 2 endpoints.
   Status Validate() const;
@@ -73,6 +76,9 @@ class Topology {
   size_t node_count_ = 0;
   std::vector<LinkSpec> links_;
   std::vector<std::vector<LinkId>> links_at_;  // indexed by node id
+  // One-hop adjacency (indexed by node id), kept current incrementally by
+  // AddNodes/AddLink (sorted, deduplicated).
+  std::vector<std::vector<NodeId>> neighbors_cache_;
 };
 
 }  // namespace btr

@@ -1,53 +1,21 @@
 #include "src/sim/event_queue.h"
 
-#include <cassert>
-
 namespace btr {
 
-EventHandle EventQueue::Schedule(SimTime when, EventFn fn) {
-  assert(when >= last_popped_ && "scheduling into the past");
-  Entry e;
-  e.when = when < last_popped_ ? last_popped_ : when;
-  e.id = next_id_++;
-  e.fn = std::move(fn);
-  const uint64_t id = e.id;
-  heap_.push(std::move(e));
-  live_.insert(id);
-  return EventHandle(id);
-}
+// Cold path: everything hot is inline in the header.
 
 bool EventQueue::Cancel(EventHandle handle) {
-  if (!handle.valid()) {
+  if (!handle.valid() || handle.slot_ >= slots_.size()) {
     return false;
   }
-  // The heap entry is swept lazily when it reaches the top.
-  return live_.erase(handle.id_) > 0;
-}
-
-void EventQueue::SkipDead() const {
-  while (!heap_.empty() && live_.find(heap_.top().id) == live_.end()) {
-    heap_.pop();
+  Slot& slot = slots_[handle.slot_];
+  if (slot.generation != handle.generation_) {
+    return false;  // already fired, cancelled, or the slot was reused
   }
-}
-
-SimTime EventQueue::NextTime() const {
-  SkipDead();
-  if (heap_.empty()) {
-    return kSimTimeNever;
-  }
-  return heap_.top().when;
-}
-
-SimTime EventQueue::RunNext() {
-  SkipDead();
-  assert(!heap_.empty());
-  // Move the entry out before running: the callback may schedule new events.
-  Entry e = heap_.top();
-  heap_.pop();
-  live_.erase(e.id);
-  last_popped_ = e.when;
-  e.fn();
-  return e.when;
+  slot.generation += 1;  // even: disarmed; stale heap entry swept lazily
+  ReleaseSlot(handle.slot_);
+  --live_count_;
+  return true;
 }
 
 }  // namespace btr

@@ -3,33 +3,48 @@
 // Events at equal timestamps are delivered in insertion order (a strictly
 // increasing sequence number breaks ties), which makes entire simulations
 // reproducible from a seed.
+//
+// Storage is slot-based: callables live in recycled slots (whose inline
+// SmallFn buffers hold the common capture sizes without allocating), and
+// the time-ordered heap holds 24-byte {when, seq, slot, generation}
+// entries. Handles carry the slot's generation, so Cancel is O(1) — bump
+// the generation, free the slot — with no shadow live-set; the heap sweeps
+// stale entries lazily when they surface.
+//
+// The hot operations (Schedule, PopNext, the heap) are defined inline: the
+// simulator executes one of each per event, and the call overhead was
+// measurable at millions of events per second.
 
 #ifndef BTR_SRC_SIM_EVENT_QUEUE_H_
 #define BTR_SRC_SIM_EVENT_QUEUE_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "src/common/small_fn.h"
 #include "src/common/types.h"
 
 namespace btr {
 
-using EventFn = std::function<void()>;
+// Inline capacity covers the simulator's largest hot-path capture (the
+// network's per-hop forwarding closure: this + packet + routing handle +
+// index + flag).
+using EventFn = SmallFn<48>;
 
 // Handle for cancelling a scheduled event.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  bool valid() const { return id_ != 0; }
+  bool valid() const { return generation_ != 0; }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(uint64_t id) : id_(id) {}
-  uint64_t id_ = 0;
+  EventHandle(uint32_t slot, uint32_t generation) : slot_(slot), generation_(generation) {}
+  uint32_t slot_ = 0;
+  uint32_t generation_ = 0;
 };
 
 class EventQueue {
@@ -39,46 +54,158 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   // Schedules `fn` at absolute time `when`. `when` must be >= the time of the
-  // last popped event (no scheduling into the past).
-  EventHandle Schedule(SimTime when, EventFn fn);
+  // last popped event (no scheduling into the past). Takes the callable by
+  // rvalue so a caller-site lambda is materialized once and moved once.
+  EventHandle Schedule(SimTime when, EventFn&& fn) {
+    assert(when >= last_popped_ && "scheduling into the past");
+    const uint32_t index = AcquireSlot();
+    Slot& slot = slots_[index];
+    slot.fn = std::move(fn);
+    slot.generation |= 1;  // arm: odd generation
+    HeapPush(HeapEntry{when < last_popped_ ? last_popped_ : when, next_seq_++, index,
+                       slot.generation});
+    ++live_count_;
+    return EventHandle(index, slot.generation);
+  }
 
   // Cancels a previously scheduled event. Safe to call on already-fired or
   // already-cancelled handles (no-op). Returns true if the event was pending.
   bool Cancel(EventHandle handle);
 
-  bool Empty() const { return live_.empty(); }
-  size_t PendingCount() const { return live_.size(); }
+  bool Empty() const { return live_count_ == 0; }
+  size_t PendingCount() const { return live_count_; }
 
   // Time of the earliest pending event; kSimTimeNever if empty.
-  SimTime NextTime() const;
+  SimTime NextTime() const {
+    SkipDead();
+    if (heap_.empty()) {
+      return kSimTimeNever;
+    }
+    return heap_.front().when;
+  }
+
+  // Pops the earliest event into `*fn` WITHOUT running it, and returns its
+  // timestamp. Requires !Empty(). The driver advances its clock between the
+  // pop and the call, so callbacks observe their own timestamp via Now().
+  SimTime PopNext(EventFn* fn) {
+    SkipDead();
+    assert(!heap_.empty());
+    const HeapEntry top = heap_.front();
+    HeapPop();
+    Slot& slot = slots_[top.slot];
+    // Move the callable out before it can run: the callback may schedule
+    // new events (growing slots_) or cancel, and must see this event done.
+    *fn = std::move(slot.fn);
+    slot.generation += 1;
+    ReleaseSlot(top.slot);
+    --live_count_;
+    last_popped_ = top.when;
+    return top.when;
+  }
 
   // Pops and runs the earliest event. Returns its timestamp. Requires !Empty().
-  SimTime RunNext();
+  SimTime RunNext() {
+    EventFn fn;
+    const SimTime when = PopNext(&fn);
+    fn();
+    return when;
+  }
 
   SimTime last_popped_time() const { return last_popped_; }
 
  private:
-  struct Entry {
-    SimTime when = 0;
-    uint64_t id = 0;
+  static constexpr uint32_t kNilSlot = 0xFFFFFFFFu;
+
+  struct Slot {
     EventFn fn;
+    // Odd while the slot is armed, bumped on fire/cancel; a handle or heap
+    // entry whose generation mismatches is stale. Starts at 0 (free).
+    uint32_t generation = 0;
+    uint32_t next_free = kNilSlot;
   };
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.id > b.id;
+  struct HeapEntry {
+    SimTime when;
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t generation;
+
+    bool Earlier(const HeapEntry& o) const {
+      return when != o.when ? when < o.when : seq < o.seq;
     }
   };
 
-  // Drops heap entries whose id is no longer live (cancelled).
-  void SkipDead() const;
+  uint32_t AcquireSlot() {
+    if (free_head_ != kNilSlot) {
+      const uint32_t index = free_head_;
+      free_head_ = slots_[index].next_free;
+      return index;
+    }
+    slots_.emplace_back();
+    return static_cast<uint32_t>(slots_.size() - 1);
+  }
+
+  void ReleaseSlot(uint32_t index) {
+    Slot& slot = slots_[index];
+    slot.fn.Reset();  // free captured resources (payload refs, routing handles)
+    slot.next_free = free_head_;
+    free_head_ = index;
+  }
+
+  // 4-ary min-heap ordered by (when, seq): half the depth of a binary heap
+  // and better cache behavior for the sift-downs every pop performs. The
+  // (when, seq) order is strict and total, so the pop sequence — and with
+  // it the whole simulation — is identical for any correct heap layout.
+  void HeapPush(HeapEntry entry) const {
+    size_t i = heap_.size();
+    heap_.push_back(entry);
+    while (i > 0) {
+      const size_t parent = (i - 1) / 4;
+      if (!heap_[i].Earlier(heap_[parent])) {
+        break;
+      }
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void HeapPop() const {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    const size_t n = heap_.size();
+    size_t i = 0;
+    while (true) {
+      const size_t first_child = i * 4 + 1;
+      if (first_child >= n) {
+        break;
+      }
+      size_t best = first_child;
+      const size_t last_child = std::min(first_child + 4, n);
+      for (size_t c = first_child + 1; c < last_child; ++c) {
+        if (heap_[c].Earlier(heap_[best])) {
+          best = c;
+        }
+      }
+      if (!heap_[best].Earlier(heap_[i])) {
+        break;
+      }
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  // Drops heap entries whose slot generation moved on (fired or cancelled).
+  void SkipDead() const {
+    while (!heap_.empty() && slots_[heap_.front().slot].generation != heap_.front().generation) {
+      HeapPop();
+    }
+  }
 
   // `mutable` so NextTime() can lazily sweep cancelled entries.
-  mutable std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
-  std::unordered_set<uint64_t> live_;
-  uint64_t next_id_ = 1;
+  mutable std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNilSlot;
+  uint64_t next_seq_ = 1;
+  size_t live_count_ = 0;
   SimTime last_popped_ = 0;
 };
 

@@ -1,7 +1,5 @@
 #include "src/sim/simulator.h"
 
-#include <cassert>
-
 #include "src/common/log.h"
 
 namespace btr {
@@ -10,22 +8,13 @@ Simulator::Simulator(uint64_t seed) : rng_(seed) { SetLogTimeSource(&now_); }
 
 Simulator::~Simulator() { SetLogTimeSource(nullptr); }
 
-EventHandle Simulator::At(SimTime when, EventFn fn) {
-  assert(when >= now_);
-  return queue_.Schedule(when, std::move(fn));
-}
-
-EventHandle Simulator::After(SimDuration delay, EventFn fn) {
-  assert(delay >= 0);
-  return queue_.Schedule(now_ + delay, std::move(fn));
-}
-
 SimTime Simulator::RunUntil(SimTime deadline) {
   while (!queue_.Empty() && queue_.NextTime() <= deadline) {
     // Advance the clock before dispatching so callbacks observe the event's
     // own timestamp via Now().
-    now_ = queue_.NextTime();
-    queue_.RunNext();
+    EventFn fn;
+    now_ = queue_.PopNext(&fn);
+    fn();
     ++events_executed_;
   }
   if (now_ < deadline) {
@@ -36,8 +25,9 @@ SimTime Simulator::RunUntil(SimTime deadline) {
 
 SimTime Simulator::RunToCompletion() {
   while (!queue_.Empty()) {
-    now_ = queue_.NextTime();
-    queue_.RunNext();
+    EventFn fn;
+    now_ = queue_.PopNext(&fn);
+    fn();
     ++events_executed_;
   }
   return now_;
@@ -47,8 +37,9 @@ bool Simulator::Step() {
   if (queue_.Empty()) {
     return false;
   }
-  now_ = queue_.NextTime();
-  queue_.RunNext();
+  EventFn fn;
+  now_ = queue_.PopNext(&fn);
+  fn();
   ++events_executed_;
   return true;
 }

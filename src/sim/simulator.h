@@ -3,6 +3,7 @@
 #ifndef BTR_SRC_SIM_SIMULATOR_H_
 #define BTR_SRC_SIM_SIMULATOR_H_
 
+#include <cassert>
 #include <cstdint>
 
 #include "src/common/rng.h"
@@ -21,11 +22,19 @@ class Simulator {
   SimTime Now() const { return now_; }
   Rng* rng() { return &rng_; }
 
-  // Schedules `fn` to run at absolute time `when` (>= Now()).
-  EventHandle At(SimTime when, EventFn fn);
+  // Schedules `fn` to run at absolute time `when` (>= Now()). Inline, with
+  // the callable taken by rvalue: the data plane schedules one event per
+  // hop and per job dispatch, and each avoided 48-byte move is measurable.
+  EventHandle At(SimTime when, EventFn&& fn) {
+    assert(when >= now_);
+    return queue_.Schedule(when, std::move(fn));
+  }
 
   // Schedules `fn` to run after `delay` (>= 0).
-  EventHandle After(SimDuration delay, EventFn fn);
+  EventHandle After(SimDuration delay, EventFn&& fn) {
+    assert(delay >= 0);
+    return queue_.Schedule(now_ + delay, std::move(fn));
+  }
 
   bool Cancel(EventHandle h) { return queue_.Cancel(h); }
 

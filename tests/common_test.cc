@@ -1,13 +1,23 @@
-// Unit tests for src/common: ids, rng, hashing, status, stats, tables, math.
+// Unit tests for src/common: ids, rng, hashing, status, stats, tables,
+// math, and the data-plane containers (flat maps, packed keys, small
+// callables, block pools).
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "src/common/block_pool.h"
+#include "src/common/flat_map.h"
 #include "src/common/hash.h"
+#include "src/common/inline_vec.h"
 #include "src/common/math_util.h"
+#include "src/common/packed_key.h"
 #include "src/common/rng.h"
+#include "src/common/small_fn.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
 #include "src/common/table.h"
@@ -289,6 +299,294 @@ TEST(MathUtil, CeilDivAndRoundUp) {
   EXPECT_EQ(CeilDiv(9, 3), 3);
   EXPECT_EQ(RoundUp(10, 4), 12);
   EXPECT_EQ(RoundUp(12, 4), 12);
+}
+
+// --- packed keys ---
+
+TEST(PackedKey, RoundTripsPeriodInLowBits) {
+  EXPECT_EQ(PeriodOfPackedKey(PackIdPeriod(0, 0)), 0u);
+  EXPECT_EQ(PeriodOfPackedKey(PackIdPeriod(123, 456)), 456u);
+  EXPECT_EQ(PeriodOfPackedKey(PackTaskReplicaPeriod(9, 3, 777)), 777u);
+  EXPECT_EQ(PeriodOfPackedKey(PackNodePairPeriod(1, 2, 31337)), 31337u);
+}
+
+TEST(PackedKey, DistinctTuplesDistinctKeysPerPacker) {
+  // Distinctness is per packer: each container uses exactly one packing,
+  // so only same-packer collisions would corrupt state.
+  std::set<uint64_t> id_period;
+  std::set<uint64_t> task_replica;
+  std::set<uint64_t> node_pair;
+  for (uint32_t id = 0; id < 8; ++id) {
+    for (uint64_t p = 0; p < 8; ++p) {
+      id_period.insert(PackIdPeriod(id, p));
+      task_replica.insert(PackTaskReplicaPeriod(id, 1, p));
+      task_replica.insert(PackTaskReplicaPeriod(id, 2, p));
+      node_pair.insert(PackNodePairPeriod(id, id + 9, p));
+    }
+  }
+  EXPECT_EQ(id_period.size(), 8u * 8);
+  EXPECT_EQ(task_replica.size(), 2u * 8 * 8);
+  EXPECT_EQ(node_pair.size(), 8u * 8);
+}
+
+TEST(PackedKey, FieldsDoNotOverlap) {
+  EXPECT_NE(PackTaskReplicaPeriod(1, 0, 0), PackTaskReplicaPeriod(0, 1, 0));
+  EXPECT_NE(PackTaskReplicaPeriod(0, 1, 0), PackTaskReplicaPeriod(0, 0, 1));
+  EXPECT_NE(PackNodePairPeriod(1, 2, 3), PackNodePairPeriod(2, 1, 3));
+}
+
+// --- flat map / set ---
+
+TEST(FlatMap, BasicInsertFindErase) {
+  FlatMap64<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.Emplace(42, 7));
+  EXPECT_FALSE(m.Emplace(42, 9));  // emplace keeps the first value
+  ASSERT_NE(m.Find(42), nullptr);
+  EXPECT_EQ(*m.Find(42), 7);
+  m.InsertOrAssign(42, 9);
+  EXPECT_EQ(*m.Find(42), 9);
+  m[43] = 1;
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.Erase(42));
+  EXPECT_FALSE(m.Erase(42));
+  EXPECT_EQ(m.Find(42), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, RandomizedAgainstStdMap) {
+  // Drive identical operation sequences against FlatMap64 and std::map and
+  // require identical visible state throughout — this exercises growth,
+  // collisions, and the backward-shift deletion.
+  Rng rng(2024);
+  FlatMap64<uint64_t> flat;
+  std::map<uint64_t, uint64_t> ref;
+  for (int op = 0; op < 20000; ++op) {
+    const uint64_t key = rng.NextBelow(512);  // small key space: collisions
+    switch (rng.NextBelow(4)) {
+      case 0:
+        flat.InsertOrAssign(key, op);
+        ref[key] = static_cast<uint64_t>(op);
+        break;
+      case 1: {
+        const bool inserted = flat.Emplace(key, op);
+        EXPECT_EQ(inserted, ref.emplace(key, op).second);
+        break;
+      }
+      case 2:
+        EXPECT_EQ(flat.Erase(key), ref.erase(key) > 0);
+        break;
+      default: {
+        const uint64_t* found = flat.Find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(found != nullptr, it != ref.end());
+        if (found != nullptr) {
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  // Full content comparison at the end.
+  size_t seen = 0;
+  flat.ForEach([&](uint64_t key, const uint64_t& value) {
+    ++seen;
+    auto it = ref.find(key);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(it->second, value);
+  });
+  EXPECT_EQ(seen, ref.size());
+}
+
+TEST(FlatMap, EraseIfMatchesReference) {
+  Rng rng(99);
+  FlatMap64<uint64_t> flat;
+  std::map<uint64_t, uint64_t> ref;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t key = rng.Next() % 1024;
+    flat.InsertOrAssign(key, key * 3);
+    ref[key] = key * 3;
+  }
+  const auto stale = [](uint64_t key) { return key % 7 == 0; };
+  flat.EraseIf([&](uint64_t key, const uint64_t&) { return stale(key); });
+  std::erase_if(ref, [&](const auto& kv) { return stale(kv.first); });
+  EXPECT_EQ(flat.size(), ref.size());
+  for (const auto& [key, value] : ref) {
+    ASSERT_NE(flat.Find(key), nullptr);
+    EXPECT_EQ(*flat.Find(key), value);
+  }
+}
+
+TEST(FlatSet, InsertContainsErase) {
+  FlatSet64 s;
+  EXPECT_TRUE(s.Insert(PackIdPeriod(3, 9)));
+  EXPECT_FALSE(s.Insert(PackIdPeriod(3, 9)));
+  EXPECT_TRUE(s.Contains(PackIdPeriod(3, 9)));
+  EXPECT_FALSE(s.Contains(PackIdPeriod(3, 10)));
+  s.EraseIf([](uint64_t key) { return PeriodOfPackedKey(key) < 10; });
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatMap, HeldSharedPtrsReleasedOnErase) {
+  FlatMap64<std::shared_ptr<int>> m;
+  auto value = std::make_shared<int>(5);
+  m.InsertOrAssign(1, value);
+  EXPECT_EQ(value.use_count(), 2);
+  m.Erase(1);
+  EXPECT_EQ(value.use_count(), 1);
+  m.InsertOrAssign(2, value);
+  m.clear();
+  EXPECT_EQ(value.use_count(), 1);
+}
+
+// --- small callable ---
+
+TEST(SmallFn, InvokesInlineAndMovedCaptures) {
+  int hits = 0;
+  SmallFn<48> fn([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  SmallFn<48> moved = std::move(fn);
+  moved();
+  EXPECT_EQ(hits, 2);
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move): move contract
+}
+
+TEST(SmallFn, OversizedCaptureUsesHeapAndStillWorks) {
+  struct Big {
+    uint64_t data[16] = {};
+  };
+  Big big;
+  big.data[15] = 11;
+  uint64_t out = 0;
+  SmallFn<48> fn([big, &out] { out = big.data[15]; });
+  SmallFn<48> moved = std::move(fn);
+  moved();
+  EXPECT_EQ(out, 11u);
+}
+
+TEST(SmallFn, DestructionReleasesCaptures) {
+  auto token = std::make_shared<int>(1);
+  {
+    SmallFn<48> fn([token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 2);
+    fn.Reset();
+    EXPECT_EQ(token.use_count(), 1);
+  }
+  {
+    SmallFn<48> fn([token] { (void)*token; });
+    SmallFn<48> other = std::move(fn);
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// --- inline vector ---
+
+TEST(InlineVec, StaysInlineUpToNThenSpills) {
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  v.push_back(4);
+  EXPECT_GT(v.capacity(), 4u);  // spilled to heap
+  ASSERT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(v[i], i);
+  }
+}
+
+TEST(InlineVec, CopyAndMoveBothModes) {
+  InlineVec<std::shared_ptr<int>, 2> small;
+  small.push_back(std::make_shared<int>(1));
+  InlineVec<std::shared_ptr<int>, 2> copied = small;
+  EXPECT_EQ(*copied[0], 1);
+  EXPECT_EQ(small[0].use_count(), 2);
+  InlineVec<std::shared_ptr<int>, 2> moved = std::move(copied);
+  EXPECT_EQ(*moved[0], 1);
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(copied.size(), 0u);  // NOLINT(bugprone-use-after-move): move contract
+
+  InlineVec<std::shared_ptr<int>, 2> big;
+  for (int i = 0; i < 6; ++i) {
+    big.push_back(std::make_shared<int>(i));
+  }
+  InlineVec<std::shared_ptr<int>, 2> big_copy = big;
+  InlineVec<std::shared_ptr<int>, 2> big_move = std::move(big);
+  ASSERT_EQ(big_move.size(), 6u);
+  ASSERT_EQ(big_copy.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(*big_move[i], i);
+    EXPECT_EQ(*big_copy[i], i);
+  }
+}
+
+TEST(InlineVec, ClearReleasesElements) {
+  auto token = std::make_shared<int>(0);
+  InlineVec<std::shared_ptr<int>, 2> v;
+  v.push_back(token);
+  v.push_back(token);
+  v.push_back(token);  // spilled
+  EXPECT_EQ(token.use_count(), 4);
+  v.clear();
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_EQ(v.capacity(), 2u);  // heap returned, inline again
+}
+
+TEST(InlineVec, SortAndInitializerList) {
+  InlineVec<int, 4> v = {3, 1, 2};
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+  InlineVec<int, 4> w;
+  w.assign(v.begin(), v.end());
+  EXPECT_EQ(w.size(), 3u);
+}
+
+// --- block pool ---
+
+TEST(BlockPool, RecyclesBlocksBySizeClass) {
+  auto pool = std::make_shared<BlockPool>();
+  void* a = pool->Allocate(40);
+  pool->Deallocate(a, 40);
+  void* b = pool->Allocate(40);
+  EXPECT_EQ(a, b);  // freelist hit, no new block
+  EXPECT_EQ(pool->allocated_blocks(), 1u);
+  void* c = pool->Allocate(400);  // different class
+  EXPECT_NE(b, c);
+  pool->Deallocate(b, 40);
+  pool->Deallocate(c, 400);
+  EXPECT_EQ(pool->allocated_blocks(), 2u);
+}
+
+TEST(BlockPool, MakePooledObjectsReuseStorage) {
+  auto pool = std::make_shared<BlockPool>();
+  struct Payload {
+    uint64_t values[6] = {};
+  };
+  void* first_addr = nullptr;
+  {
+    auto p = MakePooled<Payload>(pool);
+    p->values[0] = 9;
+    first_addr = p.get();
+  }
+  // The block went back to the freelist; an identical allocation reuses it.
+  auto q = MakePooled<Payload>(pool);
+  EXPECT_EQ(static_cast<void*>(q.get()), first_addr);
+  EXPECT_EQ(pool->allocated_blocks(), 1u);
+}
+
+TEST(BlockPool, PoolOutlivesItsObjects) {
+  std::shared_ptr<int> survivor;
+  {
+    auto pool = std::make_shared<BlockPool>();
+    survivor = MakePooled<int>(pool, 77);
+  }
+  // The arena handle inside the control block keeps the pool alive.
+  EXPECT_EQ(*survivor, 77);
+  survivor.reset();
 }
 
 }  // namespace

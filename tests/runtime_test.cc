@@ -377,5 +377,30 @@ TEST(Runtime, InvalidFaultNodeRejected) {
   EXPECT_FALSE(report.ok());
 }
 
+TEST(Adversary, LatestManifestedInjectionWinsOnOneNode) {
+  // Escalation scripts stack injections on one node; the one that
+  // manifested most recently governs behavior (regression guard for the
+  // inlined ActiveOn fast path).
+  AdversarySpec spec;
+  FaultInjection first;
+  first.node = NodeId(3);
+  first.manifest_at = Milliseconds(100);
+  first.behavior = FaultBehavior::kOmission;
+  spec.Add(first);
+  FaultInjection second;
+  second.node = NodeId(3);
+  second.manifest_at = Milliseconds(500);
+  second.behavior = FaultBehavior::kValueCorruption;
+  spec.Add(second);
+
+  EXPECT_EQ(spec.ActiveOn(NodeId(3), Milliseconds(50)), nullptr);
+  ASSERT_NE(spec.ActiveOn(NodeId(3), Milliseconds(200)), nullptr);
+  EXPECT_EQ(spec.ActiveOn(NodeId(3), Milliseconds(200))->behavior, FaultBehavior::kOmission);
+  ASSERT_NE(spec.ActiveOn(NodeId(3), Milliseconds(900)), nullptr);
+  EXPECT_EQ(spec.ActiveOn(NodeId(3), Milliseconds(900))->behavior,
+            FaultBehavior::kValueCorruption);
+  EXPECT_EQ(spec.ActiveOn(NodeId(4), Milliseconds(900)), nullptr);
+}
+
 }  // namespace
 }  // namespace btr

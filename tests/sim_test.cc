@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 #include "src/sim/clock.h"
@@ -77,6 +78,93 @@ TEST(EventQueue, CallbackMaySchedule) {
   }
   EXPECT_EQ(count, 5);
   EXPECT_EQ(q.last_popped_time(), 40);
+}
+
+TEST(EventQueue, CancelAfterFireIsRejected) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle h = q.Schedule(10, [&] { ++fired; });
+  q.RunNext();
+  EXPECT_EQ(fired, 1);
+  // The event already ran: its generation moved on, so Cancel is a no-op.
+  EXPECT_FALSE(q.Cancel(h));
+  EXPECT_EQ(q.PendingCount(), 0u);
+}
+
+TEST(EventQueue, CancelTwiceSecondIsNoOp) {
+  EventQueue q;
+  EventHandle h = q.Schedule(10, [] {});
+  q.Schedule(20, [] {});
+  EXPECT_TRUE(q.Cancel(h));
+  EXPECT_FALSE(q.Cancel(h));
+  EXPECT_EQ(q.PendingCount(), 1u);
+  EXPECT_EQ(q.NextTime(), 20);
+}
+
+TEST(EventQueue, SlotReuseAcrossGenerationsKeepsStaleHandlesDead) {
+  EventQueue q;
+  // Fire one event so its slot returns to the freelist, then schedule a new
+  // event that reuses the slot. The old handle must not cancel the new event
+  // (its generation is stale), and the new handle must still work.
+  int first = 0;
+  int second = 0;
+  EventHandle old_handle = q.Schedule(10, [&] { ++first; });
+  q.RunNext();
+  EventHandle new_handle = q.Schedule(20, [&] { ++second; });
+  EXPECT_FALSE(q.Cancel(old_handle)) << "stale handle must not cancel the reused slot";
+  EXPECT_EQ(q.PendingCount(), 1u);
+  EXPECT_TRUE(q.Cancel(new_handle));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 0);
+}
+
+TEST(EventQueue, CancelledSlotReusePreservesInsertionOrderTieBreak) {
+  EventQueue q;
+  std::vector<int> order;
+  // Interleave schedules and cancels at one timestamp; survivors must run
+  // in their original insertion order even though slots get recycled.
+  EventHandle a = q.Schedule(5, [&] { order.push_back(0); });
+  q.Schedule(5, [&] { order.push_back(1); });
+  q.Cancel(a);
+  q.Schedule(5, [&] { order.push_back(2); });  // reuses a's slot
+  q.Schedule(5, [&] { order.push_back(3); });
+  while (!q.Empty()) {
+    q.RunNext();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ManyGenerationsOfReuse) {
+  EventQueue q;
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  for (int round = 0; round < 100; ++round) {
+    EventHandle h = q.Schedule(q.last_popped_time() + 1, [&] { ++fired; });
+    if (round % 2 == 0) {
+      q.Cancel(h);
+    } else {
+      q.RunNext();
+    }
+    handles.push_back(h);
+  }
+  EXPECT_EQ(fired, 50);
+  for (EventHandle h : handles) {
+    EXPECT_FALSE(q.Cancel(h));  // every generation is spent
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, OversizedCaptureFallsBackToHeap) {
+  // Captures beyond the inline buffer still work (heap fallback path).
+  EventQueue q;
+  std::array<uint64_t, 32> big{};
+  big[0] = 7;
+  big[31] = 9;
+  uint64_t sum = 0;
+  q.Schedule(1, [big, &sum] { sum = big[0] + big[31]; });
+  q.RunNext();
+  EXPECT_EQ(sum, 16u);
 }
 
 TEST(Simulator, NowAdvancesBeforeCallbacks) {

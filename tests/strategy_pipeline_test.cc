@@ -169,6 +169,7 @@ TEST(StrategyPipeline, ParentResolutionByCanonicalFaultSetId) {
       continue;
     }
     const Plan* child = strategy->Lookup(faults);
+    ASSERT_NE(child, nullptr);
     for (NodeId x : faults.nodes()) {
       const Plan* parent = strategy->Lookup(faults.Without(x));
       ASSERT_NE(parent, nullptr);
