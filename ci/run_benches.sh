@@ -26,11 +26,19 @@ if [[ "${1:-}" == "--full" ]]; then
 fi
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-bench -j "$(nproc)" --target bench_sim_throughput
+cmake --build build-bench -j "$(nproc)" --target bench_sim_throughput bench_planner_scalability
 
 OUT=BENCH_runtime.json
 ROWS=$(./build-bench/bench_sim_throughput "--preset=${PRESET}" "--reps=${REPS}" \
   | sed -n 's/^BENCH_JSON //p' | paste -sd, -)
+# Incremental-replanning rows (E7 addendum): full-vs-incremental rebuild
+# time on single-edit streams, with a byte-identical serialization check.
+PLANNER_ROWS=$(./build-bench/bench_planner_scalability --incremental-only \
+  | sed -n 's/^BENCH_JSON //p' | paste -sd, -)
+if [[ -n "${PLANNER_ROWS}" ]]; then
+  ROWS="${ROWS},
+    ${PLANNER_ROWS}"
+fi
 
 {
   echo '{'

@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, and run the full test suite from a clean
-# checkout. Mirrors .github/workflows/ci.yml for environments without
-# GitHub Actions.
+# Test runner with tiering. Mirrors .github/workflows/ci.yml for
+# environments without GitHub Actions.
+#
+#   ci/run_tests.sh          # tier1: fast unit/integration tests (every push)
+#   ci/run_tests.sh --full   # tier1 + tier2 (randomized / equivalence /
+#                            # determinism sweeps; scheduled CI and local runs)
+#
+# Tiers are ctest LABELS assigned in CMakeLists.txt (BTR_TIER2_TESTS).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+LABEL_ARGS=(-L tier1)
+if [[ "${1:-}" == "--full" ]]; then
+  LABEL_ARGS=()
+fi
 
 cmake -B build -S .
 cmake --build build -j
 cd build
-ctest --output-on-failure --no-tests=error -j
+ctest --output-on-failure --no-tests=error "${LABEL_ARGS[@]}" -j

@@ -160,6 +160,17 @@ struct PlanDelta {
 
 PlanDelta ComputeDelta(const Plan& from, const Plan& to, const AugmentedGraph& graph);
 
+// Where a strategy came from: the fault bound it was compiled for and a
+// fingerprint of the planner inputs (config + topology + workload). Set by
+// StrategyBuilder, persisted by strategy_io, and checked by
+// StrategyBuilder::Rebuild so an incremental rebuild cannot silently resume
+// from a strategy compiled for a different system.
+struct StrategyProvenance {
+  bool present = false;
+  uint32_t max_faults = 0;
+  uint64_t planner_fingerprint = 0;
+};
+
 // The offline-computed strategy: fault set -> plan, deduplicated at two
 // granularities. Whole plan bodies are content-hashed, so byte-identical
 // modes share one body; within distinct bodies, per-node schedule tables
@@ -216,6 +227,11 @@ class Strategy {
   // Unique bodies in first-insertion order.
   const std::vector<std::shared_ptr<const PlanBody>>& bodies() const { return bodies_; }
 
+  const StrategyProvenance& provenance() const { return provenance_; }
+  void set_provenance(uint32_t max_faults, uint64_t planner_fingerprint) {
+    provenance_ = StrategyProvenance{true, max_faults, planner_fingerprint};
+  }
+
  private:
   // Replaces equal sub-structures with pool representatives so equal
   // content shares physical storage.
@@ -232,6 +248,7 @@ class Strategy {
   std::unordered_map<uint64_t, std::vector<std::shared_ptr<const std::vector<SimDuration>>>>
       edge_pool_;
   size_t dedup_hits_ = 0;
+  StrategyProvenance provenance_;
 };
 
 // Immutable O(1) fault-set -> plan index for the runtime's recovery hot

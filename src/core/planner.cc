@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/hash.h"
 #include "src/common/log.h"
 #include "src/core/strategy_builder.h"
 
@@ -31,6 +32,61 @@ SimDuration Planner::EdgeLatencyBudgetLoaded(NodeId from, NodeId to, uint32_t by
   return latency_->EdgeBudget(from, to, bytes, routing, node_fg_bytes);
 }
 
+uint64_t Planner::Fingerprint() const {
+  // Field-by-field (never whole structs: padding bytes are not stable
+  // across processes, and the fingerprint is persisted).
+  Hasher h;
+  h.Add(config_.max_faults).Add(config_.recovery_bound);
+  h.Add(config_.augment.replication)
+      .Add(config_.augment.replicate_min_criticality)
+      .Add(config_.augment.replay_factor)
+      .Add(config_.augment.compare_cost)
+      .Add(config_.augment.verifier_budget)
+      .Add(config_.augment.digest_record_bytes);
+  h.Add(config_.network.foreground_fraction)
+      .Add(config_.network.evidence_fraction)
+      .Add(config_.network.control_fraction)
+      .Add(config_.network.loss_probability)
+      .Add(config_.network.max_guardian_backlog);
+  h.Add(config_.locality_heuristic)
+      .Add(config_.parent_stickiness)
+      .Add(config_.lookahead)
+      .Add(config_.shed_by_criticality)
+      .Add(config_.comm_budget_factor)
+      .Add(config_.epsilon)
+      .Add(config_.weight_load)
+      .Add(config_.weight_locality)
+      .Add(config_.weight_parent)
+      .Add(config_.weight_lookahead);
+
+  h.Add(topo_->node_count());
+  for (const LinkSpec& l : topo_->links()) {
+    h.AddString(l.name).Add(l.bandwidth_bps).Add(l.propagation);
+    for (NodeId n : l.endpoints) {
+      h.Add(n.value());
+    }
+    h.Add(l.endpoints.size());
+  }
+  h.Add(topo_->link_count());
+
+  h.Add(workload_->period());
+  for (const TaskSpec& t : workload_->tasks()) {
+    h.AddString(t.name)
+        .Add(t.kind)
+        .Add(t.wcet)
+        .Add(t.state_bytes)
+        .Add(t.pinned_node.value())
+        .Add(t.criticality)
+        .Add(t.relative_deadline);
+  }
+  h.Add(workload_->task_count());
+  for (const ChannelSpec& ch : workload_->channels()) {
+    h.Add(ch.from.value()).Add(ch.to.value()).Add(ch.message_bytes);
+  }
+  h.Add(workload_->channels().size());
+  return h.Digest();
+}
+
 PlannerMetrics Planner::metrics() const {
   std::lock_guard<std::mutex> lock(metrics_mu_);
   return metrics_;
@@ -44,6 +100,14 @@ void Planner::RecordBuildMetrics(size_t modes_deduped, size_t unique_plans, size
   metrics_.waves = waves;
   metrics_.max_wave_modes = max_wave_modes;
   metrics_.threads_used = threads_used;
+}
+
+void Planner::RecordRebuildMetrics(size_t dirty_modes, size_t clean_modes,
+                                   size_t migrated_bodies) const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  metrics_.rebuild_dirty_modes = dirty_modes;
+  metrics_.rebuild_clean_modes = clean_modes;
+  metrics_.rebuild_migrated_bodies = migrated_bodies;
 }
 
 StatusOr<Plan> Planner::TryPlan(const FaultSet& faults, const std::vector<const Plan*>& parents,
@@ -74,11 +138,14 @@ StatusOr<Plan> Planner::TryPlan(const FaultSet& faults, const std::vector<const 
 }
 
 StatusOr<Plan> Planner::PlanForMode(const FaultSet& faults,
-                                    const std::vector<const Plan*>& parents) const {
+                                    const std::vector<const Plan*>& parents,
+                                    std::shared_ptr<const RoutingTable> routing) const {
   if (faults.size() > config_.max_faults) {
     return Status::InvalidArgument("fault set larger than max_faults");
   }
-  auto routing = std::make_shared<RoutingTable>(*topo_, faults.nodes());
+  if (routing == nullptr) {
+    routing = std::make_shared<RoutingTable>(*topo_, faults.nodes());
+  }
 
   // Stage: sink admission (which flows can run at all, shedding order).
   std::vector<TaskId> served = admission_->Admit(faults);

@@ -52,11 +52,21 @@ class Planner {
   const AugmentedGraph& graph() const { return *graph_; }
   const PlannerConfig& config() const { return config_; }
   const Topology& topology() const { return *topo_; }
+  const Dataflow& workload() const { return *workload_; }
+
+  // Content fingerprint of every planning input (config, topology links,
+  // workload tasks and channels). Two planners with equal fingerprints
+  // produce bit-identical strategies; StrategyBuilder stamps it into the
+  // strategy's provenance so Rebuild can refuse a mismatched resume.
+  uint64_t Fingerprint() const;
 
   // Plans a single mode. `parents` are the plans for the immediate subsets
   // (|S| - 1); may be empty for the root mode. Safe to call concurrently.
-  StatusOr<Plan> PlanForMode(const FaultSet& faults,
-                             const std::vector<const Plan*>& parents) const;
+  // `routing` may carry a pre-built table for this topology and fault set
+  // (the incremental rebuilder often has one from its equivalence check);
+  // when null, the routing is built here.
+  StatusOr<Plan> PlanForMode(const FaultSet& faults, const std::vector<const Plan*>& parents,
+                             std::shared_ptr<const RoutingTable> routing = nullptr) const;
 
   // Enumerates every fault set up to max_faults and plans it. Convenience
   // wrapper over StrategyBuilder with config().planner_threads workers.
@@ -87,6 +97,11 @@ class Planner {
   // StrategyBuilder once per build).
   void RecordBuildMetrics(size_t modes_deduped, size_t unique_plans, size_t waves,
                           size_t max_wave_modes, size_t threads_used) const;
+
+  // Merges incremental-rebuild counters (called by StrategyBuilder::Rebuild
+  // once per rebuild).
+  void RecordRebuildMetrics(size_t dirty_modes, size_t clean_modes,
+                            size_t migrated_bodies) const;
 
  private:
   StatusOr<Plan> TryPlan(const FaultSet& faults, const std::vector<const Plan*>& parents,

@@ -53,6 +53,11 @@ struct PlannerMetrics {
   size_t waves = 0;            // fault-set levels planned (f + 1)
   size_t max_wave_modes = 0;   // widest wave (peak available parallelism)
   size_t threads_used = 1;     // pool size the build ran with
+
+  // Incremental-rebuild counters (filled by StrategyBuilder::Rebuild).
+  size_t rebuild_dirty_modes = 0;     // replanned: some stage input changed
+  size_t rebuild_clean_modes = 0;     // reused: every stage input unchanged
+  size_t rebuild_migrated_bodies = 0; // distinct bodies remapped to a new universe
 };
 
 }  // namespace btr

@@ -25,6 +25,7 @@
 #include "src/core/augment.h"
 #include "src/core/plan.h"
 #include "src/core/planner_config.h"
+#include "src/core/strategy_delta.h"
 #include "src/net/topology.h"
 #include "src/workload/dataflow.h"
 
@@ -48,6 +49,10 @@ struct ModeContext {
 class ModeEnumerator {
  public:
   static std::vector<FaultSet> Level(size_t node_count, size_t k);
+
+  // The mode universe is a pure function of the (fixed) node set, so no
+  // supported delta kind invalidates it.
+  static bool InvalidatedBy(DeltaKind /*kind*/) { return false; }
 };
 
 // Stage 2: sink admission / shedding order. A sink is servable iff neither
@@ -59,6 +64,13 @@ class SinkAdmission {
   explicit SinkAdmission(const Dataflow* workload) : workload_(workload) {}
 
   std::vector<TaskId> Admit(const FaultSet& faults) const;
+
+  // Admission reads sink/source pinning and criticality (shedding order),
+  // so only workload edits can invalidate it.
+  static bool InvalidatedBy(DeltaKind kind) {
+    return kind == DeltaKind::kTaskAdd || kind == DeltaKind::kTaskRemove ||
+           kind == DeltaKind::kTaskReweight;
+  }
 
  private:
   const Dataflow* workload_;
@@ -79,6 +91,13 @@ class LatencyModel {
   // traffic totals. Returns -1 if unreachable under this routing.
   SimDuration EdgeBudget(NodeId from, NodeId to, uint32_t bytes, const RoutingTable& routing,
                          const std::vector<uint64_t>* node_fg_bytes) const;
+
+  // Budgets walk routes over link specs, so any link edit can invalidate
+  // them; workload edits cannot (bytes are a per-query input).
+  static bool InvalidatedBy(DeltaKind kind) {
+    return kind == DeltaKind::kLinkAdd || kind == DeltaKind::kLinkRemove ||
+           kind == DeltaKind::kLinkLatencyChange;
+  }
 
  private:
   const Topology* topo_;
@@ -114,6 +133,15 @@ class PlacementStage {
   double Score(const ModeContext& ctx, uint32_t aug_id, NodeId candidate,
                const std::vector<const Plan*>& parents) const;
 
+  // Placement reads topology structure (hop counts, reachability,
+  // adjacency-based vulnerability) and the active-task universe, but not
+  // link latencies: scores count hops, not nanoseconds. A reweight can
+  // still reach placement by crossing the replication criticality
+  // threshold, which changes the replica universe.
+  static bool InvalidatedBy(DeltaKind kind) {
+    return kind != DeltaKind::kLinkLatencyChange;
+  }
+
  private:
   const Topology* topo_;
   const Dataflow* workload_;
@@ -134,6 +162,11 @@ class ScheduleStage {
 
   StatusOr<PlanBody> BuildBody(const ModeContext& ctx,
                                const std::vector<TaskId>& served_sinks) const;
+
+  // Scheduling consumes everything upstream (placements, latency budgets,
+  // wcets, deadlines, criticality priorities), so every delta kind can
+  // invalidate it.
+  static bool InvalidatedBy(DeltaKind /*kind*/) { return true; }
 
  private:
   const Topology* topo_;

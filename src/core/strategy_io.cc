@@ -1,5 +1,6 @@
 #include "src/core/strategy_io.h"
 
+#include <iomanip>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
@@ -8,7 +9,10 @@ namespace btr {
 namespace {
 
 constexpr char kMagic[] = "BTRSTRATEGY";
-constexpr int kVersion = 2;
+// v3 = v2 plus the optional PROV provenance record. The loader accepts
+// both; bumping the header keeps pre-PROV readers failing with a clear
+// version error instead of a misleading parse error.
+constexpr int kVersion = 3;
 
 void WriteBody(std::ostringstream& out, const PlanBody& body) {
   out << "U " << body.utility << "\n";
@@ -42,6 +46,13 @@ std::string SaveStrategy(const Strategy& strategy, const AugmentedGraph& graph,
   out << kMagic << " v" << kVersion << "\n";
   out << "DIM " << graph.size() << " " << topo.node_count() << " " << graph.edges().size()
       << "\n";
+  // Provenance (optional record): the fault bound and planner-input
+  // fingerprint the strategy was compiled with, so an incremental rebuild
+  // can resume from this blob and refuse a mismatched planner.
+  if (strategy.provenance().present) {
+    out << "PROV " << strategy.provenance().max_faults << " " << std::hex
+        << strategy.provenance().planner_fingerprint << std::dec << "\n";
+  }
   // File-local body ids by first use in canonical mode order, so the blob
   // is a pure function of the strategy's content (save-load-save is
   // byte-stable regardless of in-memory insertion order).
@@ -81,8 +92,8 @@ StatusOr<Strategy> LoadStrategy(const std::string& text, const AugmentedGraph& g
   std::string magic;
   std::string version;
   in >> magic >> version;
-  if (magic != kMagic || version != "v2") {
-    return Status::InvalidArgument("not a BTRSTRATEGY v2 blob");
+  if (magic != kMagic || (version != "v2" && version != "v3")) {
+    return Status::InvalidArgument("not a BTRSTRATEGY v2/v3 blob");
   }
   std::string tag;
   in >> tag;
@@ -97,8 +108,22 @@ StatusOr<Strategy> LoadStrategy(const std::string& text, const AugmentedGraph& g
     return Status::InvalidArgument("strategy dimensions do not match graph/topology");
   }
 
+  StrategyProvenance provenance;
+  if (!(in >> tag)) {
+    return Status::InvalidArgument("missing PLANS header");
+  }
+  if (tag == "PROV") {
+    if (!(in >> provenance.max_faults >> std::hex >> provenance.planner_fingerprint >>
+          std::dec)) {
+      return Status::InvalidArgument("malformed PROV record");
+    }
+    provenance.present = true;
+    if (!(in >> tag)) {
+      return Status::InvalidArgument("missing PLANS header");
+    }
+  }
   size_t plan_count = 0;
-  if (!(in >> tag >> plan_count) || tag != "PLANS") {
+  if (tag != "PLANS" || !(in >> plan_count)) {
     return Status::InvalidArgument("missing PLANS header");
   }
   // Every body occupies at least a "PLAN n\nEND\n" line pair, so a count
@@ -213,6 +238,9 @@ StatusOr<Strategy> LoadStrategy(const std::string& text, const AugmentedGraph& g
   }
   if (strategy.Lookup(FaultSet()) == nullptr) {
     return Status::InvalidArgument("strategy has no fault-free mode");
+  }
+  if (provenance.present) {
+    strategy.set_provenance(provenance.max_faults, provenance.planner_fingerprint);
   }
   return strategy;
 }

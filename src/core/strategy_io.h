@@ -9,7 +9,11 @@
 // and every mode is a one-line fault set + body reference (MODE ... REF n),
 // so the blob shrinks with the same dedup ratio as the strategy. Routing
 // tables are not stored — they are a pure function of (topology, fault set)
-// and are rebuilt on load; body sharing survives the round trip.
+// and are rebuilt on load; body sharing survives the round trip. The v3
+// revision adds an optional PROV record persisting the strategy's
+// provenance (fault bound + planner-input fingerprint) so
+// StrategyBuilder::Rebuild can resume from a loaded blob and refuse a
+// mismatched planner; the loader accepts v2 and v3.
 
 #ifndef BTR_SRC_CORE_STRATEGY_IO_H_
 #define BTR_SRC_CORE_STRATEGY_IO_H_

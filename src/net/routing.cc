@@ -99,6 +99,17 @@ SimDuration RoutingTable::PathPropagation(NodeId src, NodeId dst) const {
   return path_propagation_[Index(src, dst)];
 }
 
+bool RoutingTable::UsesLink(LinkId link) const {
+  for (const Route& route : routes_) {
+    for (const Hop& hop : route) {
+      if (hop.link == link) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 bool RoutingTable::RouteUsesRelay(NodeId src, NodeId dst, NodeId relay) const {
   const Route& r = RouteBetween(src, dst);
   for (size_t i = 0; i + 1 < r.size(); ++i) {

@@ -42,6 +42,15 @@ class RoutingTable {
   // True if `relay` appears as an intermediate node on the src->dst route.
   bool RouteUsesRelay(NodeId src, NodeId dst, NodeId relay) const;
 
+  // True if any route in the table traverses `link`. Incremental replanning
+  // uses this to decide whether a re-measured link can affect a mode's
+  // latency budgets at all.
+  //
+  // (Deliberately no operator==: raw hop comparison is wrong across any
+  // topology edit that renumbers links; cross-edit route comparison needs
+  // an id translation — see RoutesEquivalent in strategy_builder.cc.)
+  bool UsesLink(LinkId link) const;
+
  private:
   size_t Index(NodeId src, NodeId dst) const { return src.value() * n_ + dst.value(); }
 

@@ -50,6 +50,15 @@ LinkId Topology::AddLink(std::vector<NodeId> endpoints, int64_t bandwidth_bps,
   return id;
 }
 
+LinkId Topology::FindLink(const std::string& name) const {
+  for (const LinkSpec& l : links_) {
+    if (l.name == name) {
+      return l.id;
+    }
+  }
+  return LinkId::Invalid();
+}
+
 const std::vector<LinkId>& Topology::LinksAt(NodeId node) const {
   assert(node.valid() && node.value() < node_count_);
   return links_at_[node.value()];

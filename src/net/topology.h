@@ -41,6 +41,10 @@ class Topology {
   const LinkSpec& link(LinkId id) const { return links_[id.value()]; }
   const std::vector<LinkSpec>& links() const { return links_; }
 
+  // First link with this name; invalid LinkId if absent. Names are the
+  // stable link identity across topology edits (see strategy_delta.h).
+  LinkId FindLink(const std::string& name) const;
+
   // Links attached to `node`.
   const std::vector<LinkId>& LinksAt(NodeId node) const;
 

@@ -1,0 +1,192 @@
+// Robustness tests for the strategy_io v2 parser: a strategy blob is
+// installed on every node, so a corrupted or adversarial blob must fail
+// with a clean Status — never crash, never silently load a half-strategy.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/planner.h"
+#include "src/core/strategy_io.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+namespace {
+
+struct IoFixture {
+  Scenario scenario = MakeScadaScenario(4);
+  PlannerConfig config;
+  std::unique_ptr<Planner> planner;
+  std::string blob;
+
+  IoFixture() {
+    config.max_faults = 1;
+    planner = std::make_unique<Planner>(&scenario.topology, &scenario.workload, config);
+    auto strategy = planner->BuildStrategy();
+    EXPECT_TRUE(strategy.ok()) << strategy.status().ToString();
+    blob = SaveStrategy(*strategy, planner->graph(), scenario.topology);
+  }
+
+  StatusOr<Strategy> Load(const std::string& text) const {
+    return LoadStrategy(text, planner->graph(), scenario.topology);
+  }
+};
+
+TEST(StrategyIo, ValidBlobRoundTrips) {
+  IoFixture f;
+  auto loaded = f.Load(f.blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->provenance().present);
+  EXPECT_EQ(loaded->provenance().planner_fingerprint, f.planner->Fingerprint());
+  EXPECT_EQ(SaveStrategy(*loaded, f.planner->graph(), f.scenario.topology), f.blob);
+}
+
+TEST(StrategyIo, GarbageMagicRejected) {
+  IoFixture f;
+  EXPECT_FALSE(f.Load("").ok());
+  EXPECT_FALSE(f.Load("garbage").ok());
+  EXPECT_FALSE(f.Load("NOTSTRATEGY v2\nDIM 1 1 1\n").ok());
+  EXPECT_FALSE(f.Load("BTRSTRATEGY v1\n" + f.blob.substr(f.blob.find('\n') + 1)).ok());
+  std::string flipped = f.blob;
+  flipped[0] = 'X';
+  EXPECT_FALSE(f.Load(flipped).ok());
+}
+
+TEST(StrategyIo, EveryTruncationFailsCleanly) {
+  IoFixture f;
+  // Cut the blob at every line boundary and at a stride of raw byte
+  // offsets: only the complete blob may load; every prefix must return a
+  // clean error (and, under the sanitizer job, must not trip ASan/UBSan).
+  for (size_t cut = 0; cut < f.blob.size(); ++cut) {
+    const bool line_boundary = cut == 0 || f.blob[cut - 1] == '\n';
+    if (!line_boundary && cut % 7 != 0) {
+      continue;
+    }
+    auto loaded = f.Load(f.blob.substr(0, cut));
+    EXPECT_FALSE(loaded.ok()) << "truncation at byte " << cut << " loaded successfully";
+  }
+  EXPECT_TRUE(f.Load(f.blob).ok());
+}
+
+TEST(StrategyIo, OutOfRangeBodyRefRejected) {
+  IoFixture f;
+  // Rewrite the first MODE's body reference to a body id that was never
+  // declared.
+  const size_t ref = f.blob.find(" REF ");
+  ASSERT_NE(ref, std::string::npos);
+  std::string bad = f.blob.substr(0, ref) + " REF 9999" +
+                    f.blob.substr(f.blob.find('\n', ref));
+  auto loaded = f.Load(bad);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("body reference"), std::string::npos);
+}
+
+TEST(StrategyIo, DuplicateModeRejected) {
+  IoFixture f;
+  // Duplicate the first MODE line (and bump the MODES count to match, so
+  // the duplicate-id check is what fires, not a count mismatch).
+  const size_t modes_at = f.blob.find("MODES ");
+  ASSERT_NE(modes_at, std::string::npos);
+  const size_t count_end = f.blob.find('\n', modes_at);
+  const size_t count = std::stoul(f.blob.substr(modes_at + 6, count_end - modes_at - 6));
+  const size_t first_mode = f.blob.find("MODE ", count_end);
+  const size_t first_mode_end = f.blob.find('\n', first_mode) + 1;
+  const std::string mode_line = f.blob.substr(first_mode, first_mode_end - first_mode);
+  std::string bad = "MODES " + std::to_string(count + 1) +
+                    f.blob.substr(count_end, first_mode_end - count_end) + mode_line +
+                    f.blob.substr(first_mode_end);
+  bad = f.blob.substr(0, modes_at) + bad;
+  auto loaded = f.Load(bad);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("duplicate MODE"), std::string::npos);
+}
+
+TEST(StrategyIo, ForgedCountsRejected) {
+  IoFixture f;
+  auto patch = [&](const std::string& needle, const std::string& replacement) {
+    const size_t at = f.blob.find(needle);
+    EXPECT_NE(at, std::string::npos) << needle;
+    return f.blob.substr(0, at) + replacement + f.blob.substr(f.blob.find('\n', at));
+  };
+  const size_t plans_at = f.blob.find("PLANS ");
+  const size_t plans =
+      std::stoul(f.blob.substr(plans_at + 6, f.blob.find('\n', plans_at) - plans_at - 6));
+  // A PLANS count beyond the blob size is a forged header.
+  EXPECT_FALSE(f.Load(patch("PLANS ", "PLANS 99999999999")).ok());
+  // More declared plans than PLAN blocks present.
+  EXPECT_FALSE(f.Load(patch("PLANS ", "PLANS " + std::to_string(plans + 1))).ok());
+  // MODES count larger than the number of MODE lines.
+  EXPECT_FALSE(f.Load(patch("MODES ", "MODES 99999999999")).ok());
+}
+
+TEST(StrategyIo, MalformedRecordsRejected) {
+  IoFixture f;
+  auto corrupt_first = [&](const std::string& tag, const std::string& line) {
+    const size_t at = f.blob.find("\n" + tag + " ");
+    if (at == std::string::npos) {
+      return std::string();
+    }
+    return f.blob.substr(0, at + 1) + line + f.blob.substr(f.blob.find('\n', at + 1));
+  };
+  // Placement onto a node outside the topology.
+  const std::string bad_p = corrupt_first("P", "P 0 9999 0");
+  if (!bad_p.empty()) {
+    EXPECT_FALSE(f.Load(bad_p).ok());
+  }
+  // Table entry for a job outside the augmented universe.
+  const std::string bad_t = corrupt_first("T", "T 0 999999 0 10");
+  if (!bad_t.empty()) {
+    EXPECT_FALSE(f.Load(bad_t).ok());
+  }
+  // Edge budget for an edge index outside the graph.
+  const std::string bad_b = corrupt_first("B", "B 999999 10");
+  if (!bad_b.empty()) {
+    EXPECT_FALSE(f.Load(bad_b).ok());
+  }
+  // Unknown record tag inside a body.
+  const std::string bad_tag = corrupt_first("U", "Z 1 2 3");
+  if (!bad_tag.empty()) {
+    EXPECT_FALSE(f.Load(bad_tag).ok());
+  }
+  // MODE whose fault node is outside the topology.
+  const size_t mode_at = f.blob.find("MODE 1 ");
+  if (mode_at != std::string::npos) {
+    std::string bad = f.blob;
+    bad.replace(mode_at, 8, "MODE 1 9");
+    EXPECT_FALSE(f.Load(bad).ok());
+  }
+}
+
+TEST(StrategyIo, MalformedProvenanceRejected) {
+  IoFixture f;
+  const size_t prov_at = f.blob.find("PROV ");
+  ASSERT_NE(prov_at, std::string::npos);
+  const size_t prov_end = f.blob.find('\n', prov_at);
+  std::string bad = f.blob.substr(0, prov_at) + "PROV zzz qqq" + f.blob.substr(prov_end);
+  EXPECT_FALSE(f.Load(bad).ok());
+  // A blob without provenance is still accepted (older v2 writers).
+  std::string stripped = f.blob.substr(0, prov_at) + f.blob.substr(prov_end + 1);
+  auto loaded = f.Load(stripped);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->provenance().present);
+}
+
+TEST(StrategyIo, TrailingDataRejected) {
+  IoFixture f;
+  EXPECT_FALSE(f.Load(f.blob + "EXTRA 1 2 3\n").ok());
+}
+
+TEST(StrategyIo, DimensionMismatchRejected) {
+  IoFixture f;
+  // A blob saved for a different topology must not load against this one.
+  Scenario other = MakeScadaScenario(5);
+  Planner other_planner(&other.topology, &other.workload, f.config);
+  auto strategy = other_planner.BuildStrategy();
+  ASSERT_TRUE(strategy.ok());
+  const std::string blob = SaveStrategy(*strategy, other_planner.graph(), other.topology);
+  EXPECT_FALSE(f.Load(blob).ok());
+}
+
+}  // namespace
+}  // namespace btr

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "src/core/planner.h"
@@ -60,10 +61,12 @@ TEST(StrategyPipeline, ParallelBuildIsIdenticalToSerial) {
   StrategyBuilder serial_builder(&planner, 1);
   auto serial = serial_builder.Build();
   ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  EXPECT_EQ(planner.metrics().threads_used, 1u);
 
   StrategyBuilder parallel_builder(&planner, 4);
   auto parallel = parallel_builder.Build();
   ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(planner.metrics().threads_used, 4u);
 
   ASSERT_EQ(serial->mode_count(), parallel->mode_count());
   EXPECT_EQ(serial->unique_plan_count(), parallel->unique_plan_count());
@@ -120,6 +123,24 @@ TEST(StrategyPipeline, BuildMetricsReportWavesAndDedup) {
   const size_t n = s.topology.node_count();
   EXPECT_EQ(metrics.max_wave_modes, n * (n - 1) / 2);
   EXPECT_GE(metrics.threads_used, 1u);
+
+  // Dedup accounting must balance: every mode either minted a new physical
+  // body or hit an existing one, and the hit count is what the dedup
+  // counter reports.
+  EXPECT_EQ(metrics.modes_deduped + metrics.unique_plans, strategy->mode_count());
+  EXPECT_EQ(metrics.modes_deduped, strategy->dedup_hits());
+  // Degradation retries can only add attempts on top of one per mode.
+  EXPECT_GE(metrics.schedule_attempts, metrics.modes_planned);
+  const std::vector<FaultSet> planned = strategy->PlannedSets();
+  EXPECT_EQ(metrics.modes_degraded,
+            static_cast<size_t>(
+                std::count_if(planned.begin(), planned.end(), [&](const FaultSet& faults) {
+                  return !strategy->Lookup(faults)->shed_sinks().empty();
+                })));
+
+  // A fresh full build reports no incremental activity.
+  EXPECT_EQ(metrics.rebuild_dirty_modes, 0u);
+  EXPECT_EQ(metrics.rebuild_clean_modes, 0u);
 }
 
 TEST(StrategyPipeline, RoundTripPreservesPlanResolutionForEveryFaultSet) {
