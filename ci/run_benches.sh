@@ -26,7 +26,7 @@ if [[ "${1:-}" == "--full" ]]; then
 fi
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-bench -j "$(nproc)" --target bench_sim_throughput bench_planner_scalability
+cmake --build build-bench -j "$(nproc)" --target bench_sim_throughput bench_planner_scalability bench_plan_delta
 
 OUT=BENCH_runtime.json
 ROWS=$(./build-bench/bench_sim_throughput "--preset=${PRESET}" "--reps=${REPS}" \
@@ -38,6 +38,15 @@ PLANNER_ROWS=$(./build-bench/bench_planner_scalability --incremental-only \
 if [[ -n "${PLANNER_ROWS}" ]]; then
   ROWS="${ROWS},
     ${PLANNER_ROWS}"
+fi
+# Install-traffic rows (E7 addendum): per-node install bytes and simulated
+# install latency after a single edit, sliced patches vs the naive
+# full-blob-to-every-node baseline (see README "Strategy distribution").
+INSTALL_ROWS=$(./build-bench/bench_plan_delta --install-only \
+  | sed -n 's/^BENCH_JSON //p' | paste -sd, -)
+if [[ -n "${INSTALL_ROWS}" ]]; then
+  ROWS="${ROWS},
+    ${INSTALL_ROWS}"
 fi
 
 {

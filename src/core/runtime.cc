@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/hash.h"
 #include "src/common/log.h"
 #include "src/core/golden.h"
+#include "src/core/strategy_io.h"
 
 namespace btr {
 namespace {
@@ -28,7 +30,65 @@ const Plan* LookupPlan(const RuntimeContext& ctx, const FaultSet& faults) {
   return ctx.strategy->Lookup(faults);
 }
 
+// Wire size of an InstallNackMessage (a node id, a fingerprint, framing).
+constexpr uint32_t kInstallNackBytes = 24;
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// InstallEngine
+// ---------------------------------------------------------------------------
+
+uint64_t InstallEngine::StateFingerprint() const {
+  Hasher hasher;
+  hasher.AddString(slice_);
+  hasher.Add(strategy_fp_);
+  hasher.Add(version_);
+  hasher.Add(node_.value());
+  return hasher.Digest();
+}
+
+Status InstallEngine::InstallFull(const std::string& slice_text, uint64_t expected_sfp) {
+  StatusOr<uint64_t> sfp = ValidateSliceText(slice_text, node_.value());
+  if (!sfp.ok()) {
+    ++stats_.patches_rejected;
+    return sfp.status();
+  }
+  if (*sfp != expected_sfp) {
+    ++stats_.patches_rejected;
+    return Status::FailedPrecondition(
+        "slice does not chain to the expected strategy fingerprint; refusing to install");
+  }
+  slice_ = slice_text;
+  strategy_fp_ = *sfp;
+  ++version_;
+  ++stats_.full_installs;
+  return Status::Ok();
+}
+
+Status InstallEngine::ApplyPatch(const std::string& patch_text) {
+  if (!installed()) {
+    ++stats_.patches_rejected;
+    return Status::FailedPrecondition("no base slice installed; patch has nothing to apply to");
+  }
+  StatusOr<StrategyPatch> patch = ParseStrategyPatch(patch_text);
+  if (!patch.ok()) {
+    ++stats_.patches_rejected;
+    return patch.status();
+  }
+  // Verify-then-swap: the new slice is fully assembled and fingerprint-
+  // checked before the installed state changes.
+  StatusOr<std::string> applied = ApplyPatchToSlice(slice_, *patch);
+  if (!applied.ok()) {
+    ++stats_.patches_rejected;
+    return applied.status();
+  }
+  slice_ = std::move(*applied);
+  strategy_fp_ = patch->target_fp;
+  ++version_;
+  ++stats_.patches_applied;
+  return Status::Ok();
+}
 
 // ---------------------------------------------------------------------------
 // BtrRuntime
@@ -79,6 +139,115 @@ void BtrRuntime::Start(uint64_t periods) {
           break;
       }
     });
+  }
+}
+
+void BtrRuntime::ScheduleStrategyInstall(SimTime at,
+                                         std::shared_ptr<const StrategyUpdate> update,
+                                         NodeId distributor, InstallShipMode mode) {
+  assert(update != nullptr && update->base_slices.size() == nodes_.size() &&
+         update->slice_fps.size() == nodes_.size());
+  update_ = std::move(update);
+  install_distributor_ = distributor;
+  fallbacks_sent_.assign(nodes_.size(), 0);
+  ctx_.sim->At(at, [this, mode]() {
+    install_report_.started_at = ctx_.sim->Now();
+    // The base strategy was installed out of band before deployment (the
+    // paper's nodes boot with it on flash); seed the engines, no traffic.
+    for (auto& node : nodes_) {
+      node->EnsureBaseInstalled(*update_);
+    }
+    const size_t d = install_distributor_.value();
+    if (mode == InstallShipMode::kPatchSlices) {
+      nodes_[d]->ApplyLocalInstall(*update_);
+    } else {
+      nodes_[d]->InstallTargetSlice(*update_);
+    }
+    ShipNextInstall(0, mode);
+  });
+}
+
+SimDuration BtrRuntime::EstimateInstallTx(NodeId dst, uint32_t bytes) const {
+  const RoutingTable* routing = ctx_.network->routing();
+  if (routing == nullptr) {
+    return 0;
+  }
+  const Route& route = routing->RouteBetween(install_distributor_, dst);
+  if (route.empty()) {
+    return 0;
+  }
+  return ctx_.network->SerializationTime(route[0].link, install_distributor_,
+                                         TrafficClass::kControl, bytes);
+}
+
+void BtrRuntime::ShipNextInstall(uint32_t index, InstallShipMode mode) {
+  if (update_ == nullptr) {
+    return;
+  }
+  while (index < nodes_.size() && NodeId(index) == install_distributor_) {
+    ++index;
+  }
+  if (index >= nodes_.size()) {
+    return;
+  }
+  const NodeId dst(index);
+  uint32_t bytes = 0;
+  if (mode == InstallShipMode::kPatchSlices) {
+    auto msg = std::make_shared<StrategyPatchMessage>();
+    msg->patch = update_->patch_slices[index];
+    msg->base_fp = update_->base_fp;
+    msg->target_fp = update_->target_fp;
+    msg->distributor = install_distributor_;
+    bytes = static_cast<uint32_t>(msg->patch.size());
+    install_report_.patch_bytes_sent += bytes;
+    ctx_.network->Send(install_distributor_, dst, bytes, TrafficClass::kControl,
+                       std::move(msg));
+  } else {
+    // Naive baseline: the entire target blob to every node; the receiver
+    // carves out its own slice on arrival.
+    auto msg = std::make_shared<StrategyFullMessage>();
+    msg->slice = update_->target_blob;
+    msg->target_fp = update_->target_fp;
+    // The blob's content fingerprint is the target fingerprint itself.
+    msg->content_fp = update_->target_fp;
+    msg->distributor = install_distributor_;
+    bytes = static_cast<uint32_t>(msg->slice.size());
+    install_report_.full_bytes_sent += bytes;
+    ctx_.network->Send(install_distributor_, dst, bytes, TrafficClass::kControl,
+                       std::move(msg));
+  }
+  ctx_.sim->At(ctx_.sim->Now() + EstimateInstallTx(dst, bytes),
+               [this, index, mode]() { ShipNextInstall(index + 1, mode); });
+}
+
+void BtrRuntime::HandleInstallNack(NodeId from) {
+  if (update_ == nullptr || from.value() >= update_->full_slices.size()) {
+    return;
+  }
+  if (fallbacks_sent_[from.value()] >= kMaxInstallFallbacksPerNode) {
+    BTR_LOG(kWarning, "install")
+        << "node " << from.value() << " still nacking after "
+        << kMaxInstallFallbacksPerNode << " full-slice shipments; giving up on it";
+    return;
+  }
+  ++fallbacks_sent_[from.value()];
+  ++install_report_.fallbacks;
+  auto msg = std::make_shared<StrategyFullMessage>();
+  msg->slice = update_->full_slices[from.value()];
+  msg->target_fp = update_->target_fp;
+  msg->content_fp = update_->slice_fps[from.value()];
+  msg->distributor = install_distributor_;
+  const uint32_t bytes = static_cast<uint32_t>(msg->slice.size());
+  install_report_.full_bytes_sent += bytes;
+  ctx_.network->Send(install_distributor_, from, bytes, TrafficClass::kControl,
+                     std::move(msg));
+}
+
+void BtrRuntime::NotifyInstalled(NodeId node) {
+  (void)node;
+  ++install_report_.nodes_installed;
+  if (install_report_.nodes_installed == nodes_.size()) {
+    install_report_.completed_at = ctx_.sim->Now();
   }
 }
 
@@ -162,6 +331,7 @@ NodeRuntime::NodeRuntime(BtrRuntime* owner, const RuntimeContext& ctx, NodeId id
       signer_(signer),
       validator_(ctx.keys, ctx.workload, ctx.config.validation),
       arena_(std::move(arena)),
+      install_(id),
       blame_(ctx.config.blame_threshold, ctx.config.blame_window_periods) {
   plan_ = LookupPlan(ctx_, FaultSet());
   // Each node reads time through its own (periodically resynchronized)
@@ -853,9 +1023,115 @@ void NodeRuntime::OnPacket(const Packet& packet) {
       awaiting_state_.Erase(transfer.task.value());
       return;
     }
+    case PayloadKind::kStrategyPatch: {
+      HandleStrategyPatch(packet, static_cast<const StrategyPatchMessage&>(*packet.payload));
+      return;
+    }
+    case PayloadKind::kStrategyFull: {
+      HandleStrategyFull(packet, static_cast<const StrategyFullMessage&>(*packet.payload));
+      return;
+    }
+    case PayloadKind::kInstallNack: {
+      const auto& nack = static_cast<const InstallNackMessage&>(*packet.payload);
+      owner_->HandleInstallNack(nack.from);
+      return;
+    }
     case PayloadKind::kOther:
       return;  // foreign payload (baseline protocols, tests): not ours
   }
+}
+
+void NodeRuntime::EnsureBaseInstalled(const StrategyUpdate& update) {
+  if (install_.installed()) {
+    return;
+  }
+  const Status st = install_.InstallFull(update.base_slices[id_.value()], update.base_fp);
+  if (!st.ok()) {
+    BTR_LOG(kWarning, "install") << "node " << id_.value()
+                              << ": base slice install failed: " << st.ToString();
+  }
+}
+
+void NodeRuntime::ApplyLocalInstall(const StrategyUpdate& update) {
+  if (install_.strategy_fingerprint() == update.target_fp) {
+    return;
+  }
+  if (install_.ApplyPatch(update.patch_slices[id_.value()]).ok()) {
+    owner_->NotifyInstalled(id_);
+    return;
+  }
+  // Local fallback: the distributor holds the full slices already.
+  ++owner_->install_report_.fallbacks;
+  if (install_.InstallFull(update.full_slices[id_.value()], update.target_fp).ok()) {
+    owner_->NotifyInstalled(id_);
+  }
+}
+
+void NodeRuntime::HandleStrategyPatch(const Packet& packet, const StrategyPatchMessage& msg) {
+  install_.CountReceivedBytes(packet.size_bytes);
+  if (install_.strategy_fingerprint() == msg.target_fp) {
+    return;  // duplicate shipment; already on the target strategy
+  }
+  if (install_.ApplyPatch(msg.patch).ok()) {
+    owner_->NotifyInstalled(id_);
+    return;
+  }
+  // Verify-then-swap left the installed slice untouched; escalate to a
+  // full (non-delta) slice from the distributor.
+  SendInstallNack(msg.distributor, msg.target_fp);
+}
+
+void NodeRuntime::InstallTargetSlice(const StrategyUpdate& update) {
+  if (install_.strategy_fingerprint() == update.target_fp) {
+    return;
+  }
+  if (install_.InstallFull(update.full_slices[id_.value()], update.target_fp).ok()) {
+    owner_->NotifyInstalled(id_);
+  }
+}
+
+void NodeRuntime::HandleStrategyFull(const Packet& packet, const StrategyFullMessage& msg) {
+  install_.CountReceivedBytes(packet.size_bytes);
+  if (install_.strategy_fingerprint() == msg.target_fp) {
+    return;
+  }
+  // Content-verify the shipment before touching anything: the text's own
+  // SFP record chains to the parent blob, not to its own bytes, so a
+  // flipped table-row byte would otherwise survive structural validation.
+  if (FingerprintStrategyText(msg.slice) != msg.content_fp) {
+    SendInstallNack(msg.distributor, msg.target_fp);
+    return;
+  }
+  // The fallback path ships this node's slice; the naive full-blob
+  // baseline ships the whole strategy and the node carves its own slice.
+  const std::string* slice_text = &msg.slice;
+  std::string carved;
+  if (msg.slice.rfind("BTRSTRATEGY", 0) == 0) {
+    StatusOr<std::string> extracted = ExtractSlice(msg.slice, id_.value());
+    if (!extracted.ok()) {
+      SendInstallNack(msg.distributor, msg.target_fp);
+      return;
+    }
+    carved = std::move(*extracted);
+    slice_text = &carved;
+  }
+  const Status st = install_.InstallFull(*slice_text, msg.target_fp);
+  if (!st.ok()) {
+    // Content-verified, so this is not transit damage: the distributor's
+    // own slice does not chain to the target. Re-requesting cannot help.
+    BTR_LOG(kWarning, "install") << "node " << id_.value()
+                              << ": full-slice install refused: " << st.ToString();
+    return;
+  }
+  owner_->NotifyInstalled(id_);
+}
+
+void NodeRuntime::SendInstallNack(NodeId distributor, uint64_t target_fp) {
+  auto nack = NewPayload<InstallNackMessage>();
+  nack->from = id_;
+  nack->target_fp = target_fp;
+  ctx_.network->Send(id_, distributor, kInstallNackBytes, TrafficClass::kControl,
+                     std::move(nack));
 }
 
 void NodeRuntime::HandleOutputRecord(const Packet& packet, const OutputRecord& record) {

@@ -35,6 +35,7 @@
 #include "src/core/monitor.h"
 #include "src/core/plan.h"
 #include "src/core/planner.h"
+#include "src/core/strategy_patch.h"
 #include "src/crypto/keys.h"
 #include "src/net/network.h"
 #include "src/sim/clock.h"
@@ -94,6 +95,83 @@ struct ConvictionEvent {
 
 class NodeRuntime;
 
+// --- strategy install plane ------------------------------------------------
+
+struct InstallEngineStats {
+  uint64_t full_installs = 0;
+  uint64_t patches_applied = 0;
+  uint64_t patches_rejected = 0;
+  uint64_t bytes_received = 0;  // wire bytes of install payloads delivered
+};
+
+// Node-side installed-strategy state: the node's slice of the canonical
+// strategy text plus the fingerprint chain that pins which full blob it
+// belongs to. Every install is transactional (verify-then-swap): the new
+// slice is assembled and fingerprint-verified off to the side, and the
+// installed state is replaced only on success — any rejection leaves the
+// engine bit-identical (see StateFingerprint), so a corrupted or
+// wrong-base shipment can never strand a node on a half-applied strategy.
+class InstallEngine {
+ public:
+  InstallEngine() = default;
+  explicit InstallEngine(NodeId node) : node_(node) {}
+
+  bool installed() const { return !slice_.empty(); }
+  // Fingerprint of the full strategy blob the installed slice was carved
+  // from (the provenance chain's link to the next patch's BASE).
+  uint64_t strategy_fingerprint() const { return strategy_fp_; }
+  // Monotonic install counter (full installs + applied patches).
+  uint64_t version() const { return version_; }
+  const std::string& slice() const { return slice_; }
+  const InstallEngineStats& stats() const { return stats_; }
+
+  // Fingerprint over the installed-strategy state only (slice bytes, chain
+  // fingerprint, version); rejection diagnostics are excluded, so a
+  // refused install leaves it unchanged — the corruption tests assert
+  // exactly that.
+  uint64_t StateFingerprint() const;
+
+  // Replaces the installed slice wholesale (initial install or fallback).
+  // Verify-then-swap: the slice must validate structurally AND chain to
+  // `expected_sfp` (the fingerprint of the blob it claims to come from)
+  // before any state changes; a mismatch rejects with the engine
+  // bit-identical. Callers shipping the slice over the wire must content-
+  // verify the text first (see StrategyFullMessage::content_fp) — the
+  // SFP chain alone cannot detect a flipped table-row byte.
+  Status InstallFull(const std::string& slice_text, uint64_t expected_sfp);
+
+  // Applies a sliced BTRPATCH text against the installed slice. Fails
+  // without side effects unless the patch parses, chains to the installed
+  // fingerprint, and its applied result verifies against the patch's
+  // NSLICE fingerprint.
+  Status ApplyPatch(const std::string& patch_text);
+
+  void CountReceivedBytes(uint64_t bytes) { stats_.bytes_received += bytes; }
+
+ private:
+  NodeId node_;
+  std::string slice_;
+  uint64_t strategy_fp_ = 0;
+  uint64_t version_ = 0;
+  InstallEngineStats stats_;
+};
+
+// What a strategy rollout cost and achieved, aggregated by BtrRuntime.
+struct InstallRunReport {
+  SimTime started_at = kSimTimeNever;
+  SimTime completed_at = kSimTimeNever;  // when the last node reached the target
+  size_t nodes_installed = 0;            // nodes whose engine reached the target
+  size_t fallbacks = 0;                  // full-slice installs after a failed patch
+  uint64_t patch_bytes_sent = 0;         // wire bytes of patch shipments
+  uint64_t full_bytes_sent = 0;          // wire bytes of fallback shipments
+};
+
+// A nacking node gets at most this many full-slice re-shipments per
+// rollout; past that the distributor gives up on it (the node keeps its
+// base slice, nodes_installed stays short) instead of ping-ponging nacks
+// forever with a peer whose shipments are persistently corrupted.
+inline constexpr uint32_t kMaxInstallFallbacksPerNode = 3;
+
 // Shared, immutable-during-run context.
 struct RuntimeContext {
   Simulator* sim = nullptr;
@@ -122,6 +200,25 @@ class BtrRuntime {
   // manifestations. Call Simulator::RunToCompletion afterwards.
   void Start(uint64_t periods);
 
+  // How a rollout ships the target strategy: sliced patches (the delta
+  // path this subsystem exists for), or the entire target blob to every
+  // node (the naive pre-delta baseline, kept for cost comparisons).
+  enum class InstallShipMode { kPatchSlices, kFullBlob };
+
+  // Schedules a strategy rollout at simulated time `at`: every node's
+  // engine is seeded with its base slice (the pre-deployment install, no
+  // traffic), then `distributor` ships each other node its sliced patch
+  // over the network as control traffic; a node whose patch fails to
+  // verify nacks and receives its full slice instead. Shipments are paced
+  // at the first-hop serialization rate so a rollout queues at most one
+  // shipment deep in the distributor's control-class guardian instead of
+  // overflowing its bounded backlog. Dissemination cost and latency land
+  // in install_report() and the network stats.
+  void ScheduleStrategyInstall(SimTime at, std::shared_ptr<const StrategyUpdate> update,
+                               NodeId distributor,
+                               InstallShipMode mode = InstallShipMode::kPatchSlices);
+  const InstallRunReport& install_report() const { return install_report_; }
+
   const NodeStats& node_stats(NodeId node) const;
   NodeStats TotalStats() const;
   const std::vector<ConvictionEvent>& convictions() const { return convictions_; }
@@ -136,6 +233,16 @@ class BtrRuntime {
  private:
   friend class NodeRuntime;
   void RecordConviction(const ConvictionEvent& event);
+  // Install plane: node -> distributor escalation and completion tracking.
+  void HandleInstallNack(NodeId from);
+  void NotifyInstalled(NodeId node);
+  // Ships the rollout payload for node `index` (skipping the distributor)
+  // and chains the next shipment one serialization time later.
+  void ShipNextInstall(uint32_t index, InstallShipMode mode);
+  // First-hop serialization time of `bytes` from the distributor to `dst`
+  // under the current routing (0 if unreachable; pacing degrades to a
+  // burst, and the guardian backlog has the final say).
+  SimDuration EstimateInstallTx(NodeId dst, uint32_t bytes) const;
 
   RuntimeContext ctx_;
   // Freelist arena for message payloads, shared by every node runtime.
@@ -145,6 +252,13 @@ class BtrRuntime {
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   std::vector<ConvictionEvent> convictions_;
   uint64_t periods_ = 0;
+  // Active strategy rollout (install plane), if any.
+  std::shared_ptr<const StrategyUpdate> update_;
+  NodeId install_distributor_;
+  InstallRunReport install_report_;
+  // Per-node fallback shipments this rollout, capped at
+  // kMaxInstallFallbacksPerNode.
+  std::vector<uint32_t> fallbacks_sent_;
 };
 
 class NodeRuntime {
@@ -156,12 +270,22 @@ class NodeRuntime {
   const NodeStats& stats() const { return stats_; }
   const FaultSet& fault_set() const { return fault_set_; }
   const Plan* current_plan() const { return plan_; }
+  const InstallEngine& install_engine() const { return install_; }
 
   // Called by BtrRuntime at every period boundary.
   void BeginPeriod(uint64_t period);
 
   // Network delivery callback.
   void OnPacket(const Packet& packet);
+
+  // Install plane, called by BtrRuntime when a rollout starts: seeds the
+  // engine with this node's base slice (pre-deployment install), and runs
+  // the distributor's own install locally (no network hop for itself).
+  void EnsureBaseInstalled(const StrategyUpdate& update);
+  void ApplyLocalInstall(const StrategyUpdate& update);
+  // Direct full-slice install (distributor-local path of the full-blob
+  // baseline mode).
+  void InstallTargetSlice(const StrategyUpdate& update);
 
  private:
   struct ReceivedInput {
@@ -212,6 +336,12 @@ class NodeRuntime {
   void AdoptPlan(const Plan* plan, uint64_t at_period);
   void RequestMigrationState(const Plan* old_plan, const Plan* new_plan);
 
+  // --- strategy install plane ---
+  void HandleStrategyPatch(const Packet& packet, const StrategyPatchMessage& msg);
+  void HandleStrategyFull(const Packet& packet, const StrategyFullMessage& msg);
+  // Escalates a failed install shipment back to the distributor.
+  void SendInstallNack(NodeId distributor, uint64_t target_fp);
+
   bool StateReady(TaskId task) const;
 
   BtrRuntime* owner_;
@@ -222,6 +352,7 @@ class NodeRuntime {
   LocalClock clock_;
   std::shared_ptr<BlockPool> arena_;  // payload freelist (shared, see owner)
 
+  InstallEngine install_;               // installed-strategy state (install plane)
   const Plan* plan_ = nullptr;          // active plan
   const Plan* pending_plan_ = nullptr;  // adopted at next period boundary
   FaultSet fault_set_;

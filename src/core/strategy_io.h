@@ -23,6 +23,7 @@
 #include "src/common/status.h"
 #include "src/core/augment.h"
 #include "src/core/plan.h"
+#include "src/core/strategy_patch.h"
 #include "src/net/topology.h"
 
 namespace btr {
@@ -36,6 +37,31 @@ std::string SaveStrategy(const Strategy& strategy, const AugmentedGraph& graph,
 // Fails if the header's dimensions do not match `graph`/`topo`.
 StatusOr<Strategy> LoadStrategy(const std::string& text, const AugmentedGraph& graph,
                                 const Topology& topo);
+
+// --- install-plane records (see strategy_patch.h for the semantics) ------
+
+// Node `node`'s installable slice of the strategy: the blob's shared data
+// plus only that node's schedule-table rows, chained to the full blob by
+// its SFP fingerprint record.
+StatusOr<std::string> SaveStrategySlice(const Strategy& strategy, const AugmentedGraph& graph,
+                                        const Topology& topo, uint32_t node);
+
+// The PATCH record type: a versioned BTRPATCH text. BCOPY lines
+// re-reference installed plan bodies by id, BNEW blocks carry new/changed
+// bodies verbatim, BDEL/MSET/MDEL records retire bodies and rewire modes,
+// and the BASE/TARGET/NSLICE fingerprints chain the patch to the exact
+// base it applies to and the exact result it must produce.
+std::string SaveStrategyPatch(const StrategyPatch& patch);
+
+// Serializes the per-node restriction of a full patch (convenience for
+// MakeStrategyPatchSlice + SaveStrategyPatch).
+StatusOr<std::string> SaveStrategyPatchSlice(const StrategyPatch& patch, uint32_t node);
+
+// Strict parser for BTRPATCH texts. Rejects truncation, forged counts,
+// out-of-range ids/references, and any non-canonical encoding (the parsed
+// patch must re-serialize byte-identically, so every surviving bit flip is
+// caught here or by the apply-time fingerprint check).
+StatusOr<StrategyPatch> ParseStrategyPatch(const std::string& text);
 
 }  // namespace btr
 

@@ -50,6 +50,9 @@ enum class PayloadKind : uint8_t {
   kHeartbeat,
   kStateRequest,
   kStateTransfer,
+  kStrategyPatch,  // install plane: sliced strategy patch (delta install)
+  kStrategyFull,   // install plane: full node slice (fallback install)
+  kInstallNack,    // install plane: node requests the full slice
   kOther,  // test payloads, baseline protocols
 };
 

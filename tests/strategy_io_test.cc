@@ -172,6 +172,42 @@ TEST(StrategyIo, MalformedProvenanceRejected) {
   EXPECT_FALSE(loaded->provenance().present);
 }
 
+TEST(StrategyIo, ZeroDegradedModesRoundTrips) {
+  // f = 0: a strategy with zero degraded modes (only the fault-free plan).
+  // This edge was never round-tripped before; its exhaustive truncation
+  // sweep is what exposed that a blob missing only its final newline was
+  // accepted by the newline-insensitive token parser (the line-boundary /
+  // stride-7 sweep above happens to skip that cut).
+  Scenario scenario = MakeScadaScenario(4);
+  PlannerConfig config;
+  config.max_faults = 0;
+  Planner planner(&scenario.topology, &scenario.workload, config);
+  auto strategy = planner.BuildStrategy();
+  ASSERT_TRUE(strategy.ok()) << strategy.status().ToString();
+  EXPECT_EQ(strategy->mode_count(), 1u);
+
+  const std::string blob = SaveStrategy(*strategy, planner.graph(), scenario.topology);
+  auto loaded = LoadStrategy(blob, planner.graph(), scenario.topology);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->mode_count(), 1u);
+  EXPECT_TRUE(loaded->provenance().present);
+  EXPECT_EQ(loaded->provenance().max_faults, 0u);
+  EXPECT_EQ(SaveStrategy(*loaded, planner.graph(), scenario.topology), blob);
+
+  // The blob is small enough to sweep every byte: no strict prefix may
+  // load — including the blob minus its final newline.
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
+    EXPECT_FALSE(LoadStrategy(blob.substr(0, cut), planner.graph(), scenario.topology).ok())
+        << "truncation at byte " << cut << " loaded successfully";
+  }
+}
+
+TEST(StrategyIo, MissingFinalNewlineRejected) {
+  IoFixture f;
+  ASSERT_EQ(f.blob.back(), '\n');
+  EXPECT_FALSE(f.Load(f.blob.substr(0, f.blob.size() - 1)).ok());
+}
+
 TEST(StrategyIo, TrailingDataRejected) {
   IoFixture f;
   EXPECT_FALSE(f.Load(f.blob + "EXTRA 1 2 3\n").ok());
