@@ -14,13 +14,9 @@
 // BENCH_runtime.json.
 
 #include <cstring>
-#include <deque>
-#include <memory>
 
 #include "bench/bench_util.h"
-#include "src/core/strategy_builder.h"
 #include "src/core/strategy_delta.h"
-#include "src/core/strategy_io.h"
 #include "src/core/strategy_patch.h"
 
 namespace btr {
@@ -92,64 +88,71 @@ void Run() {
 
 // --- E7 install traffic: sliced patches vs full blob ----------------------
 
-struct InstallSystem {
-  Topology topo;
-  Dataflow workload{Milliseconds(10)};
-  std::unique_ptr<Planner> planner;
-};
-
 struct InstallMeasurement {
   uint64_t bytes_sent = 0;
   double install_ms = -1.0;
   size_t installed = 0;
   size_t fallbacks = 0;
+  size_t target_modes = 0;
+  size_t target_blob_bytes = 0;
+  double avg_patch = 0.0;
+  size_t max_patch = 0;
+  size_t nodes = 0;
 };
 
-// Runs one rollout over the simulated network and reports its cost. The
-// data plane executes the *old* strategy throughout — this measures
-// dissemination, not activation.
-InstallMeasurement SimulateInstall(const InstallSystem& sys, const Strategy& strategy,
-                                   const std::shared_ptr<const StrategyUpdate>& update,
-                                   BtrRuntime::InstallShipMode mode) {
+// One full lifecycle pass through the public API: plan, stage the edit
+// (ApplyDelta rebuilds incrementally and diffs to per-node patches), and
+// let Run replay the rollout over the simulated network. The data plane
+// executes the *old* strategy throughout the rollout run — this measures
+// dissemination, not activation. Each ship mode pays its own Plan +
+// Rebuild (Run commits the staged edit, so one system cannot roll the
+// same edit out twice); planning is deterministic, so both modes ship a
+// bit-identical StrategyUpdate.
+StatusOr<InstallMeasurement> SimulateInstall(const Scenario& base, const DeltaEdit& edit,
+                                             BtrRuntime::InstallShipMode mode) {
   BtrConfig config = DefaultBtrConfig(2, Milliseconds(500));
   // Heartbeats share the control class with install traffic; an unpaced
   // distributor burst would delay its own heartbeats into false omission
   // convictions (pacing is the dissemination-scheduling ROADMAP item).
   config.runtime.heartbeats = false;
 
-  Simulator sim(config.seed);
-  Network network(&sim, &sys.topo, config.planner.network);
-  Rng key_rng(config.seed ^ 0x5eedc0deULL);
-  KeyStore keys(sys.topo.node_count(), &key_rng);
-  AdversarySpec adversary;
-  Monitor monitor(&sys.workload, &strategy, &adversary, config.planner.recovery_bound);
-  RuntimeContext ctx;
-  ctx.sim = &sim;
-  ctx.network = &network;
-  ctx.topo = &sys.topo;
-  ctx.workload = &sys.workload;
-  ctx.graph = &sys.planner->graph();
-  ctx.strategy = &strategy;
-  ctx.planner = sys.planner.get();
-  ctx.keys = &keys;
-  ctx.adversary = &adversary;
-  ctx.monitor = &monitor;
-  ctx.config = config.runtime;
-  BtrRuntime runtime(ctx);
+  BtrSystem system(base, config);
+  Status planned = system.Plan();
+  if (!planned.ok()) {
+    return planned;
+  }
+  StrategyDelta delta;
+  delta.edits.push_back(edit);
+  const SimDuration period = system.scenario().workload.period();
+  Status staged = system.ApplyDelta(delta, 2 * period + 1, mode);
+  if (!staged.ok()) {
+    return staged;
+  }
+
+  InstallMeasurement m;
+  const StrategyUpdate* update = system.staged_update();
+  m.nodes = update->patch_slices.size();
+  m.target_blob_bytes = update->target_blob.size();
+  size_t sum_patch = 0;
+  for (const std::string& slice : update->patch_slices) {
+    m.max_patch = std::max(m.max_patch, slice.size());
+    sum_patch += slice.size();
+  }
+  m.avg_patch = static_cast<double>(sum_patch) / static_cast<double>(m.nodes);
+
   // Long enough that even the full-blob baseline (~0.8 s serialization per
   // 100 KB shipment on the distributor's control share) finishes.
-  runtime.Start(400);
-  const SimDuration period = sys.workload.period();
-  runtime.ScheduleStrategyInstall(2 * period + 1, update, NodeId(0), mode);
-  sim.RunToCompletion();
-
-  const InstallRunReport& report = runtime.install_report();
-  InstallMeasurement m;
-  m.bytes_sent = report.patch_bytes_sent + report.full_bytes_sent;
-  m.installed = report.nodes_installed;
-  m.fallbacks = report.fallbacks;
-  if (report.completed_at != kSimTimeNever) {
-    m.install_ms = static_cast<double>(report.completed_at - report.started_at) / 1e6;
+  auto report = system.Run(400);
+  if (!report.ok()) {
+    return report.status();
+  }
+  m.target_modes = system.strategy().mode_count();  // committed at run end
+  m.bytes_sent = report->install.patch_bytes_sent + report->install.full_bytes_sent;
+  m.installed = report->install.nodes_installed;
+  m.fallbacks = report->install.fallbacks;
+  if (report->install.completed_at != kSimTimeNever) {
+    m.install_ms =
+        static_cast<double>(report->install.completed_at - report->install.started_at) / 1e6;
   }
   return m;
 }
@@ -160,7 +163,7 @@ void RunInstall() {
 
   // The same 14-node / f=2 / 106-mode system as the incremental-replanning
   // bench, so the install rows compose with the planner_incremental rows:
-  // edit -> Rebuild (that bench) -> patch -> install (this one).
+  // edit -> Rebuild -> patch -> install, all through BtrSystem::ApplyDelta.
   Rng rng(42);
   RandomDagParams params;
   params.compute_nodes = 12;
@@ -168,28 +171,12 @@ void RunInstall() {
   params.tasks_per_layer = 4;
   params.period = Milliseconds(50);
 
-  PlannerConfig config;
-  config.max_faults = 2;
-
-  std::deque<InstallSystem> generations;
-  InstallSystem& base = generations.emplace_back();
+  Scenario base;
   {
     Rng scenario_rng = rng;
-    Scenario s = MakeRandomScenario(&scenario_rng, params);
-    base.topo = std::move(s.topology);
-    base.workload = std::move(s.workload);
+    base = MakeRandomScenario(&scenario_rng, params);
   }
-  base.topo.AddLink({NodeId(2), NodeId(3)}, 25'000'000, Microseconds(2), "flaplink");
-  base.planner = std::make_unique<Planner>(&base.topo, &base.workload, config);
-  StrategyBuilder builder(base.planner.get(), 0);
-  auto base_strategy = builder.Build();
-  if (!base_strategy.ok()) {
-    std::printf("install bench: base build failed: %s\n",
-                base_strategy.status().ToString().c_str());
-    return;
-  }
-  const std::string base_blob =
-      SaveStrategy(*base_strategy, base.planner->graph(), base.topo);
+  base.topology.AddLink({NodeId(2), NodeId(3)}, 25'000'000, Microseconds(2), "flaplink");
 
   struct Variant {
     const char* name;
@@ -207,55 +194,25 @@ void RunInstall() {
   Table table({"edit", "mode", "blob bytes", "bytes/node", "vs full blob", "install time",
                "installed", "fallbacks"});
   for (const Variant& variant : variants) {
-    StrategyDelta delta;
-    delta.edits.push_back(variant.edit);
-    InstallSystem& next = generations.emplace_back();
-    Status applied =
-        ApplyDelta(base.topo, base.workload, delta, &next.topo, &next.workload);
-    if (!applied.ok()) {
-      std::printf("install bench %s: %s\n", variant.name, applied.ToString().c_str());
+    auto patch = SimulateInstall(base, variant.edit, BtrRuntime::InstallShipMode::kPatchSlices);
+    auto blob = SimulateInstall(base, variant.edit, BtrRuntime::InstallShipMode::kFullBlob);
+    if (!patch.ok() || !blob.ok()) {
+      std::printf("install bench %s: %s\n", variant.name,
+                  (!patch.ok() ? patch.status() : blob.status()).ToString().c_str());
       continue;
     }
-    next.planner = std::make_unique<Planner>(&next.topo, &next.workload, config);
-    StrategyBuilder next_builder(next.planner.get(), 0);
-    auto target = next_builder.Rebuild(*base_strategy, *base.planner, delta);
-    if (!target.ok()) {
-      std::printf("install bench %s: rebuild failed: %s\n", variant.name,
-                  target.status().ToString().c_str());
-      continue;
-    }
-    const std::string target_blob = SaveStrategy(*target, next.planner->graph(), next.topo);
-    auto update = BuildStrategyUpdate(base_blob, target_blob);
-    if (!update.ok()) {
-      std::printf("install bench %s: %s\n", variant.name, update.status().ToString().c_str());
-      continue;
-    }
-    size_t max_patch = 0;
-    size_t sum_patch = 0;
-    for (const std::string& slice : update->patch_slices) {
-      max_patch = std::max(max_patch, slice.size());
-      sum_patch += slice.size();
-    }
-    const size_t n = update->patch_slices.size();
-    const double avg_patch = static_cast<double>(sum_patch) / static_cast<double>(n);
-    auto shared = std::make_shared<const StrategyUpdate>(std::move(*update));
 
-    const InstallMeasurement patch = SimulateInstall(
-        base, *base_strategy, shared, BtrRuntime::InstallShipMode::kPatchSlices);
-    const InstallMeasurement blob = SimulateInstall(
-        base, *base_strategy, shared, BtrRuntime::InstallShipMode::kFullBlob);
-
-    const double blob_bytes = static_cast<double>(target_blob.size());
+    const double blob_bytes = static_cast<double>(patch->target_blob_bytes);
     table.AddRow({std::string(variant.name), "patch slices", CellBytes(blob_bytes),
-                  CellBytes(avg_patch),
-                  CellDouble(100.0 * avg_patch / blob_bytes, 1) + " %",
-                  CellDouble(patch.install_ms, 2) + " ms",
-                  CellInt(static_cast<int64_t>(patch.installed)),
-                  CellInt(static_cast<int64_t>(patch.fallbacks))});
+                  CellBytes(patch->avg_patch),
+                  CellDouble(100.0 * patch->avg_patch / blob_bytes, 1) + " %",
+                  CellDouble(patch->install_ms, 2) + " ms",
+                  CellInt(static_cast<int64_t>(patch->installed)),
+                  CellInt(static_cast<int64_t>(patch->fallbacks))});
     table.AddRow({std::string(variant.name), "full blob", CellBytes(blob_bytes),
-                  CellBytes(blob_bytes), "100.0 %", CellDouble(blob.install_ms, 2) + " ms",
-                  CellInt(static_cast<int64_t>(blob.installed)),
-                  CellInt(static_cast<int64_t>(blob.fallbacks))});
+                  CellBytes(blob_bytes), "100.0 %", CellDouble(blob->install_ms, 2) + " ms",
+                  CellInt(static_cast<int64_t>(blob->installed)),
+                  CellInt(static_cast<int64_t>(blob->fallbacks))});
     std::printf(
         "BENCH_JSON {\"bench\":\"strategy_install\",\"preset\":\"e7\","
         "\"variant\":\"%s\",\"nodes\":%zu,\"modes\":%zu,\"full_blob_bytes\":%zu,"
@@ -263,11 +220,12 @@ void RunInstall() {
         "\"patch_vs_blob_ratio\":%.4f,\"patch_install_ms\":%.3f,"
         "\"full_blob_install_ms\":%.3f,\"patch_bytes_sent\":%llu,"
         "\"full_blob_bytes_sent\":%llu,\"patch_installed\":%zu,\"fallbacks\":%zu}\n",
-        variant.name, n, target->mode_count(), target_blob.size(), avg_patch, max_patch,
-        avg_patch / blob_bytes, patch.install_ms, blob.install_ms,
-        static_cast<unsigned long long>(patch.bytes_sent),
-        static_cast<unsigned long long>(blob.bytes_sent), patch.installed,
-        patch.fallbacks);
+        variant.name, patch->nodes, patch->target_modes, patch->target_blob_bytes,
+        patch->avg_patch, patch->max_patch, patch->avg_patch / blob_bytes,
+        patch->install_ms, blob->install_ms,
+        static_cast<unsigned long long>(patch->bytes_sent),
+        static_cast<unsigned long long>(blob->bytes_sent), patch->installed,
+        patch->fallbacks);
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf("(bytes/node = average install shipment per node over the simulated\n"

@@ -14,6 +14,7 @@
 
 #include "src/common/table.h"
 #include "src/core/btr_system.h"
+#include "src/spec/experiment_runner.h"
 #include "src/workload/generators.h"
 
 namespace btr {
@@ -43,33 +44,9 @@ inline NodeId PrimaryHostOf(const BtrSystem& system, const std::string& task_nam
 // Host of the primary of the most critical compute task, preferring hosts
 // that carry no pinned sensor/actuator (losing a sensor node sheds its flows
 // outright, which would make the recovery experiments trivially quiet).
+// Same resolution as a spec's FAULT node=critical-primary.
 inline NodeId MostCriticalPrimaryHost(const BtrSystem& system) {
-  const Dataflow& w = system.scenario().workload;
-  const Plan* root = system.strategy().Lookup(FaultSet());
-  std::set<NodeId> io_nodes;
-  for (const TaskSpec& t : w.tasks()) {
-    if (t.pinned_node.valid()) {
-      io_nodes.insert(t.pinned_node);
-    }
-  }
-  std::vector<TaskId> by_criticality = w.ComputeIds();
-  std::stable_sort(by_criticality.begin(), by_criticality.end(), [&w](TaskId a, TaskId b) {
-    return w.task(a).criticality > w.task(b).criticality;
-  });
-  NodeId fallback;
-  for (TaskId t : by_criticality) {
-    const NodeId host = root->placement()[system.planner().graph().PrimaryOf(t)];
-    if (!host.valid()) {
-      continue;
-    }
-    if (!fallback.valid()) {
-      fallback = host;
-    }
-    if (io_nodes.count(host) == 0) {
-      return host;
-    }
-  }
-  return fallback;
+  return ResolveCriticalPrimary(system);
 }
 
 }  // namespace btr

@@ -26,7 +26,7 @@ if [[ "${1:-}" == "--full" ]]; then
 fi
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-bench -j "$(nproc)" --target bench_sim_throughput bench_planner_scalability bench_plan_delta
+cmake --build build-bench -j "$(nproc)" --target bench_sim_throughput bench_planner_scalability bench_plan_delta example_btrsim
 
 OUT=BENCH_runtime.json
 ROWS=$(./build-bench/bench_sim_throughput "--preset=${PRESET}" "--reps=${REPS}" \
@@ -47,6 +47,20 @@ INSTALL_ROWS=$(./build-bench/bench_plan_delta --install-only \
 if [[ -n "${INSTALL_ROWS}" ]]; then
   ROWS="${ROWS},
     ${INSTALL_ROWS}"
+fi
+# Spec sweep row (E7 addendum): the declarative sweep runner expands
+# examples/specs/e7_sweep.btrx into seeded runs; its aggregate fingerprint
+# pins the whole experiments-as-data path (parse -> scenario -> lifecycle
+# -> report), so a silent behavior change in any layer shows up here.
+# btrsim exits nonzero when a run violates Definition 3.1 — that is an
+# experiment outcome, not a harness failure, so don't let pipefail kill
+# the script before the JSON is written; the row still records it.
+SWEEP_ROWS=$( (./build-bench/example_btrsim --spec examples/specs/e7_sweep.btrx || \
+  echo "spec sweep exited $? (Definition 3.1 violation or failed run)" >&2) \
+  | sed -n 's/^BENCH_JSON //p' | paste -sd, -)
+if [[ -n "${SWEEP_ROWS}" ]]; then
+  ROWS="${ROWS},
+    ${SWEEP_ROWS}"
 fi
 
 {

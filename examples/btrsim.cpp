@@ -1,24 +1,44 @@
 // btrsim — command-line driver for the BTR simulator.
 //
-//   btrsim [--scenario avionics|scada|convoy|random] [--nodes N] [--seed S]
-//          [--f F] [--recovery-ms R] [--periods P]
-//          [--fault BEHAVIOR] [--fault-node N] [--fault-at-ms T]
-//          [--analyze] [--save-strategy FILE] [--verbose]
+// Experiments are data: the primary interface is a .btrx experiment spec
+// (see README "Experiments as data" and examples/specs/):
 //
-// Examples:
+//   btrsim --spec examples/specs/avionics_flap.btrx
+//
+// A spec describes the whole lifecycle — scenario, BTR config, a timed
+// script of fault injections and mid-run system edits (incrementally
+// rebuilt and rolled out as sliced patches over the simulated network),
+// and optional parameter sweep axes, which btrsim expands into seeded
+// runs with a summary table.
+//
+// The classic flags still work and are sugar: they synthesize a
+// single-phase spec and run it through the same path. --dump-spec prints
+// the synthesized (or loaded) spec instead of running, so any flag
+// invocation can be frozen into a file:
+//
 //   btrsim --scenario scada --fault value-corruption --fault-at-ms 500
 //   btrsim --scenario avionics --f 2 --analyze
-//   btrsim --scenario random --seed 9 --periods 500
+//   btrsim --scenario random --seed 9 --periods 500 --dump-spec
+//
+//   btrsim [--spec FILE] [--scenario avionics|scada|convoy|random]
+//          [--nodes N] [--seed S] [--f F] [--recovery-ms R] [--periods P]
+//          [--fault BEHAVIOR] [--fault-node N] [--fault-at-ms T]
+//          [--fault-until-ms T] [--analyze] [--save-strategy FILE]
+//          [--dump-spec] [--verbose]
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "src/common/log.h"
+#include "src/common/table.h"
 #include "src/core/btr_system.h"
 #include "src/core/strategy_io.h"
+#include "src/spec/experiment_runner.h"
+#include "src/spec/experiment_spec.h"
 #include "src/workload/generators.h"
 
 namespace {
@@ -26,6 +46,7 @@ namespace {
 using namespace btr;
 
 struct Options {
+  std::optional<std::string> spec_file;
   std::string scenario = "avionics";
   size_t nodes = 6;
   uint64_t seed = 1;
@@ -35,42 +56,225 @@ struct Options {
   std::optional<std::string> fault;
   std::optional<uint32_t> fault_node;
   int64_t fault_at_ms = 200;
+  std::optional<int64_t> fault_until_ms;
   bool analyze = false;
   std::optional<std::string> save_strategy;
+  bool dump_spec = false;
   bool verbose = false;
 };
 
-std::optional<FaultBehavior> ParseBehavior(const std::string& name) {
-  const struct {
-    const char* name;
-    FaultBehavior behavior;
-  } table[] = {
-      {"crash", FaultBehavior::kCrash},
-      {"value-corruption", FaultBehavior::kValueCorruption},
-      {"omission", FaultBehavior::kOmission},
-      {"selective-omission", FaultBehavior::kSelectiveOmission},
-      {"delay", FaultBehavior::kDelay},
-      {"equivocate", FaultBehavior::kEquivocate},
-      {"evidence-flood", FaultBehavior::kEvidenceFlood},
-  };
-  for (const auto& entry : table) {
-    if (name == entry.name) {
-      return entry.behavior;
-    }
-  }
-  return std::nullopt;
-}
-
 int Usage(const char* argv0) {
   std::printf(
-      "usage: %s [--scenario avionics|scada|convoy|random] [--nodes N]\n"
+      "usage: %s [--spec FILE.btrx]\n"
+      "          [--scenario avionics|scada|convoy|random] [--nodes N]\n"
       "          [--seed S] [--f F] [--recovery-ms R] [--periods P]\n"
       "          [--fault crash|value-corruption|omission|selective-omission|\n"
       "                   delay|equivocate|evidence-flood]\n"
-      "          [--fault-node N] [--fault-at-ms T]\n"
-      "          [--analyze] [--save-strategy FILE] [--verbose]\n",
+      "          [--fault-node N] [--fault-at-ms T] [--fault-until-ms T]\n"
+      "          [--analyze] [--save-strategy FILE] [--dump-spec] [--verbose]\n",
       argv0);
   return 2;
+}
+
+// Flag sugar: the classic single-run flag set as an ExperimentSpec.
+StatusOr<ExperimentSpec> SynthesizeSpec(const Options& opts) {
+  ExperimentSpec spec;
+  spec.name = opts.scenario;
+  const auto kind = ParseScenarioKind(opts.scenario);
+  if (!kind.has_value() || *kind == SpecScenario::Kind::kInline) {
+    return Status::InvalidArgument("unknown scenario '" + opts.scenario + "'");
+  }
+  spec.scenario.kind = *kind;
+  if (*kind == SpecScenario::Kind::kRandom) {
+    spec.scenario.scenario_seed = opts.seed;
+  }
+  spec.scenario.nodes = opts.nodes;
+  spec.max_faults = opts.f;
+  spec.recovery_bound = Milliseconds(opts.recovery_ms);
+  spec.seed = opts.seed;
+
+  SpecPhase phase;
+  phase.periods = opts.periods;
+  if (opts.fault.has_value()) {
+    const auto behavior = ParseFaultBehavior(*opts.fault);
+    if (!behavior.has_value()) {
+      return Status::InvalidArgument("unknown fault behavior '" + *opts.fault + "'");
+    }
+    SpecFault fault;
+    fault.injection.behavior = *behavior;
+    fault.injection.manifest_at = Milliseconds(opts.fault_at_ms);
+    if (opts.fault_until_ms.has_value()) {
+      if (*opts.fault_until_ms <= opts.fault_at_ms) {
+        return Status::InvalidArgument("--fault-until-ms must be after --fault-at-ms");
+      }
+      fault.injection.until = Milliseconds(*opts.fault_until_ms);
+    }
+    if (opts.fault_node.has_value()) {
+      fault.injection.node = NodeId(*opts.fault_node);
+    } else {
+      // Default victim: host of the most critical compute task's primary.
+      fault.critical_primary = true;
+    }
+    if (*behavior == FaultBehavior::kDelay) {
+      // Half a period late, like the pre-spec CLI.
+      StatusOr<Scenario> scenario = BuildScenario(spec.scenario);
+      if (!scenario.ok()) {
+        return scenario.status();
+      }
+      fault.injection.delay = scenario->workload.period() / 2;
+    }
+    phase.faults.push_back(fault);
+  }
+  spec.phases.push_back(std::move(phase));
+  return spec;
+}
+
+void PrintPhaseReport(size_t phase, const RunReport& report) {
+  std::printf("\nphase %zu: %llu periods (%.2f s simulated, %llu events)\n", phase,
+              static_cast<unsigned long long>(report.periods),
+              ToSecondsF(report.simulated_time),
+              static_cast<unsigned long long>(report.events_executed));
+  const CorrectnessReport& c = report.correctness;
+  std::printf("sinks: %llu correct / %llu expected (%llu wrong, %llu late, %llu missing, "
+              "%llu shed)\n",
+              static_cast<unsigned long long>(c.correct_instances),
+              static_cast<unsigned long long>(c.total_instances),
+              static_cast<unsigned long long>(c.incorrect_value),
+              static_cast<unsigned long long>(c.incorrect_late),
+              static_cast<unsigned long long>(c.incorrect_missing),
+              static_cast<unsigned long long>(c.shed_instances));
+  for (const auto& fault : report.faults) {
+    std::printf("fault %s (%s): detection %+.2f ms, distribution %+.2f ms, "
+                "recovery %.2f ms\n",
+                ToString(fault.node).c_str(), FaultBehaviorName(fault.behavior),
+                ToMillisF(fault.detection_latency), ToMillisF(fault.distribution_latency),
+                ToMillisF(fault.recovery_time));
+  }
+  if (report.install.started_at != kSimTimeNever) {
+    const InstallRunReport& ir = report.install;
+    std::printf("rollout: %zu nodes installed, %llu patch B + %llu fallback B",
+                ir.nodes_installed,
+                static_cast<unsigned long long>(ir.patch_bytes_sent),
+                static_cast<unsigned long long>(ir.full_bytes_sent));
+    if (ir.completed_at != kSimTimeNever) {
+      std::printf(", done in %.2f ms", ToMillisF(ir.completed_at - ir.started_at));
+    }
+    std::printf(" (%zu fallbacks)\n", ir.fallbacks);
+  }
+}
+
+// Runs one expanded spec; returns the report or prints the failure.
+StatusOr<ExperimentReport> RunOne(const ExperimentSpec& spec, const Options& opts,
+                                  bool print_phases) {
+  ExperimentHooks hooks;
+  hooks.after_plan = [&](const BtrSystem& system) {
+    std::printf("%s: %zu nodes, %zu tasks, f=%u, R=%.0f ms -> %zu modes (%.1f KB/node)\n",
+                spec.name.c_str(), system.scenario().topology.node_count(),
+                system.scenario().workload.task_count(), spec.max_faults,
+                ToMillisF(spec.recovery_bound), system.strategy().mode_count(),
+                static_cast<double>(system.strategy().MemoryFootprintBytes()) / 1024.0);
+    if (opts.save_strategy.has_value()) {
+      std::ofstream out(*opts.save_strategy);
+      out << SaveStrategy(system.strategy(), system.planner().graph(),
+                          system.scenario().topology);
+      std::printf("strategy written to %s\n", opts.save_strategy->c_str());
+    }
+    if (opts.analyze) {
+      const TransitionAnalysis analysis = system.AnalyzeRecoveryBound();
+      std::printf("offline analysis: worst transition %.1f ms (detection bound %.1f ms)"
+                  " -> %s\n",
+                  ToMillisF(analysis.worst_total), ToMillisF(analysis.detection_bound),
+                  analysis.fits_recovery_bound ? "R is guaranteed" : "R is NOT guaranteed");
+      if (const TransitionBound* worst = analysis.Worst()) {
+        std::printf("  worst case entering mode %s: spread %.1f + boundary %.1f + "
+                    "transfer %.1f + settle %.1f ms\n",
+                    worst->to.ToString().c_str(), ToMillisF(worst->evidence_spread),
+                    ToMillisF(worst->boundary_wait), ToMillisF(worst->state_transfer),
+                    ToMillisF(worst->settle));
+      }
+    }
+  };
+  if (print_phases) {
+    hooks.after_phase = [](size_t phase, const BtrSystem&, const RunReport& report) {
+      PrintPhaseReport(phase, report);
+    };
+  }
+  auto report = RunExperiment(spec, hooks);
+  if (!report.ok()) {
+    std::printf("experiment failed: %s\n", report.status().ToString().c_str());
+  }
+  return report;
+}
+
+bool AnyViolation(const ExperimentReport& report) {
+  for (const RunReport& phase : report.phases) {
+    if (phase.correctness.btr_violated) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Sweep runner: expands the spec's axes, runs every combination, prints a
+// summary table, and emits one BENCH_JSON row (aggregate throughput +
+// combined fingerprint) that ci/run_benches.sh folds into
+// BENCH_runtime.json.
+int RunSweep(const ExperimentSpec& spec, const Options& opts) {
+  if (opts.analyze || opts.save_strategy.has_value()) {
+    std::printf("note: --analyze and --save-strategy apply to single runs and are "
+                "ignored in sweep mode\n");
+  }
+  const std::vector<ExperimentSpec> expanded = ExpandSweeps(spec);
+  std::printf("sweep: %zu runs\n\n", expanded.size());
+  Table table({"run", "modes", "correct/expected", "worst recovery", "R", "fingerprint"});
+  uint64_t combined_fp = 0;
+  uint64_t total_events = 0;
+  int failures = 0;
+  for (const ExperimentSpec& one : expanded) {
+    size_t modes = 0;
+    ExperimentHooks hooks;
+    hooks.after_plan = [&modes](const BtrSystem& system) {
+      modes = system.strategy().mode_count();
+    };
+    auto report = RunExperiment(one, hooks);
+    if (!report.ok()) {
+      std::printf("%s failed: %s\n", one.name.c_str(),
+                  report.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    uint64_t correct = 0;
+    uint64_t expected = 0;
+    SimDuration worst_recovery = 0;
+    bool violated = false;
+    for (const RunReport& phase : report->phases) {
+      correct += phase.correctness.correct_instances;
+      expected += phase.correctness.total_instances;
+      worst_recovery = std::max(worst_recovery, phase.correctness.max_recovery);
+      violated = violated || phase.correctness.btr_violated;
+      total_events += phase.events_executed;
+    }
+    const uint64_t fp = FingerprintExperimentReport(*report);
+    combined_fp = combined_fp * 1099511628211ULL ^ fp;
+    char fp_hex[32];
+    std::snprintf(fp_hex, sizeof(fp_hex), "%016llx", static_cast<unsigned long long>(fp));
+    table.AddRow({one.name, std::to_string(modes),
+                  std::to_string(correct) + "/" + std::to_string(expected),
+                  CellDouble(ToMillisF(worst_recovery), 2) + " ms",
+                  violated ? "VIOLATED" : "holds", fp_hex});
+    if (violated) {
+      ++failures;
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  // The row identifies itself by spec name (unlike the bench binaries,
+  // sweeps have no --preset; the spec is the preset).
+  std::printf(
+      "BENCH_JSON {\"bench\":\"spec_sweep\",\"spec\":\"%s\",\"runs\":%zu,"
+      "\"events\":%llu,\"fingerprint\":\"%016llx\"}\n",
+      spec.name.c_str(), expanded.size(), static_cast<unsigned long long>(total_events),
+      static_cast<unsigned long long>(combined_fp));
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -86,7 +290,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--scenario") {
+    if (arg == "--spec") {
+      opts.spec_file = next("--spec");
+    } else if (arg == "--scenario") {
       opts.scenario = next("--scenario");
     } else if (arg == "--nodes") {
       opts.nodes = static_cast<size_t>(std::atoll(next("--nodes")));
@@ -104,10 +310,14 @@ int main(int argc, char** argv) {
       opts.fault_node = static_cast<uint32_t>(std::atoi(next("--fault-node")));
     } else if (arg == "--fault-at-ms") {
       opts.fault_at_ms = std::atoll(next("--fault-at-ms"));
+    } else if (arg == "--fault-until-ms") {
+      opts.fault_until_ms = std::atoll(next("--fault-until-ms"));
     } else if (arg == "--analyze") {
       opts.analyze = true;
     } else if (arg == "--save-strategy") {
       opts.save_strategy = next("--save-strategy");
+    } else if (arg == "--dump-spec") {
+      opts.dump_spec = true;
     } else if (arg == "--verbose") {
       opts.verbose = true;
     } else {
@@ -118,115 +328,48 @@ int main(int argc, char** argv) {
     SetLogLevel(LogLevel::kInfo);
   }
 
-  Scenario scenario;
-  if (opts.scenario == "avionics") {
-    scenario = MakeAvionicsScenario(opts.nodes);
-  } else if (opts.scenario == "scada") {
-    scenario = MakeScadaScenario(opts.nodes);
-  } else if (opts.scenario == "convoy") {
-    scenario = MakeConvoyScenario(std::max<size_t>(opts.nodes / 2, 2));
-  } else if (opts.scenario == "random") {
-    Rng rng(opts.seed);
-    RandomDagParams params;
-    params.compute_nodes = opts.nodes;
-    scenario = MakeRandomScenario(&rng, params);
-  } else {
-    return Usage(argv[0]);
-  }
-
-  BtrConfig config;
-  config.planner.max_faults = opts.f;
-  config.planner.recovery_bound = Milliseconds(opts.recovery_ms);
-  config.seed = opts.seed;
-
-  BtrSystem system(scenario, config);
-  const Status plan_status = system.Plan();
-  if (!plan_status.ok()) {
-    std::printf("planning failed: %s\n", plan_status.ToString().c_str());
-    return 1;
-  }
-  std::printf("%s: %zu nodes, %zu tasks, f=%u, R=%lld ms -> %zu modes (%.1f KB/node)\n",
-              opts.scenario.c_str(), system.scenario().topology.node_count(),
-              system.scenario().workload.task_count(), opts.f,
-              static_cast<long long>(opts.recovery_ms), system.strategy().mode_count(),
-              static_cast<double>(system.strategy().MemoryFootprintBytes()) / 1024.0);
-
-  if (opts.save_strategy.has_value()) {
-    std::ofstream out(*opts.save_strategy);
-    out << SaveStrategy(system.strategy(), system.planner().graph(),
-                        system.scenario().topology);
-    std::printf("strategy written to %s\n", opts.save_strategy->c_str());
-  }
-
-  if (opts.analyze) {
-    const TransitionAnalysis analysis = system.AnalyzeRecoveryBound();
-    std::printf("offline analysis: worst transition %.1f ms (detection bound %.1f ms) -> %s\n",
-                ToMillisF(analysis.worst_total), ToMillisF(analysis.detection_bound),
-                analysis.fits_recovery_bound ? "R is guaranteed" : "R is NOT guaranteed");
-    if (const TransitionBound* worst = analysis.Worst()) {
-      std::printf("  worst case entering mode %s: spread %.1f + boundary %.1f + "
-                  "transfer %.1f + settle %.1f ms\n",
-                  worst->to.ToString().c_str(), ToMillisF(worst->evidence_spread),
-                  ToMillisF(worst->boundary_wait), ToMillisF(worst->state_transfer),
-                  ToMillisF(worst->settle));
+  ExperimentSpec spec;
+  if (opts.spec_file.has_value()) {
+    std::ifstream in(*opts.spec_file);
+    if (!in) {
+      std::printf("cannot read %s\n", opts.spec_file->c_str());
+      return 1;
     }
-  }
-
-  if (opts.fault.has_value()) {
-    const auto behavior = ParseBehavior(*opts.fault);
-    if (!behavior.has_value()) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = ParseExperimentSpec(buffer.str());
+    if (!parsed.ok()) {
+      std::printf("%s: %s\n", opts.spec_file->c_str(),
+                  parsed.status().ToString().c_str());
+      return 1;
+    }
+    spec = std::move(parsed).value();
+  } else {
+    auto synthesized = SynthesizeSpec(opts);
+    if (!synthesized.ok()) {
+      std::printf("%s\n", synthesized.status().ToString().c_str());
       return Usage(argv[0]);
     }
-    NodeId victim;
-    if (opts.fault_node.has_value()) {
-      victim = NodeId(*opts.fault_node);
-    } else {
-      // Default victim: host of the most critical compute task's primary.
-      const Dataflow& w = system.scenario().workload;
-      TaskId target;
-      for (TaskId t : w.ComputeIds()) {
-        if (!target.valid() || w.task(t).criticality > w.task(target).criticality) {
-          target = t;
-        }
-      }
-      victim = system.strategy().Lookup(FaultSet())->placement()[system.planner().graph()
-                                                                   .PrimaryOf(target)];
-    }
-    FaultInjection injection;
-    injection.node = victim;
-    injection.manifest_at = Milliseconds(opts.fault_at_ms);
-    injection.behavior = *behavior;
-    injection.delay = system.scenario().workload.period() / 2;
-    system.AddFault(injection);
-    std::printf("fault: %s on %s at %lld ms\n", opts.fault->c_str(),
-                ToString(victim).c_str(), static_cast<long long>(opts.fault_at_ms));
+    spec = std::move(synthesized).value();
   }
 
-  auto report = system.Run(opts.periods);
+  if (opts.dump_spec) {
+    std::printf("%s", SerializeExperimentSpec(spec).c_str());
+    return 0;
+  }
+
+  if (!spec.sweeps.empty()) {
+    return RunSweep(spec, opts);
+  }
+
+  auto report = RunOne(spec, opts, /*print_phases=*/true);
   if (!report.ok()) {
-    std::printf("run failed: %s\n", report.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nran %llu periods (%.2f s simulated, %llu events)\n",
-              static_cast<unsigned long long>(report->periods),
-              ToSecondsF(report->simulated_time),
-              static_cast<unsigned long long>(report->events_executed));
-  const CorrectnessReport& c = report->correctness;
-  std::printf("sinks: %llu correct / %llu expected (%llu wrong, %llu late, %llu missing, "
-              "%llu shed)\n",
-              static_cast<unsigned long long>(c.correct_instances),
-              static_cast<unsigned long long>(c.total_instances),
-              static_cast<unsigned long long>(c.incorrect_value),
-              static_cast<unsigned long long>(c.incorrect_late),
-              static_cast<unsigned long long>(c.incorrect_missing),
-              static_cast<unsigned long long>(c.shed_instances));
-  for (const auto& fault : report->faults) {
-    std::printf("fault %s (%s): detection %+.2f ms, distribution %+.2f ms, recovery %.2f ms\n",
-                ToString(fault.node).c_str(), FaultBehaviorName(fault.behavior),
-                ToMillisF(fault.detection_latency), ToMillisF(fault.distribution_latency),
-                ToMillisF(fault.recovery_time));
-  }
-  std::printf("Definition 3.1 (R = %lld ms): %s\n", static_cast<long long>(opts.recovery_ms),
-              c.btr_violated ? "VIOLATED" : "holds");
-  return c.btr_violated ? 1 : 0;
+  const bool violated = AnyViolation(*report);
+  std::printf("\nDefinition 3.1 (R = %.0f ms): %s\n", ToMillisF(spec.recovery_bound),
+              violated ? "VIOLATED" : "holds");
+  std::printf("experiment fingerprint: %016llx\n",
+              static_cast<unsigned long long>(FingerprintExperimentReport(*report)));
+  return violated ? 1 : 0;
 }

@@ -4,7 +4,9 @@
 //   $ ./build/examples/quickstart
 //
 // This is the 60-second tour of the public API: Scenario -> BtrConfig ->
-// BtrSystem -> Plan() -> AddFault() -> Run() -> RunReport.
+// BtrSystem -> Plan() -> AddFault() -> Run() -> RunReport. The same
+// experiment as data — a .btrx spec instead of C++ — is
+// quickstart_spec.cpp; see README "Experiments as data".
 
 #include <cstdio>
 

@@ -1,0 +1,41 @@
+// Quickstart, experiments-as-data edition: the same shape of avionics
+// experiment as quickstart.cpp — plan, compromise a critical compute host
+// at t = 200 ms, run 200 periods — but described as a .btrx spec instead
+// of C++ calls. A spec-driven run is bit-identical to the same script
+// assembled through the raw API (pinned by tests/spec_test.cc).
+//
+//   $ ./build/examples/quickstart_spec
+
+#include <cstdio>
+
+#include "src/spec/experiment_runner.h"
+#include "src/spec/experiment_spec.h"
+
+int main() {
+  using namespace btr;
+  const std::string btrx =
+      "BTRX 1\n"
+      "NAME quickstart\n"
+      "SCENARIO avionics nodes=6\n"
+      "CONFIG f=1 recovery-us=500000 seed=42\n"
+      "PHASE periods=200\n"
+      "FAULT node=critical-primary at-us=200000 behavior=value-corruption\n"
+      "END\n";
+  auto spec = ParseExperimentSpec(btrx);
+  if (!spec.ok()) {
+    std::printf("parse failed: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  auto report = RunExperiment(*spec);
+  if (!report.ok()) {
+    std::printf("run failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  const RunReport& run = report->phases[0];
+  const RunReport::FaultOutcome& fault = run.faults[0];
+  std::printf("detected after %.2f ms; incorrect outputs for %.2f ms (R = 500 ms); "
+              "BTR %s\n",
+              ToMillisF(fault.detection_latency), ToMillisF(run.correctness.max_recovery),
+              run.correctness.btr_violated ? "VIOLATED" : "holds");
+  return run.correctness.btr_violated ? 1 : 0;
+}

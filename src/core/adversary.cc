@@ -24,6 +24,16 @@ const char* FaultBehaviorName(FaultBehavior b) {
   return "?";
 }
 
+std::optional<FaultBehavior> ParseFaultBehavior(std::string_view name) {
+  for (int i = 0; i < kFaultBehaviorCount; ++i) {
+    const FaultBehavior b = static_cast<FaultBehavior>(i);
+    if (name == FaultBehaviorName(b)) {
+      return b;
+    }
+  }
+  return std::nullopt;
+}
+
 SimTime AdversarySpec::ManifestTime(NodeId node) const {
   SimTime earliest = kSimTimeNever;
   for (const FaultInjection& inj : injections_) {

@@ -9,6 +9,8 @@
 #ifndef BTR_SRC_CORE_ADVERSARY_H_
 #define BTR_SRC_CORE_ADVERSARY_H_
 
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "src/common/types.h"
@@ -24,8 +26,12 @@ enum class FaultBehavior : int {
   kEquivocate = 5,       // send different values to different receivers
   kEvidenceFlood = 6,    // spam bogus evidence records (DoS on verification)
 };
+inline constexpr int kFaultBehaviorCount = 7;
 
 const char* FaultBehaviorName(FaultBehavior b);
+// Inverse of FaultBehaviorName; nullopt for an unknown name. The round-trip
+// over all kFaultBehaviorCount values is pinned by tests/adversary_test.cc.
+std::optional<FaultBehavior> ParseFaultBehavior(std::string_view name);
 
 struct FaultInjection {
   NodeId node;
@@ -37,6 +43,11 @@ struct FaultInjection {
   NodeId target;
   // kEvidenceFlood: bogus records per period.
   uint32_t flood_rate = 8;
+  // The injection is active on [manifest_at, until); kSimTimeNever = the
+  // node never heals (the default, and the only behavior before transient
+  // faults existed). A healed node resumes honest execution, but any
+  // conviction it already drew is permanent (fault sets are append-only).
+  SimTime until = kSimTimeNever;
 };
 
 // Per-run adversary script: which nodes fall when, and how they misbehave.
@@ -53,7 +64,7 @@ class AdversarySpec {
   const FaultInjection* ActiveOn(NodeId node, SimTime now) const {
     const FaultInjection* best = nullptr;
     for (const FaultInjection& inj : injections_) {
-      if (inj.node != node || inj.manifest_at > now) {
+      if (inj.node != node || inj.manifest_at > now || inj.until <= now) {
         continue;
       }
       // Latest manifested injection wins (allows escalation scripts).

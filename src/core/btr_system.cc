@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <utility>
 
 #include "src/common/hash.h"
+#include "src/core/strategy_builder.h"
+#include "src/core/strategy_io.h"
 #include "src/crypto/keys.h"
 #include "src/net/network.h"
 #include "src/sim/simulator.h"
@@ -58,6 +61,15 @@ std::string SerializeRunReport(const RunReport& report) {
          f.node.value(), static_cast<int>(f.behavior), f.first_conviction, f.last_conviction,
          f.detection_latency, f.distribution_latency, f.recovery_time);
   }
+  // Only rollout runs carry an install section, so pre-lifecycle
+  // fingerprints of plain runs are unchanged.
+  if (report.install.started_at != kSimTimeNever) {
+    const InstallRunReport& ir = report.install;
+    line("install started=%" PRId64 " completed=%" PRId64 " installed=%zu fallbacks=%zu"
+         " patch_bytes=%" PRIu64 " full_bytes=%" PRIu64,
+         ir.started_at, ir.completed_at, ir.nodes_installed, ir.fallbacks,
+         ir.patch_bytes_sent, ir.full_bytes_sent);
+  }
   return out;
 }
 
@@ -66,17 +78,17 @@ uint64_t FingerprintRunReport(const RunReport& report) {
 }
 
 BtrSystem::BtrSystem(Scenario scenario, BtrConfig config)
-    : scenario_(std::move(scenario)), config_(config) {
-  planner_ = std::make_unique<Planner>(&scenario_.topology, &scenario_.workload,
+    : scenario_(std::make_unique<Scenario>(std::move(scenario))), config_(config) {
+  planner_ = std::make_unique<Planner>(&scenario_->topology, &scenario_->workload,
                                        config_.planner);
 }
 
 Status BtrSystem::Plan() {
-  Status topo_ok = scenario_.topology.Validate();
+  Status topo_ok = scenario_->topology.Validate();
   if (!topo_ok.ok()) {
     return topo_ok;
   }
-  Status workload_ok = scenario_.workload.Validate();
+  Status workload_ok = scenario_->workload.Validate();
   if (!workload_ok.ok()) {
     return workload_ok;
   }
@@ -92,12 +104,78 @@ Status BtrSystem::Plan() {
 
 void BtrSystem::AddFault(const FaultInjection& injection) { adversary_.Add(injection); }
 
+Status BtrSystem::ApplyDelta(const StrategyDelta& delta, SimTime rollout_at,
+                             BtrRuntime::InstallShipMode ship_mode) {
+  if (!planned_) {
+    return Status::FailedPrecondition("call Plan() before ApplyDelta()");
+  }
+  if (delta.empty()) {
+    return Status::InvalidArgument("ApplyDelta: delta has no edits");
+  }
+  if (staged_ != nullptr) {
+    CommitStaged();
+  }
+
+  auto next = std::make_unique<Scenario>();
+  next->name = scenario_->name;
+  Status applied = ::btr::ApplyDelta(scenario_->topology, scenario_->workload, delta,
+                                     &next->topology, &next->workload);
+  if (!applied.ok()) {
+    return applied;
+  }
+  auto next_planner =
+      std::make_unique<Planner>(&next->topology, &next->workload, config_.planner);
+  StrategyBuilder builder(next_planner.get(), config_.planner.planner_threads);
+  StatusOr<Strategy> rebuilt = builder.Rebuild(strategy_, *planner_, delta);
+  if (!rebuilt.ok()) {
+    return rebuilt.status();
+  }
+
+  auto staged = std::make_unique<StagedDelta>();
+  staged->rollout_at = rollout_at;
+  staged->ship_mode = ship_mode;
+  if (rollout_at != kNoRollout) {
+    // Diff deployed vs rebuilt into the rollout's shipment set. The blobs
+    // are canonical serialized text, so the patches are provably minimal
+    // and chained by content fingerprint (see strategy_patch.h).
+    const std::string base_blob = SaveStrategy(strategy_, planner_->graph(),
+                                               scenario_->topology);
+    const std::string target_blob =
+        SaveStrategy(*rebuilt, next_planner->graph(), next->topology);
+    StatusOr<StrategyUpdate> update = BuildStrategyUpdate(base_blob, target_blob);
+    if (!update.ok()) {
+      return update.status();
+    }
+    staged->update = std::make_shared<const StrategyUpdate>(std::move(*update));
+  }
+  staged->scenario = std::move(next);
+  staged->planner = std::move(next_planner);
+  staged->strategy = std::move(rebuilt).value();
+  staged_ = std::move(staged);
+  if (rollout_at == kNoRollout) {
+    CommitStaged();
+  }
+  return Status::Ok();
+}
+
+const StrategyUpdate* BtrSystem::staged_update() const {
+  return staged_ != nullptr ? staged_->update.get() : nullptr;
+}
+
+void BtrSystem::CommitStaged() {
+  scenario_ = std::move(staged_->scenario);
+  planner_ = std::move(staged_->planner);
+  strategy_ = std::move(staged_->strategy);
+  strategy_index_ = StrategyIndex(strategy_);
+  staged_.reset();
+}
+
 TransitionAnalysis BtrSystem::AnalyzeRecoveryBound() const {
   TransitionAnalysisConfig config;
   config.network = config_.planner.network;
-  config.period = scenario_.workload.period();
+  config.period = scenario_->workload.period();
   config.recovery_bound = config_.planner.recovery_bound;
-  return AnalyzeTransitions(strategy_, planner_->graph(), scenario_.topology, config);
+  return AnalyzeTransitions(strategy_, planner_->graph(), scenario_->topology, config);
 }
 
 StatusOr<RunReport> BtrSystem::Run(uint64_t periods) {
@@ -105,24 +183,24 @@ StatusOr<RunReport> BtrSystem::Run(uint64_t periods) {
     return Status::FailedPrecondition("call Plan() before Run()");
   }
   for (const FaultInjection& inj : adversary_.injections()) {
-    if (!inj.node.valid() || inj.node.value() >= scenario_.topology.node_count()) {
+    if (!inj.node.valid() || inj.node.value() >= scenario_->topology.node_count()) {
       return Status::InvalidArgument("fault injection on unknown node");
     }
   }
 
   Simulator sim(config_.seed);
-  Network network(&sim, &scenario_.topology, config_.planner.network);
+  Network network(&sim, &scenario_->topology, config_.planner.network);
   Rng key_rng(config_.seed ^ 0x5eedc0deULL);
-  KeyStore keys(scenario_.topology.node_count(), &key_rng);
-  Monitor monitor(&scenario_.workload, &strategy_, &adversary_,
+  KeyStore keys(scenario_->topology.node_count(), &key_rng);
+  Monitor monitor(&scenario_->workload, &strategy_, &adversary_,
                   config_.planner.recovery_bound);
-  monitor.ReserveObservations(periods * scenario_.workload.SinkIds().size());
+  monitor.ReserveObservations(periods * scenario_->workload.SinkIds().size());
 
   RuntimeContext ctx;
   ctx.sim = &sim;
   ctx.network = &network;
-  ctx.topo = &scenario_.topology;
-  ctx.workload = &scenario_.workload;
+  ctx.topo = &scenario_->topology;
+  ctx.workload = &scenario_->workload;
   ctx.graph = &planner_->graph();
   ctx.strategy = &strategy_;
   ctx.strategy_index = &strategy_index_;
@@ -134,6 +212,27 @@ StatusOr<RunReport> BtrSystem::Run(uint64_t periods) {
 
   BtrRuntime runtime(ctx);
   runtime.Start(periods);
+  if (staged_ != nullptr && staged_->update != nullptr) {
+    // Replay the staged edit's dissemination over the control class while
+    // the data plane keeps executing the deployed (pre-edit) strategy.
+    // Distributor: the lowest-id node with no registered injection — a
+    // compromised distributor's shipments would be discarded by every node
+    // that convicted it, so a rollout with no honest candidate is refused
+    // rather than silently shipped into the void.
+    NodeId distributor;
+    for (uint32_t n = 0; n < scenario_->topology.node_count(); ++n) {
+      if (adversary_.ManifestTime(NodeId(n)) == kSimTimeNever) {
+        distributor = NodeId(n);
+        break;
+      }
+    }
+    if (!distributor.valid()) {
+      return Status::FailedPrecondition(
+          "staged rollout needs a distributor with no registered fault injection");
+    }
+    runtime.ScheduleStrategyInstall(staged_->rollout_at, staged_->update, distributor,
+                                    staged_->ship_mode);
+  }
   sim.RunToCompletion();
 
   RunReport report;
@@ -143,7 +242,8 @@ StatusOr<RunReport> BtrSystem::Run(uint64_t periods) {
   report.correctness = monitor.Evaluate(periods);
   report.network = network.stats();
   report.total_node_stats = runtime.TotalStats();
-  for (size_t n = 0; n < scenario_.topology.node_count(); ++n) {
+  report.install = runtime.install_report();
+  for (size_t n = 0; n < scenario_->topology.node_count(); ++n) {
     report.per_node.push_back(runtime.node_stats(NodeId(static_cast<uint32_t>(n))));
   }
 
@@ -173,6 +273,11 @@ StatusOr<RunReport> BtrSystem::Run(uint64_t periods) {
       }
     }
     report.faults.push_back(outcome);
+  }
+  if (staged_ != nullptr) {
+    // The rollout has been disseminated; the edited system takes over at
+    // the deployment boundary this run's end represents.
+    CommitStaged();
   }
   return report;
 }

@@ -1,5 +1,9 @@
 // BtrSystem: the library's top-level facade and primary public API.
 //
+// The paper's bounded-time recovery is a *lifecycle*, not a one-shot build:
+// plan offline, deploy, run, and keep the strategy current as the platform
+// itself is edited. BtrSystem covers the whole loop:
+//
 //   Scenario scenario = MakeAvionicsScenario();
 //   BtrConfig config;
 //   config.planner.max_faults = 1;
@@ -8,7 +12,20 @@
 //   ASSERT_OK(system.Plan());                       // offline strategy
 //   system.AddFault({node, Seconds(1), FaultBehavior::kValueCorruption});
 //   RunReport report = system.Run(1000).value();    // simulate 1000 periods
-//   // report.correctness.btr_violated, report.faults[i].detection_latency...
+//
+//   // The platform changes mid-deployment: stage an edit. The strategy is
+//   // incrementally rebuilt (StrategyBuilder::Rebuild) and diffed into
+//   // per-node patches; the next Run() replays their dissemination over
+//   // the simulated network at t = 20ms and commits the rebuilt strategy
+//   // when it returns, so the run after that executes the edited system.
+//   StrategyDelta delta;
+//   delta.edits.push_back(DeltaEdit::LinkRemove("backboneB"));
+//   ASSERT_OK(system.ApplyDelta(delta, Milliseconds(20)));
+//   RunReport rollout = system.Run(200).value();    // rollout.install has cost
+//   RunReport after = system.Run(200).value();      // edited topology active
+//
+// For experiments described as data (.btrx files) rather than C++, see
+// src/spec/ — RunExperiment drives this lifecycle from a parsed script.
 
 #ifndef BTR_SRC_CORE_BTR_SYSTEM_H_
 #define BTR_SRC_CORE_BTR_SYSTEM_H_
@@ -22,6 +39,7 @@
 #include "src/core/plan.h"
 #include "src/core/planner.h"
 #include "src/core/runtime.h"
+#include "src/core/strategy_delta.h"
 #include "src/core/transition_analysis.h"
 #include "src/workload/generators.h"
 
@@ -52,15 +70,20 @@ struct RunReport {
   };
   std::vector<FaultOutcome> faults;
 
+  // Strategy-rollout cost when this run disseminated a staged delta (see
+  // ApplyDelta); started_at == kSimTimeNever means no rollout ran.
+  InstallRunReport install;
+
   uint64_t periods = 0;
   SimDuration simulated_time = 0;
   uint64_t events_executed = 0;
 };
 
 // Deterministic textual dump of everything behaviorally observable in a run
-// (correctness report, network stats, per-node stats, fault outcomes). Two
-// runs of the same seeded scenario must produce byte-identical dumps; the
-// determinism regression test and the throughput bench both fingerprint it.
+// (correctness report, network stats, per-node stats, fault outcomes, and —
+// for rollout runs — the install report). Two runs of the same seeded
+// scenario must produce byte-identical dumps; the determinism regression
+// test and the throughput bench both fingerprint it.
 std::string SerializeRunReport(const RunReport& report);
 
 // 64-bit fingerprint of SerializeRunReport (convenience for bench output).
@@ -68,6 +91,10 @@ uint64_t FingerprintRunReport(const RunReport& report);
 
 class BtrSystem {
  public:
+  // Sentinel for ApplyDelta: commit the edit without simulating the patch
+  // dissemination (an offline edit between deployments).
+  static constexpr SimTime kNoRollout = -1;
+
   BtrSystem(Scenario scenario, BtrConfig config);
 
   // Offline phase: builds the strategy. Must be called before Run.
@@ -77,14 +104,42 @@ class BtrSystem {
   void AddFault(const FaultInjection& injection);
   void ClearFaults() { adversary_ = AdversarySpec(); }
 
-  // Simulates `periods` workload periods and evaluates the outcome.
+  // Simulates `periods` workload periods and evaluates the outcome. If a
+  // delta is staged (ApplyDelta with rollout_at >= 0), this run additionally
+  // replays the patch rollout over the simulated network starting at
+  // rollout_at — the data plane executes the pre-edit strategy throughout,
+  // dissemination is charged as control traffic, and the report's `install`
+  // section records its cost — then commits the rebuilt strategy, so the
+  // next Run() executes the edited system.
   StatusOr<RunReport> Run(uint64_t periods);
+
+  // Edits the deployed system: applies `delta` to the scenario, rebuilds
+  // the strategy incrementally (StrategyBuilder::Rebuild — only modes the
+  // edit can reach are replanned), and diffs old vs new into per-node
+  // patches (BuildStrategyUpdate).
+  //
+  // rollout_at >= 0 stages the edit: the next Run() replays dissemination
+  // at that sim time and commits at its end (see Run). kNoRollout commits
+  // immediately with no simulated traffic. Calling ApplyDelta while an
+  // earlier edit is still staged first commits that edit silently.
+  // `ship_mode` picks sliced patches (default) or the naive full-blob
+  // baseline for the staged rollout.
+  Status ApplyDelta(const StrategyDelta& delta, SimTime rollout_at = kNoRollout,
+                    BtrRuntime::InstallShipMode ship_mode =
+                        BtrRuntime::InstallShipMode::kPatchSlices);
+
+  // True while an ApplyDelta(..., rollout_at >= 0) awaits its rollout run.
+  bool has_staged_delta() const { return staged_ != nullptr; }
+  // The staged rollout's shipment set (slices, patches, fallbacks); nullptr
+  // when nothing is staged. Valid until Run() commits or ApplyDelta
+  // restages.
+  const StrategyUpdate* staged_update() const;
 
   // Offline worst-case recovery bound over every planned mode transition;
   // call after Plan(). `fits_recovery_bound` compares against configured R.
   TransitionAnalysis AnalyzeRecoveryBound() const;
 
-  const Scenario& scenario() const { return scenario_; }
+  const Scenario& scenario() const { return *scenario_; }
   const Strategy& strategy() const { return strategy_; }
   // O(1) fault-set -> plan index over the strategy (valid after Plan()).
   const StrategyIndex& strategy_index() const { return strategy_index_; }
@@ -94,13 +149,29 @@ class BtrSystem {
   bool planned() const { return planned_; }
 
  private:
-  Scenario scenario_;
+  // A staged edit: the post-edit world plus the shipment set that turns the
+  // deployed strategy into it. Scenario lives behind a unique_ptr because
+  // the planner holds pointers into its topology/workload — committing
+  // moves the pointer, never the objects.
+  struct StagedDelta {
+    std::unique_ptr<Scenario> scenario;
+    std::unique_ptr<Planner> planner;
+    Strategy strategy;
+    std::shared_ptr<const StrategyUpdate> update;
+    SimTime rollout_at = 0;
+    BtrRuntime::InstallShipMode ship_mode = BtrRuntime::InstallShipMode::kPatchSlices;
+  };
+
+  void CommitStaged();
+
+  std::unique_ptr<Scenario> scenario_;
   BtrConfig config_;
   std::unique_ptr<Planner> planner_;
   Strategy strategy_;
   StrategyIndex strategy_index_;
   AdversarySpec adversary_;
   bool planned_ = false;
+  std::unique_ptr<StagedDelta> staged_;
 };
 
 }  // namespace btr

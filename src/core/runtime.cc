@@ -125,7 +125,10 @@ void BtrRuntime::Start(uint64_t periods) {
     });
   }
 
-  // Adversary side effects visible to the network layer.
+  // Adversary side effects visible to the network layer. A transient
+  // injection (finite `until`) undoes its side effect when it heals; the
+  // heal consults ActiveOn so an overlapping still-active injection of the
+  // same behavior keeps the node down.
   for (const FaultInjection& inj : ctx_.adversary->injections()) {
     ctx_.sim->At(inj.manifest_at, [this, inj]() {
       switch (inj.behavior) {
@@ -137,6 +140,21 @@ void BtrRuntime::Start(uint64_t periods) {
           break;
         default:
           break;
+      }
+    });
+    if (inj.until == kSimTimeNever || (inj.behavior != FaultBehavior::kCrash &&
+                                       inj.behavior != FaultBehavior::kOmission)) {
+      continue;
+    }
+    ctx_.sim->At(inj.until, [this, inj]() {
+      const FaultInjection* still = ctx_.adversary->ActiveOn(inj.node, ctx_.sim->Now());
+      if (inj.behavior == FaultBehavior::kCrash &&
+          (still == nullptr || still->behavior != FaultBehavior::kCrash)) {
+        ctx_.network->SetNodeDown(inj.node, false);
+      }
+      if (inj.behavior == FaultBehavior::kOmission &&
+          (still == nullptr || still->behavior != FaultBehavior::kOmission)) {
+        ctx_.network->SetRelayDrop(inj.node, false);
       }
     });
   }

@@ -1,0 +1,71 @@
+// Executes a parsed ExperimentSpec through the BtrSystem lifecycle.
+//
+// RunExperiment is the one entry point behind `btrsim --spec`: it builds
+// the scenario (generator or inline records), plans, then replays the
+// spec's timed script phase by phase — faults injected, mid-run edit
+// batches incrementally rebuilt / diffed to per-node patches / rolled out
+// over the simulated network (BtrSystem::ApplyDelta + Run) — and returns
+// one RunReport per phase. Everything is deterministic: the experiment
+// fingerprint of a spec-driven run is byte-identical to the same script
+// assembled through the raw C++ API (pinned by tests/spec_test.cc).
+
+#ifndef BTR_SRC_SPEC_EXPERIMENT_RUNNER_H_
+#define BTR_SRC_SPEC_EXPERIMENT_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/btr_system.h"
+#include "src/spec/experiment_spec.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+
+// Materializes the spec's scenario section: named generators resolve
+// through MakeNamedScenario; inline records build a Topology/Dataflow
+// directly (references were validated at parse time, structural validity
+// is re-checked by BtrSystem::Plan).
+StatusOr<Scenario> BuildScenario(const SpecScenario& spec);
+
+// Maps the spec's config section onto BtrConfig.
+BtrConfig MakeBtrConfig(const ExperimentSpec& spec);
+
+// The fault-free-plan host of the most critical compute task's primary
+// replica — the resolution of a FAULT record's symbolic
+// node=critical-primary victim. Call after Plan().
+NodeId ResolveCriticalPrimary(const BtrSystem& system);
+
+struct ExperimentReport {
+  std::string name;
+  std::vector<RunReport> phases;
+};
+
+// Deterministic textual dump (the per-phase SerializeRunReport dumps under
+// phase headers) and its 64-bit fingerprint; the spec-vs-C++ equivalence
+// tests and the sweep runner's BENCH_JSON row both use the fingerprint.
+std::string SerializeExperimentReport(const ExperimentReport& report);
+uint64_t FingerprintExperimentReport(const ExperimentReport& report);
+
+// Observation points for CLIs (btrsim prints progress and runs --analyze
+// from after_plan; both hooks may be empty).
+struct ExperimentHooks {
+  std::function<void(const BtrSystem&)> after_plan;
+  std::function<void(size_t phase, const BtrSystem&, const RunReport&)> after_phase;
+};
+
+// Runs the spec's script (ignoring sweep axes — see ExpandSweeps). Faults
+// are per-phase; an edit batch disseminates mid-run at its at-us and the
+// rebuilt strategy takes over at the phase boundary.
+StatusOr<ExperimentReport> RunExperiment(const ExperimentSpec& spec,
+                                         const ExperimentHooks& hooks = {});
+
+// Expands the spec's sweep axes into their cartesian product: one spec per
+// combination, sweeps cleared, name suffixed "/key=value,...", axis keys
+// applied to the config (seed, f, nodes, recovery-us). A spec without
+// axes expands to itself.
+std::vector<ExperimentSpec> ExpandSweeps(const ExperimentSpec& spec);
+
+}  // namespace btr
+
+#endif  // BTR_SRC_SPEC_EXPERIMENT_RUNNER_H_

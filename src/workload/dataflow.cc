@@ -22,6 +22,38 @@ const char* CriticalityName(Criticality c) {
   return "?";
 }
 
+std::optional<Criticality> ParseCriticality(std::string_view name) {
+  for (int i = 0; i < kCriticalityLevels; ++i) {
+    const Criticality c = static_cast<Criticality>(i);
+    if (name == CriticalityName(c)) {
+      return c;
+    }
+  }
+  return std::nullopt;
+}
+
+const char* TaskKindName(TaskKind k) {
+  switch (k) {
+    case TaskKind::kSource:
+      return "source";
+    case TaskKind::kCompute:
+      return "compute";
+    case TaskKind::kSink:
+      return "sink";
+  }
+  return "?";
+}
+
+std::optional<TaskKind> ParseTaskKind(std::string_view name) {
+  for (int i = 0; i < kTaskKindCount; ++i) {
+    const TaskKind k = static_cast<TaskKind>(i);
+    if (name == TaskKindName(k)) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
 double CriticalityWeight(Criticality c) {
   // Exponential spacing: losing one safety-critical flow outweighs losing
   // every best-effort flow, matching the mixed-criticality framing.

@@ -10,7 +10,9 @@
 #ifndef BTR_SRC_WORKLOAD_DATAFLOW_H_
 #define BTR_SRC_WORKLOAD_DATAFLOW_H_
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +33,8 @@ enum class Criticality : int {
 inline constexpr int kCriticalityLevels = 5;
 
 const char* CriticalityName(Criticality c);
+// Inverse of CriticalityName; nullopt for an unknown name.
+std::optional<Criticality> ParseCriticality(std::string_view name);
 
 // Utility weight used by the degradation experiments: shedding a flow of
 // criticality c forfeits Weight(c) utility.
@@ -41,6 +45,11 @@ enum class TaskKind : int {
   kCompute = 1,  // pure function of its inputs; replicable
   kSink = 2,     // actuates the physical world; pinned, not replicated
 };
+inline constexpr int kTaskKindCount = 3;
+
+const char* TaskKindName(TaskKind k);
+// Inverse of TaskKindName; nullopt for an unknown name.
+std::optional<TaskKind> ParseTaskKind(std::string_view name);
 
 struct TaskSpec {
   TaskId id;

@@ -1,5 +1,6 @@
 #include "src/workload/generators.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace btr {
@@ -8,6 +9,29 @@ namespace {
 constexpr SimDuration kBusPropagation = Microseconds(2);
 
 }  // namespace
+
+StatusOr<Scenario> MakeNamedScenario(const std::string& kind, size_t nodes, uint64_t seed,
+                                     const RandomDagParams* params) {
+  if (kind == "avionics") {
+    return MakeAvionicsScenario(std::max<size_t>(nodes, 2));
+  }
+  if (kind == "scada") {
+    return MakeScadaScenario(std::max<size_t>(nodes, 2));
+  }
+  if (kind == "convoy") {
+    return MakeConvoyScenario(std::max<size_t>(nodes / 2, 2));
+  }
+  if (kind == "random") {
+    Rng rng(seed);
+    RandomDagParams p;
+    if (params != nullptr) {
+      p = *params;
+    }
+    p.compute_nodes = nodes;
+    return MakeRandomScenario(&rng, p);
+  }
+  return Status::InvalidArgument("unknown scenario generator '" + kind + "'");
+}
 
 Scenario MakeAvionicsScenario(size_t compute_nodes) {
   assert(compute_nodes >= 2);

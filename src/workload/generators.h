@@ -35,6 +35,15 @@ Scenario MakeScadaScenario(size_t compute_nodes = 4);
 // cruise-control command; exercises multi-hop (ring) communication.
 Scenario MakeConvoyScenario(size_t vehicles = 4);
 
+// Builds a scenario by generator name: "avionics", "scada", "convoy"
+// (nodes = vehicles * 2 rounded down, >= 2 vehicles), or "random" (seeded
+// layered DAG; `params` tweaks beyond compute_nodes are the caller's job —
+// pass nullptr for defaults). The one registry the btrsim CLI and the
+// experiment-spec runner both resolve scenario names through.
+struct RandomDagParams;
+StatusOr<Scenario> MakeNamedScenario(const std::string& kind, size_t nodes, uint64_t seed,
+                                     const RandomDagParams* params = nullptr);
+
 // Random layered DAG for property tests and scalability sweeps.
 struct RandomDagParams {
   size_t compute_nodes = 8;    // processing nodes (excluding I/O nodes)

@@ -1,0 +1,131 @@
+// Adversary model tests: the FaultBehavior name<->enum round trip that the
+// CLI and the spec parser share, the transient-fault window semantics of
+// AdversarySpec::ActiveOn, and a runtime check that a healed node stops
+// drawing accusations.
+
+#include <gtest/gtest.h>
+
+#include "src/core/adversary.h"
+#include "src/core/btr_system.h"
+#include "src/spec/experiment_runner.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+namespace {
+
+TEST(FaultBehavior, NameRoundTripsExhaustively) {
+  for (int i = 0; i < kFaultBehaviorCount; ++i) {
+    const FaultBehavior b = static_cast<FaultBehavior>(i);
+    const char* name = FaultBehaviorName(b);
+    ASSERT_STRNE(name, "?") << "behavior " << i << " has no name";
+    const auto parsed = ParseFaultBehavior(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(static_cast<int>(*parsed), i) << name;
+  }
+  EXPECT_FALSE(ParseFaultBehavior("no-such-behavior").has_value());
+  EXPECT_FALSE(ParseFaultBehavior("").has_value());
+  EXPECT_FALSE(ParseFaultBehavior("Crash").has_value());  // names are exact
+}
+
+TEST(AdversarySpec, ActiveOnHonorsUntil) {
+  AdversarySpec spec;
+  FaultInjection inj;
+  inj.node = NodeId(3);
+  inj.manifest_at = 100;
+  inj.until = 200;
+  inj.behavior = FaultBehavior::kOmission;
+  spec.Add(inj);
+
+  EXPECT_EQ(spec.ActiveOn(NodeId(3), 99), nullptr);
+  ASSERT_NE(spec.ActiveOn(NodeId(3), 100), nullptr);
+  ASSERT_NE(spec.ActiveOn(NodeId(3), 199), nullptr);
+  EXPECT_EQ(spec.ActiveOn(NodeId(3), 200), nullptr);  // [manifest_at, until)
+  EXPECT_EQ(spec.ActiveOn(NodeId(3), 5000), nullptr);
+  EXPECT_EQ(spec.ActiveOn(NodeId(2), 150), nullptr);
+  // ManifestTime reports the injection even though it heals later.
+  EXPECT_EQ(spec.ManifestTime(NodeId(3)), 100);
+}
+
+TEST(AdversarySpec, ExpiredEscalationFallsBackToActiveInjection) {
+  AdversarySpec spec;
+  FaultInjection base;
+  base.node = NodeId(1);
+  base.manifest_at = 0;
+  base.behavior = FaultBehavior::kDelay;
+  spec.Add(base);
+  FaultInjection escalation;
+  escalation.node = NodeId(1);
+  escalation.manifest_at = 100;
+  escalation.until = 200;
+  escalation.behavior = FaultBehavior::kCrash;
+  spec.Add(escalation);
+
+  ASSERT_NE(spec.ActiveOn(NodeId(1), 150), nullptr);
+  EXPECT_EQ(spec.ActiveOn(NodeId(1), 150)->behavior, FaultBehavior::kCrash);
+  // After the escalation window closes, the still-open base injection wins.
+  ASSERT_NE(spec.ActiveOn(NodeId(1), 300), nullptr);
+  EXPECT_EQ(spec.ActiveOn(NodeId(1), 300)->behavior, FaultBehavior::kDelay);
+}
+
+// A transient omission fault (finite `until`) must stop drawing
+// path-declaration accusations once it heals, and the healed node's flows
+// must come back. The blame threshold is raised past reach so neither run
+// convicts — isolating the accusation stream itself.
+TEST(Runtime, HealedNodeStopsDrawingAccusations) {
+  auto measure = [](SimTime until) {
+    BtrConfig config;
+    config.planner.max_faults = 1;
+    config.planner.recovery_bound = Milliseconds(500);
+    config.runtime.blame_threshold = 100000;  // never convict
+    config.seed = 11;
+    BtrSystem system(MakeAvionicsScenario(6), config);
+    EXPECT_TRUE(system.Plan().ok());
+    FaultInjection inj;
+    inj.node = ResolveCriticalPrimary(system);
+    inj.manifest_at = Milliseconds(200);
+    inj.behavior = FaultBehavior::kOmission;
+    inj.until = until;
+    system.AddFault(inj);
+    auto report = system.Run(150);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::make_pair(report->total_node_stats.path_declarations,
+                          report->correctness.correct_instances);
+  };
+
+  const auto [forever_accusations, forever_correct] = measure(kSimTimeNever);
+  const auto [healed_accusations, healed_correct] = measure(Milliseconds(400));
+
+  // While omitting, both variants draw accusations...
+  EXPECT_GT(healed_accusations, 0u);
+  // ...but the healed node stops drawing them (and its flows come back),
+  // while the permanent fault keeps accumulating for the whole run.
+  EXPECT_LT(healed_accusations, forever_accusations / 2);
+  EXPECT_GT(healed_correct, forever_correct);
+}
+
+// A transient crash additionally undoes its network-level side effect
+// (SetNodeDown), so the healed node is reachable again.
+TEST(Runtime, HealedCrashRejoinsTheNetwork) {
+  auto correct_count = [](SimTime until) {
+    BtrConfig config;
+    config.planner.max_faults = 1;
+    config.planner.recovery_bound = Milliseconds(500);
+    config.runtime.blame_threshold = 100000;  // never convict
+    config.seed = 11;
+    BtrSystem system(MakeAvionicsScenario(6), config);
+    EXPECT_TRUE(system.Plan().ok());
+    FaultInjection inj;
+    inj.node = ResolveCriticalPrimary(system);
+    inj.manifest_at = Milliseconds(200);
+    inj.behavior = FaultBehavior::kCrash;
+    inj.until = until;
+    system.AddFault(inj);
+    auto report = system.Run(150);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report->correctness.correct_instances;
+  };
+  EXPECT_GT(correct_count(Milliseconds(400)), correct_count(kSimTimeNever));
+}
+
+}  // namespace
+}  // namespace btr
