@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "bench/bench_util.h"
 
@@ -150,6 +151,45 @@ void Run(const Options& opts) {
     system.AddFault(corruption);
   }
   emit("faulty", Measure(system, periods, opts.reps));
+
+  // Conservative-parallel scaling: the identical fault-free run at shard
+  // counts {1, 2, 4, 8}. The fingerprint column is the point, not garnish —
+  // any divergence across shard counts is a determinism bug and fails the
+  // bench. host_cores is recorded so a flat curve on a small host reads as
+  // what it is, not as a regression.
+  system.ClearFaults();
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  uint64_t scale_fp = 0;
+  double s1_events_per_sec = 0.0;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    system.set_shards(shards);
+    const RowResult r = Measure(system, periods, opts.reps);
+    if (shards == 1) {
+      scale_fp = r.fingerprint;
+      s1_events_per_sec = r.events_per_sec;
+    } else if (r.fingerprint != scale_fp) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: shards=%u fingerprint %016" PRIx64
+                   " != shards=1 fingerprint %016" PRIx64 "\n",
+                   shards, r.fingerprint, scale_fp);
+      std::exit(1);
+    }
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016" PRIx64, r.fingerprint);
+    char variant[32];
+    std::snprintf(variant, sizeof(variant), "parallel-s%u", shards);
+    table.AddRow({std::string(variant), CellInt(static_cast<int64_t>(periods)),
+                  CellInt(static_cast<int64_t>(r.events)), CellDuration(r.best_wall_ms * 1e6),
+                  CellDouble(r.events_per_sec, 0), std::string(fp)});
+    std::printf("BENCH_JSON {\"bench\":\"sim_parallel\",\"preset\":\"%s\","
+                "\"shards\":%u,\"host_cores\":%u,\"periods\":%" PRIu64
+                ",\"events\":%" PRIu64 ",\"wall_ms\":%.3f,\"events_per_sec\":%.0f,"
+                "\"speedup_vs_s1\":%.2f,\"fingerprint\":\"%s\"}\n",
+                opts.preset.c_str(), shards, host_cores, periods, r.events, r.best_wall_ms,
+                r.events_per_sec,
+                s1_events_per_sec > 0.0 ? r.events_per_sec / s1_events_per_sec : 0.0, fp);
+  }
+  system.set_shards(0);
 
   std::printf("%s\n", table.Render().c_str());
 }

@@ -29,6 +29,9 @@ cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-bench -j "$(nproc)" --target bench_sim_throughput bench_planner_scalability bench_plan_delta example_btrsim
 
 OUT=BENCH_runtime.json
+# bench_sim_throughput emits the sequential rows plus the sim_parallel
+# scaling curve (shards 1/2/4/8 of the same run, with host_cores and a
+# cross-shard fingerprint-equality check baked into the bench itself).
 ROWS=$(./build-bench/bench_sim_throughput "--preset=${PRESET}" "--reps=${REPS}" \
   | sed -n 's/^BENCH_JSON //p' | paste -sd, -)
 # Incremental-replanning rows (E7 addendum): full-vs-incremental rebuild

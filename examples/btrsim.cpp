@@ -53,6 +53,7 @@ struct Options {
   uint32_t f = 1;
   int64_t recovery_ms = 500;
   uint64_t periods = 200;
+  std::optional<uint32_t> shards;  // overrides the spec; default = auto
   std::optional<std::string> fault;
   std::optional<uint32_t> fault_node;
   int64_t fault_at_ms = 200;
@@ -67,7 +68,7 @@ int Usage(const char* argv0) {
   std::printf(
       "usage: %s [--spec FILE.btrx]\n"
       "          [--scenario avionics|scada|convoy|random] [--nodes N]\n"
-      "          [--seed S] [--f F] [--recovery-ms R] [--periods P]\n"
+      "          [--seed S] [--f F] [--recovery-ms R] [--periods P] [--shards N]\n"
       "          [--fault crash|value-corruption|omission|selective-omission|\n"
       "                   delay|equivocate|evidence-flood]\n"
       "          [--fault-node N] [--fault-at-ms T] [--fault-until-ms T]\n"
@@ -304,6 +305,8 @@ int main(int argc, char** argv) {
       opts.recovery_ms = std::atoll(next("--recovery-ms"));
     } else if (arg == "--periods") {
       opts.periods = static_cast<uint64_t>(std::atoll(next("--periods")));
+    } else if (arg == "--shards") {
+      opts.shards = static_cast<uint32_t>(std::atoi(next("--shards")));
     } else if (arg == "--fault") {
       opts.fault = next("--fault");
     } else if (arg == "--fault-node") {
@@ -351,6 +354,12 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
     spec = std::move(synthesized).value();
+  }
+
+  // The flag outranks the loaded spec (reports are identical either way —
+  // sharding only changes how fast they arrive).
+  if (opts.shards.has_value()) {
+    spec.shards = *opts.shards;
   }
 
   if (opts.dump_spec) {

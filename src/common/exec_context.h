@@ -1,0 +1,56 @@
+// Thread-local execution context for the sharded data plane.
+//
+// The parallel simulator runs each shard's event window on its own worker
+// thread. Code deep inside the data plane (Network guardians, BlockPool
+// frees, log prefixes, Simulator::Now()) needs to know which shard — and
+// which simulated actor — the current thread is executing for, without
+// threading that through every call signature. This tiny TLS record carries
+// it. On the exclusive path (driver events, single-shard runs, planning,
+// tests) the context stays at its defaults: shard 0, driver actor,
+// worker == false.
+
+#ifndef BTR_SRC_COMMON_EXEC_CONTEXT_H_
+#define BTR_SRC_COMMON_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace btr {
+
+// Sentinel actor id for driver / harness events (fault injections, period
+// ticks, install shipping). Sorts before every node actor in the canonical
+// event order.
+inline constexpr uint32_t kDriverActor = 0xFFFFFFFFu;
+
+struct ExecContext {
+  uint32_t shard = 0;           // shard whose window this thread is running
+  uint32_t actor = kDriverActor;  // simulated actor of the executing event
+  bool worker = false;          // true only inside a shard window
+  const SimTime* now = nullptr;  // shard-local clock while worker == true
+};
+
+inline ExecContext& ThisThreadExec() {
+  thread_local ExecContext ctx;
+  return ctx;
+}
+
+// RAII save/restore for the coordinator thread, which flips between the
+// exclusive driver context and running shard windows inline.
+class ScopedExecContext {
+ public:
+  explicit ScopedExecContext(const ExecContext& next) : saved_(ThisThreadExec()) {
+    ThisThreadExec() = next;
+  }
+  ~ScopedExecContext() { ThisThreadExec() = saved_; }
+
+  ScopedExecContext(const ScopedExecContext&) = delete;
+  ScopedExecContext& operator=(const ScopedExecContext&) = delete;
+
+ private:
+  ExecContext saved_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_SRC_COMMON_EXEC_CONTEXT_H_

@@ -1,12 +1,16 @@
 #include "src/common/log.h"
 
 #include <cstdio>
+#include <mutex>
+
+#include "src/common/exec_context.h"
 
 namespace btr {
 namespace {
 
 LogLevel g_level = LogLevel::kOff;
 const SimTime* g_now = nullptr;
+std::mutex g_emit_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -38,8 +42,13 @@ void LogLine(LogLevel level, const std::string& component, const std::string& me
   if (!LogEnabled(level)) {
     return;
   }
-  if (g_now != nullptr) {
-    std::fprintf(stderr, "[%s %12.6fs %-10s] %s\n", LevelName(level), ToSecondsF(*g_now),
+  // Shard workers carry their own clock in TLS; the global time source is
+  // only safe to read on the exclusive path.
+  const ExecContext& exec = ThisThreadExec();
+  const SimTime* now = exec.worker ? exec.now : g_now;
+  std::lock_guard<std::mutex> lock(g_emit_mu);
+  if (now != nullptr) {
+    std::fprintf(stderr, "[%s %12.6fs %-10s] %s\n", LevelName(level), ToSecondsF(*now),
                  component.c_str(), message.c_str());
   } else {
     std::fprintf(stderr, "[%s %-10s] %s\n", LevelName(level), component.c_str(), message.c_str());

@@ -2,7 +2,63 @@
 
 #include <algorithm>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace btr {
+
+struct ThreadPool::Ticket::Batch {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = 0;
+  std::exception_ptr first_error;
+};
+
+struct ThreadPool::Job {
+  std::shared_ptr<Ticket::Batch> batch;
+  std::shared_ptr<std::function<void(size_t)>> fn;
+  size_t index = 0;
+};
+
+namespace {
+
+void PinToCore(size_t core) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core, &set);
+  // Best effort: containers with restricted affinity masks may refuse.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace
+
+// Executes one job and retires it against its batch.
+void ThreadPool::ExecuteAndRetire(Job& job) {
+  std::exception_ptr error;
+  try {
+    (*job.fn)(job.index);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  auto& batch = *job.batch;
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(batch.mu);
+    if (error != nullptr && batch.first_error == nullptr) {
+      batch.first_error = error;
+    }
+    last = (--batch.remaining == 0);
+  }
+  if (last) {
+    batch.cv.notify_all();
+  }
+}
 
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) {
@@ -10,11 +66,12 @@ ThreadPool::ThreadPool(size_t threads) {
   }
   thread_count_ = threads;
   if (threads == 1) {
-    return;  // inline mode
+    return;  // inline mode until EnsureWorkers grows the pool
   }
+  std::lock_guard<std::mutex> lock(mu_);
   workers_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    SpawnWorkerLocked();
   }
 }
 
@@ -29,9 +86,41 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: worker threads may outlive every static destructor.
+  static ThreadPool* pool = [] {
+    auto* p = new ThreadPool(std::max<size_t>(1, std::thread::hardware_concurrency()));
+    p->pin_workers_ = std::thread::hardware_concurrency() > 1;
+    return p;
+  }();
+  return *pool;
+}
+
+size_t ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::SpawnWorkerLocked() {
+  const size_t index = workers_.size();
+  workers_.emplace_back([this, index] { WorkerLoop(index); });
+}
+
+void ThreadPool::EnsureWorkers(size_t workers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < workers) {
+    SpawnWorkerLocked();
+  }
+  thread_count_ = std::max(thread_count_, workers_.size());
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  if (pin_workers_) {
+    const size_t cores = std::max<size_t>(1, std::thread::hardware_concurrency());
+    PinToCore(worker_index % cores);
+  }
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -41,49 +130,59 @@ void ThreadPool::WorkerLoop() {
       job = std::move(queue_.front());
       queue_.pop();
     }
-    std::exception_ptr error;
-    try {
-      job();
-    } catch (...) {
-      error = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (error != nullptr && first_error_ == nullptr) {
-        first_error_ = error;
+    ExecuteAndRetire(job);
+  }
+}
+
+ThreadPool::Ticket ThreadPool::Dispatch(size_t count, std::function<void(size_t)> fn) {
+  Ticket ticket;
+  ticket.batch_ = std::make_shared<Ticket::Batch>();
+  ticket.batch_->remaining = count;
+  if (count == 0) {
+    return ticket;
+  }
+  auto shared_fn = std::make_shared<std::function<void(size_t)>>(std::move(fn));
+  bool inline_mode = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inline_mode = workers_.empty();
+    if (!inline_mode) {
+      for (size_t i = 0; i < count; ++i) {
+        queue_.push(Job{ticket.batch_, shared_fn, i});
       }
-      --in_flight_;
     }
-    done_cv_.notify_all();
+  }
+  if (inline_mode) {
+    for (size_t i = 0; i < count; ++i) {
+      Job job{ticket.batch_, shared_fn, i};
+      ExecuteAndRetire(job);
+    }
+    return ticket;
+  }
+  if (count == 1) {
+    work_cv_.notify_one();
+  } else {
+    work_cv_.notify_all();
+  }
+  return ticket;
+}
+
+void ThreadPool::Ticket::Wait() {
+  if (batch_ == nullptr) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(batch_->mu);
+  batch_->cv.wait(lock, [this] { return batch_->remaining == 0; });
+  if (batch_->first_error != nullptr) {
+    std::exception_ptr error = nullptr;
+    std::swap(error, batch_->first_error);
+    lock.unlock();
+    std::rethrow_exception(error);
   }
 }
 
 void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
-  if (count == 0) {
-    return;
-  }
-  if (workers_.empty()) {
-    for (size_t i = 0; i < count; ++i) {
-      fn(i);
-    }
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    in_flight_ += count;
-    for (size_t i = 0; i < count; ++i) {
-      queue_.push([&fn, i] { fn(i); });
-    }
-  }
-  work_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_ != nullptr) {
-    std::exception_ptr error = nullptr;
-    std::swap(error, first_error_);
-    lock.unlock();
-    std::rethrow_exception(error);
-  }
+  Dispatch(count, fn).Wait();
 }
 
 }  // namespace btr

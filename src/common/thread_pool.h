@@ -1,10 +1,17 @@
-// A small fixed-size worker pool for the offline planner.
+// The process-wide worker pool shared by the planner and the simulator.
 //
 // Planning a strategy is embarrassingly parallel within one fault-set level
 // (all level-k modes depend only on level k-1), so the StrategyBuilder
-// submits each wave as a batch of independent jobs. The pool is intentionally
-// minimal: fixed worker count, one blocking ParallelFor batch at a time, no
-// futures.
+// submits each wave as a blocking ParallelFor batch. The sharded simulator
+// additionally needs long-lived shard loops that run concurrently with the
+// coordinator thread, so the pool also exposes a non-blocking Dispatch that
+// returns a Ticket to wait on. Batches are independent: each tracks its own
+// completion count and first error, so a planner wave and a simulation run
+// never wait on each other's jobs.
+//
+// `ThreadPool::Shared()` is the one instance both subsystems fold onto; its
+// workers are pinned round-robin to cores (best effort, Linux only) so shard
+// loops do not migrate between windows.
 
 #ifndef BTR_SRC_COMMON_THREAD_POOL_H_
 #define BTR_SRC_COMMON_THREAD_POOL_H_
@@ -12,6 +19,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -22,16 +30,47 @@ namespace btr {
 class ThreadPool {
  public:
   // `threads` = 0 picks the hardware concurrency (at least 1). A pool of
-  // size 1 runs jobs inline on the calling thread — no worker is spawned, so
-  // single-threaded builds stay exactly as deterministic and debuggable as
-  // the pre-pool planner.
+  // size 1 spawns no workers — ParallelFor and Dispatch run inline on the
+  // calling thread, so single-threaded builds stay exactly as deterministic
+  // and debuggable as the pre-pool planner.
   explicit ThreadPool(size_t threads = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  // The process-wide pool. Sized to the hardware concurrency; grows on
+  // demand via EnsureWorkers. Never destroyed (workers park in their
+  // condition variable at exit).
+  static ThreadPool& Shared();
+
   size_t thread_count() const { return thread_count_; }
+  size_t worker_count() const;
+
+  // Grows the pool to at least `workers` worker threads. The sharded
+  // simulator calls this before dispatching one long-lived loop per shard;
+  // without the guarantee a queued-but-never-started shard loop would
+  // deadlock the window barrier.
+  void EnsureWorkers(size_t workers);
+
+  // Handle for a Dispatch batch. Wait() blocks until every job in the batch
+  // returned and rethrows the first captured exception.
+  class Ticket {
+   public:
+    Ticket() = default;
+    void Wait();
+
+   private:
+    friend class ThreadPool;
+    struct Batch;
+    std::shared_ptr<Batch> batch_;
+  };
+
+  // Enqueues fn(0) ... fn(count - 1) and returns immediately. Jobs from
+  // different Dispatch calls may interleave; each batch completes
+  // independently. With no workers (pool of size 1) the jobs run inline
+  // before Dispatch returns.
+  Ticket Dispatch(size_t count, std::function<void(size_t)> fn);
 
   // Runs fn(0) ... fn(count - 1) across the pool and blocks until every
   // call returned. `fn` must be safe to invoke concurrently. If any call
@@ -40,17 +79,19 @@ class ThreadPool {
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  struct Job;
+
+  static void ExecuteAndRetire(Job& job);
+  void SpawnWorkerLocked();
+  void WorkerLoop(size_t worker_index);
 
   size_t thread_count_ = 1;
+  bool pin_workers_ = false;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::queue<std::function<void()>> queue_;
-  size_t in_flight_ = 0;
+  std::queue<Job> queue_;
   bool shutdown_ = false;
-  std::exception_ptr first_error_;
 };
 
 }  // namespace btr

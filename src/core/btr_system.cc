@@ -10,6 +10,8 @@
 #include "src/core/strategy_io.h"
 #include "src/crypto/keys.h"
 #include "src/net/network.h"
+#include "src/net/partition.h"
+#include "src/sim/shard_layout.h"
 #include "src/sim/simulator.h"
 
 namespace btr {
@@ -188,12 +190,24 @@ StatusOr<RunReport> BtrSystem::Run(uint64_t periods) {
     }
   }
 
-  Simulator sim(config_.seed);
-  Network network(&sim, &scenario_->topology, config_.planner.network);
+  // Pin the wire-frame floor to the smallest real protocol message for
+  // EVERY run, sharded or not: the conservative lookahead is derived from
+  // it, and the floor must be identical across shard counts for reports to
+  // be too.
+  NetworkConfig netcfg = config_.planner.network;
+  netcfg.min_frame_bytes = std::max(netcfg.min_frame_bytes, kInstallNackBytes);
+  const uint32_t shards =
+      config_.shards != 0 ? config_.shards
+                          : (scenario_->topology.node_count() < 16 ? 1 : 8);
+  const ShardLayout layout = PartitionTopology(scenario_->topology, shards, netcfg);
+
+  Simulator sim(config_.seed, layout);
+  Network network(&sim, &scenario_->topology, netcfg);
   Rng key_rng(config_.seed ^ 0x5eedc0deULL);
   KeyStore keys(scenario_->topology.node_count(), &key_rng);
   Monitor monitor(&scenario_->workload, &strategy_, &adversary_,
                   config_.planner.recovery_bound);
+  monitor.ConfigureShards(sim.shard_count());
   monitor.ReserveObservations(periods * scenario_->workload.SinkIds().size());
 
   RuntimeContext ctx;

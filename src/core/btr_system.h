@@ -49,6 +49,10 @@ struct BtrConfig {
   PlannerConfig planner;
   RuntimeConfig runtime;
   uint64_t seed = 1;
+  // Simulation shards (parallel data plane). 0 = auto (1 for small
+  // scenarios, 8 for >= 16 nodes). Reports are byte-identical for every
+  // value — sharding is a speed knob, never a semantics knob.
+  uint32_t shards = 0;
 };
 
 // Everything a run produced, for experiments and examples.
@@ -147,6 +151,11 @@ class BtrSystem {
   const AdversarySpec& adversary() const { return adversary_; }
   const BtrConfig& config() const { return config_; }
   bool planned() const { return planned_; }
+
+  // Overrides the shard count for subsequent Run() calls without replanning
+  // (the strategy is layout-independent). Bench/sweep knob; the report of
+  // any given run is byte-identical for every value.
+  void set_shards(uint32_t shards) { config_.shards = shards; }
 
  private:
   // A staged edit: the post-edit world plus the shipment set that turns the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/exec_context.h"
 #include "src/common/hash.h"
 #include "src/common/log.h"
 #include "src/core/golden.h"
@@ -29,9 +30,6 @@ const Plan* LookupPlan(const RuntimeContext& ctx, const FaultSet& faults) {
   }
   return ctx.strategy->Lookup(faults);
 }
-
-// Wire size of an InstallNackMessage (a node id, a fingerprint, framing).
-constexpr uint32_t kInstallNackBytes = 24;
 
 }  // namespace
 
@@ -94,15 +92,25 @@ Status InstallEngine::ApplyPatch(const std::string& patch_text) {
 // BtrRuntime
 // ---------------------------------------------------------------------------
 
-BtrRuntime::BtrRuntime(const RuntimeContext& ctx)
-    : ctx_(ctx), payload_arena_(std::make_shared<BlockPool>()) {
+BtrRuntime::BtrRuntime(const RuntimeContext& ctx) : ctx_(ctx) {
   assert(ctx_.sim != nullptr && ctx_.network != nullptr && ctx_.strategy != nullptr);
+  const uint32_t shards = ctx_.sim->shard_count();
+  arenas_.reserve(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    arenas_.push_back(std::make_shared<BlockPool>());
+    if (shards > 1) {
+      arenas_.back()->BindOwnerShard(s);
+    }
+  }
+  conviction_shards_.resize(shards);
+  install_shards_.resize(shards);
   const size_t n = ctx_.topo->node_count();
   nodes_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     const NodeId id(static_cast<uint32_t>(i));
-    nodes_.push_back(std::make_unique<NodeRuntime>(this, ctx_, id, ctx_.keys->SignerFor(id),
-                                                   payload_arena_));
+    nodes_.push_back(std::make_unique<NodeRuntime>(
+        this, ctx_, id, ctx_.keys->SignerFor(id),
+        arenas_[ctx_.sim->ShardOf(static_cast<uint32_t>(i))]));
     NodeRuntime* node = nodes_.back().get();
     ctx_.network->SetReceiver(id, [node](const Packet& packet) { node->OnPacket(packet); });
   }
@@ -263,10 +271,26 @@ void BtrRuntime::HandleInstallNack(NodeId from) {
 
 void BtrRuntime::NotifyInstalled(NodeId node) {
   (void)node;
-  ++install_report_.nodes_installed;
-  if (install_report_.nodes_installed == nodes_.size()) {
-    install_report_.completed_at = ctx_.sim->Now();
+  const ExecContext& exec = ThisThreadExec();
+  InstallShard& sh = install_shards_[exec.worker ? exec.shard : 0];
+  ++sh.installed;
+  sh.last_at = std::max(sh.last_at, ctx_.sim->Now());
+}
+
+const InstallRunReport& BtrRuntime::install_report() const {
+  install_report_final_ = install_report_;
+  size_t installed = 0;
+  SimTime last = -1;
+  for (const InstallShard& sh : install_shards_) {
+    installed += sh.installed;
+    last = std::max(last, sh.last_at);
   }
+  install_report_final_.nodes_installed = installed;
+  // Completion time is the moment the last node reached the target — a
+  // property of the event set, so the max over shards is layout-invariant.
+  install_report_final_.completed_at =
+      installed == nodes_.size() && installed > 0 ? last : kSimTimeNever;
+  return install_report_final_;
 }
 
 const NodeStats& BtrRuntime::node_stats(NodeId node) const {
@@ -292,12 +316,38 @@ NodeStats BtrRuntime::TotalStats() const {
 }
 
 void BtrRuntime::RecordConviction(const ConvictionEvent& event) {
-  convictions_.push_back(event);
+  const ExecContext& exec = ThisThreadExec();
+  conviction_shards_[exec.worker ? exec.shard : 0].items.push_back(event);
+}
+
+const std::vector<ConvictionEvent>& BtrRuntime::convictions() const {
+  size_t total = 0;
+  for (const ConvictionShard& sh : conviction_shards_) {
+    total += sh.items.size();
+  }
+  // Buffers only grow, so a size mismatch is an exact staleness test.
+  if (convictions_merged_.size() != total) {
+    convictions_merged_.clear();
+    convictions_merged_.reserve(total);
+    for (const ConvictionShard& sh : conviction_shards_) {
+      convictions_merged_.insert(convictions_merged_.end(), sh.items.begin(), sh.items.end());
+    }
+    // Canonical order. (convicted, by) pairs are unique — Convict() records
+    // at most once per observer — so the order is total and layout-invariant.
+    std::sort(convictions_merged_.begin(), convictions_merged_.end(),
+              [](const ConvictionEvent& a, const ConvictionEvent& b) {
+                if (a.at != b.at) return a.at < b.at;
+                if (a.convicted != b.convicted) return a.convicted < b.convicted;
+                if (a.by != b.by) return a.by < b.by;
+                return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+              });
+  }
+  return convictions_merged_;
 }
 
 SimTime BtrRuntime::FirstConvictionOf(NodeId node) const {
   SimTime first = kSimTimeNever;
-  for (const ConvictionEvent& ev : convictions_) {
+  for (const ConvictionEvent& ev : convictions()) {
     if (ev.convicted != node) {
       continue;
     }
@@ -323,7 +373,7 @@ SimTime BtrRuntime::LastConvictionOf(NodeId node) const {
       ++honest_convinced;
     }
   }
-  for (const ConvictionEvent& ev : convictions_) {
+  for (const ConvictionEvent& ev : convictions()) {
     if (ev.convicted != node || ctx_.adversary->ManifestTime(ev.by) != kSimTimeNever) {
       continue;
     }
@@ -412,9 +462,11 @@ void NodeRuntime::BeginPeriod(uint64_t period) {
   const SimTime base = static_cast<SimTime>(period) * period_len;
   for (const ScheduleEntry& entry : plan_->tables()[id_.value()].entries()) {
     // Jobs take effect at completion time: outputs are sent when the WCET
-    // window closes.
-    ctx_.sim->At(base + entry.start + entry.duration,
-                 [this, job = entry.job, period]() { ExecuteJob(job, period); });
+    // window closes. The event is owned by this node (BeginPeriod runs on
+    // the exclusive driver path, so the schedule lands directly on the
+    // node's shard queue).
+    ctx_.sim->AtActor(id_.value(), base + entry.start + entry.duration,
+                      [this, job = entry.job, period]() { ExecuteJob(job, period); });
   }
 }
 

@@ -172,6 +172,11 @@ struct InstallRunReport {
 // forever with a peer whose shipments are persistently corrupted.
 inline constexpr uint32_t kMaxInstallFallbacksPerNode = 3;
 
+// Wire size of an InstallNackMessage (a node id, a fingerprint, framing) —
+// the smallest real protocol message, and therefore the wire-frame floor
+// BtrSystem pins into NetworkConfig::min_frame_bytes.
+inline constexpr uint32_t kInstallNackBytes = 24;
+
 // Shared, immutable-during-run context.
 struct RuntimeContext {
   Simulator* sim = nullptr;
@@ -217,11 +222,15 @@ class BtrRuntime {
   void ScheduleStrategyInstall(SimTime at, std::shared_ptr<const StrategyUpdate> update,
                                NodeId distributor,
                                InstallShipMode mode = InstallShipMode::kPatchSlices);
-  const InstallRunReport& install_report() const { return install_report_; }
+  // Finalized from the per-shard completion tallies on every call.
+  const InstallRunReport& install_report() const;
 
   const NodeStats& node_stats(NodeId node) const;
   NodeStats TotalStats() const;
-  const std::vector<ConvictionEvent>& convictions() const { return convictions_; }
+  // Convictions in canonical (at, convicted, by, kind) order — merged from
+  // the per-shard buffers, so the order (and every report built from it) is
+  // independent of the shard layout.
+  const std::vector<ConvictionEvent>& convictions() const;
 
   // Earliest honest conviction of `node`; kSimTimeNever if never convicted.
   SimTime FirstConvictionOf(NodeId node) const;
@@ -245,12 +254,28 @@ class BtrRuntime {
   SimDuration EstimateInstallTx(NodeId dst, uint32_t bytes) const;
 
   RuntimeContext ctx_;
-  // Freelist arena for message payloads, shared by every node runtime.
+  // Freelist arenas for message payloads, one per shard: a node's payloads
+  // come from its shard's arena, and a payload whose last reference dies on
+  // another shard rides the arena's lock-free foreign-return stack home.
   // shared_ptr: pooled payloads embed a handle, so in-flight messages keep
   // the arena alive past the runtime if needed.
-  std::shared_ptr<BlockPool> payload_arena_;
+  std::vector<std::shared_ptr<BlockPool>> arenas_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
-  std::vector<ConvictionEvent> convictions_;
+  // Per-shard conviction buffers (single-writer: a conviction is recorded by
+  // the shard executing the convicting node), merged canonically on read.
+  struct alignas(64) ConvictionShard {
+    std::vector<ConvictionEvent> items;
+  };
+  std::vector<ConvictionShard> conviction_shards_;
+  mutable std::vector<ConvictionEvent> convictions_merged_;
+  // Per-shard install-completion tallies (NotifyInstalled runs on the
+  // installing node's shard); summed/maxed into the report on read.
+  struct alignas(64) InstallShard {
+    size_t installed = 0;
+    SimTime last_at = -1;
+  };
+  std::vector<InstallShard> install_shards_;
+  mutable InstallRunReport install_report_final_;
   uint64_t periods_ = 0;
   // Active strategy rollout (install plane), if any.
   std::shared_ptr<const StrategyUpdate> update_;

@@ -5,6 +5,7 @@
 #include <deque>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -23,7 +24,20 @@ StatusOr<Strategy> StrategyBuilder::Build() {
   const uint32_t max_faults = planner_->config().max_faults;
 
   Strategy strategy;
-  ThreadPool pool(threads_);
+  // Planning runs on the process-wide shared worker pool (the same pool the
+  // sharded simulator parks its shard loops on — batches are tracked
+  // independently, so the two never wait on each other); threads_ == 1
+  // keeps the fully serial inline path.
+  ThreadPool serial_pool(1);
+  ThreadPool& pool = threads_ == 1 ? serial_pool : ThreadPool::Shared();
+  const size_t threads_used =
+      threads_ != 0 ? threads_
+                    : std::max<size_t>(1, std::thread::hardware_concurrency());
+  if (&pool != &serial_pool) {
+    // The shared pool is sized to the host; an explicit thread request may
+    // exceed it (oversubscription is the caller's call), so grow to match.
+    pool.EnsureWorkers(threads_used);
+  }
   size_t max_wave_modes = 0;
 
   for (size_t k = 0; k <= max_faults; ++k) {
@@ -74,7 +88,7 @@ StatusOr<Strategy> StrategyBuilder::Build() {
 
   planner_->RecordBuildMetrics(strategy.dedup_hits(), strategy.unique_plan_count(),
                                static_cast<size_t>(max_faults) + 1, max_wave_modes,
-                               pool.thread_count());
+                               threads_used);
   strategy.set_provenance(max_faults, planner_->Fingerprint());
   return strategy;
 }
@@ -583,7 +597,15 @@ StatusOr<Strategy> StrategyBuilder::Rebuild(const Strategy& old_strategy,
   const RebuildContext& ctx = prepared.value();
 
   Strategy strategy;
-  ThreadPool pool(threads_);
+  // Same shared-pool arrangement as Build().
+  ThreadPool serial_pool(1);
+  ThreadPool& pool = threads_ == 1 ? serial_pool : ThreadPool::Shared();
+  const size_t threads_used =
+      threads_ != 0 ? threads_
+                    : std::max<size_t>(1, std::thread::hardware_concurrency());
+  if (&pool != &serial_pool) {
+    pool.EnsureWorkers(threads_used);
+  }
   size_t max_wave_modes = 0;
   size_t dirty_modes = 0;
   size_t clean_modes = 0;
@@ -797,7 +819,7 @@ StatusOr<Strategy> StrategyBuilder::Rebuild(const Strategy& old_strategy,
   }
   planner_->RecordBuildMetrics(strategy.dedup_hits(), strategy.unique_plan_count(),
                                static_cast<size_t>(max_faults) + 1, max_wave_modes,
-                               pool.thread_count());
+                               threads_used);
   planner_->RecordRebuildMetrics(dirty_modes, clean_modes, migrated_bodies);
   strategy.set_provenance(max_faults, new_planner.Fingerprint());
   return strategy;

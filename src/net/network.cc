@@ -25,10 +25,20 @@ Network::Network(Simulator* sim, const Topology* topo, NetworkConfig config)
       config_(config),
       receivers_(topo->node_count()),
       node_down_(topo->node_count(), false),
-      relay_drop_(topo->node_count(), false) {
+      relay_drop_(topo->node_count(), false),
+      next_message_(topo->node_count()) {
   assert(config_.foreground_fraction + config_.evidence_fraction + config_.control_fraction <=
          1.0 + 1e-9);
   routing_ = std::make_shared<RoutingTable>(*topo);
+  const uint32_t shards = sim_->shard_count();
+  state_.reserve(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    state_.push_back(std::make_unique<ShardState>());
+    // Per-shard loss streams. Single-shard runs keep drawing from the root
+    // RNG (legacy behavior); loss draws are the one place where sharded
+    // runs are only per-layout deterministic rather than layout-invariant.
+    state_.back()->loss_rng = Rng(sim_->seed() ^ (0x9e3779b97f4a7c15ULL * (s + 1)));
+  }
 }
 
 Network::~Network() = default;
@@ -65,35 +75,41 @@ SimDuration Network::SerializationTime(LinkId link, [[maybe_unused]] NodeId send
   return static_cast<SimDuration>(seconds * 1e9) + 1;
 }
 
-Packet* Network::AcquirePacket() {
-  if (!packet_free_.empty()) {
-    Packet* p = packet_free_.back();
-    packet_free_.pop_back();
+Packet* Network::AcquirePacket(ShardState& st) {
+  if (!st.packet_free.empty()) {
+    Packet* p = st.packet_free.back();
+    st.packet_free.pop_back();
     return p;
   }
-  packet_blocks_.push_back(std::make_unique<Packet>());
-  return packet_blocks_.back().get();
+  st.packet_blocks.push_back(std::make_unique<Packet>());
+  return st.packet_blocks.back().get();
 }
 
-void Network::ReleasePacket(Packet* packet) {
+void Network::ReleasePacket(ShardState& st, Packet* packet) {
   packet->payload.reset();  // drop the payload reference promptly
-  packet_free_.push_back(packet);
+  st.packet_free.push_back(packet);
 }
 
 MessageId Network::Send(NodeId src, NodeId dst, uint32_t size_bytes, TrafficClass cls,
                         PayloadPtr payload) {
   assert(src.valid() && dst.valid());
-  ++stats_.packets_sent;
-  const MessageId id(next_message_++);
+  ShardState& st = CurrentState();
+  ++st.stats.packets_sent;
+  // Message ids are per-sender (single-writer on the sender's shard) and
+  // carry the sender in the top bits; they are diagnostics, never ordering.
+  const MessageId id((src.value() << 20) | (next_message_[src.value()].next++ & 0xFFFFF));
+  if (size_bytes < config_.min_frame_bytes) {
+    size_bytes = config_.min_frame_bytes;
+  }
 
   const bool loopback = src == dst;
   if (!loopback && !routing_->Reachable(src, dst)) {
-    ++stats_.packets_dropped_unreachable;
+    ++st.stats.packets_dropped_unreachable;
     return MessageId::Invalid();
   }
   // One init block for both paths: the pooled Packet is reused, so every
   // field must be (re)assigned here.
-  Packet* p = AcquirePacket();
+  Packet* p = AcquirePacket(st);
   p->id = id;
   p->src = src;
   p->dst = dst;
@@ -119,69 +135,117 @@ void Network::ForwardHop(Packet* packet, std::shared_ptr<const RoutingTable> rou
   }
   const Hop& hop = route[hop_index];
 
+  // Every hop executes either on the shard that owns hop.sender (the first
+  // hop inside Send, later hops inside the relay's arrival event) or on the
+  // exclusive driver path — so the sender-partitioned guardian timeline has
+  // exactly one writer, and is the same partition for every shard count.
+  ShardState& st = SenderState(hop.sender);
+
   // A downed relay cannot transmit, and a Byzantine relay may refuse to.
   if (hop_index > 0 &&
       (node_down_[hop.sender.value()] || relay_drop_[hop.sender.value()])) {
-    ++stats_.packets_dropped_down;
-    ReleasePacket(packet);
+    ++st.stats.packets_dropped_down;
+    ReleasePacket(st, packet);
     return;
   }
 
-  SimTime& next_free = guardian_next_free_[GuardianKey(hop.link, hop.sender, packet->cls)];
+  SimTime& next_free = st.guardian_next_free[GuardianKey(hop.link, hop.sender, packet->cls)];
   const SimTime now = sim_->Now();
   const SimTime depart = std::max(now, next_free);
   if (depart - now > config_.max_guardian_backlog) {
-    ++stats_.packets_dropped_backlog;
-    ++stats_.backlog_drops_by_class[static_cast<int>(packet->cls)];
-    ReleasePacket(packet);
+    ++st.stats.packets_dropped_backlog;
+    ++st.stats.backlog_drops_by_class[static_cast<int>(packet->cls)];
+    ReleasePacket(st, packet);
     return;
   }
   const SimDuration tx =
-      CachedSerializationTime(hop.link, hop.sender, packet->cls, packet->size_bytes);
+      CachedSerializationTime(st, hop.link, hop.sender, packet->cls, packet->size_bytes);
   next_free = depart + tx;
 
-  stats_.bytes_by_class[static_cast<int>(packet->cls)] += packet->size_bytes;
-  stats_.total_link_bytes += packet->size_bytes;
+  st.stats.bytes_by_class[static_cast<int>(packet->cls)] += packet->size_bytes;
+  st.stats.total_link_bytes += packet->size_bytes;
 
   const SimTime arrival = depart + tx + topo_->link(hop.link).propagation;
-  const bool lost = config_.loss_probability > 0.0 && sim_->rng()->NextBool(config_.loss_probability);
+  const bool lost =
+      config_.loss_probability > 0.0 &&
+      (sim_->shard_count() == 1 ? sim_->rng()->NextBool(config_.loss_probability)
+                                : st.loss_rng.NextBool(config_.loss_probability));
   // Hop state is packed so the closure fits the event queue's inline
   // buffer; the receiver is resolved now (the captured routing table is
-  // immutable, so the arrival-time lookup gave the same answer).
+  // immutable, so the arrival-time lookup gave the same answer). The
+  // arrival event is owned by the hop receiver: a cross-shard hop rides the
+  // sender's mailbox, and the lookahead bound holds because arrival is at
+  // least tx(min frame) + propagation after now.
   struct HopState {
     uint32_t next_hop;
     uint32_t receiver;
     bool lost;
   };
-  const HopState st{static_cast<uint32_t>(hop_index + 1), hop.receiver.value(), lost};
-  sim_->At(arrival, [this, packet, routing = std::move(routing), st]() mutable {
-    if (st.lost) {
-      ++stats_.packets_dropped_loss;
-      ReleasePacket(packet);
+  const HopState hs{static_cast<uint32_t>(hop_index + 1), hop.receiver.value(), lost};
+  sim_->AtActor(hs.receiver, arrival, [this, packet, routing = std::move(routing), hs]() mutable {
+    if (hs.lost) {
+      ShardState& local = CurrentState();
+      ++local.stats.packets_dropped_loss;
+      ReleasePacket(local, packet);
       return;
     }
-    if (node_down_[st.receiver]) {
-      ++stats_.packets_dropped_down;
-      ReleasePacket(packet);
+    if (node_down_[hs.receiver]) {
+      ShardState& local = CurrentState();
+      ++local.stats.packets_dropped_down;
+      ReleasePacket(local, packet);
       return;
     }
-    ForwardHop(packet, std::move(routing), st.next_hop);
+    ForwardHop(packet, std::move(routing), hs.next_hop);
   });
 }
 
 void Network::Deliver(Packet* packet) {
+  ShardState& st = CurrentState();
   if (node_down_[packet->dst.value()]) {
-    ++stats_.packets_dropped_down;
-    ReleasePacket(packet);
+    ++st.stats.packets_dropped_down;
+    ReleasePacket(st, packet);
     return;
   }
   packet->delivered_at = sim_->Now();
-  ++stats_.packets_delivered;
+  ++st.stats.packets_delivered;
   DeliveryFn& fn = receivers_[packet->dst.value()];
   if (fn) {
     fn(*packet);
   }
-  ReleasePacket(packet);
+  ReleasePacket(st, packet);
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats total;
+  for (const auto& st : state_) {
+    const NetworkStats& s = st->stats;
+    total.packets_sent += s.packets_sent;
+    total.packets_delivered += s.packets_delivered;
+    total.packets_dropped_loss += s.packets_dropped_loss;
+    total.packets_dropped_down += s.packets_dropped_down;
+    total.packets_dropped_unreachable += s.packets_dropped_unreachable;
+    total.packets_dropped_backlog += s.packets_dropped_backlog;
+    for (int c = 0; c < kTrafficClassCount; ++c) {
+      total.backlog_drops_by_class[c] += s.backlog_drops_by_class[c];
+      total.bytes_by_class[c] += s.bytes_by_class[c];
+    }
+    total.total_link_bytes += s.total_link_bytes;
+  }
+  return total;
+}
+
+void Network::ResetStats() {
+  for (auto& st : state_) {
+    st->stats = NetworkStats();
+  }
+}
+
+size_t Network::packet_pool_size() const {
+  size_t total = 0;
+  for (const auto& st : state_) {
+    total += st->packet_blocks.size();
+  }
+  return total;
 }
 
 void Network::SetNodeDown(NodeId node, bool down) { node_down_[node.value()] = down; }

@@ -16,6 +16,14 @@
 // the event queue instead of copying the packet into each hop's closure, and
 // the pool recycles it on delivery or drop. Payload objects are allocated
 // from a shared BlockPool (see MakePooled) by whoever builds them.
+//
+// Sharding: all mutable transport state is split per shard. Guardian
+// timelines are partitioned by the shard of the *sender* (a hop's guardian
+// is only ever touched by the shard executing that sender's events, or by
+// the exclusive driver path — the same partition for every shard count,
+// which is what keeps reports bit-identical). Serialization caches, stats,
+// and packet pools are partitioned by the executing shard; stats aggregate
+// on read. Per-sender message counters are single-writer by construction.
 
 #ifndef BTR_SRC_NET_NETWORK_H_
 #define BTR_SRC_NET_NETWORK_H_
@@ -86,6 +94,13 @@ struct NetworkConfig {
   // Maximum guardian backlog, expressed as transmission time; traffic that
   // would queue longer is dropped (bounded MAC queue).
   SimDuration max_guardian_backlog = Milliseconds(200);
+  // Minimum on-the-wire frame size; smaller sends are padded up. 0 keeps
+  // the raw sizes (legacy behavior). The sharded engine relies on a nonzero
+  // floor: the conservative lookahead is the serialization time of the
+  // smallest possible frame plus propagation, so BtrSystem pins this to the
+  // smallest real protocol message (kInstallNackBytes = 24) for every run
+  // regardless of shard count — the floor must be layout-invariant.
+  uint32_t min_frame_bytes = 0;
 };
 
 struct NetworkStats {
@@ -130,15 +145,30 @@ class Network {
   SimDuration SerializationTime(LinkId link, NodeId sender, TrafficClass cls,
                                 uint32_t size_bytes) const;
 
-  const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats(); }
+  // Aggregated over all shards. Call from the exclusive path (between
+  // windows or post-run).
+  NetworkStats stats() const;
+  void ResetStats();
 
   const Topology& topology() const { return *topo_; }
 
-  // Pool occupancy diagnostics (bench counters).
-  size_t packet_pool_size() const { return packet_blocks_.size(); }
+  // Pool occupancy diagnostics (bench counters), aggregated over shards.
+  size_t packet_pool_size() const;
 
  private:
+  // Mutable transport state owned by one shard. Padded so two shards'
+  // guardians never share a cache line.
+  struct alignas(64) ShardState {
+    FlatMap64<SimTime> guardian_next_free;
+    FlatMap64<SimDuration> serialization_cache;
+    NetworkStats stats;
+    Rng loss_rng{0};
+    // Freelist-pooled in-flight packets. A packet acquired on the sender's
+    // shard is released to the shard that finishes it (the receiver's);
+    // backing storage stays with the acquiring shard.
+    std::vector<std::unique_ptr<Packet>> packet_blocks;
+    std::vector<Packet*> packet_free;
+  };
   // 64-bit guardian key: 24-bit link | 24-bit sender | class.
   static uint64_t GuardianKey(LinkId link, NodeId sender, TrafficClass cls) {
     return (static_cast<uint64_t>(link.value()) << 32) |
@@ -147,23 +177,30 @@ class Network {
 
   double ClassFraction(TrafficClass cls) const;
 
+  // State of the shard the calling context executes for (shard 0 on the
+  // exclusive path).
+  ShardState& CurrentState() { return *state_[sim_->CurrentShard()]; }
+  // State of the shard owning `sender`'s guardians — the invariant
+  // partition (see file comment).
+  ShardState& SenderState(NodeId sender) { return *state_[sim_->ShardOf(sender.value())]; }
+
   // SerializationTime with the result memoized per (link, class, size):
   // the hot path sends the same few message sizes on the same links every
   // period, and the floating-point division is measurable there. Values
   // are computed by the exact public formula, so timing is unchanged.
-  SimDuration CachedSerializationTime(LinkId link, NodeId sender, TrafficClass cls,
-                                      uint32_t size_bytes) {
+  SimDuration CachedSerializationTime(ShardState& st, LinkId link, NodeId sender,
+                                      TrafficClass cls, uint32_t size_bytes) {
     const uint64_t key = (static_cast<uint64_t>(link.value()) << 40) |
                          (static_cast<uint64_t>(cls) << 36) | size_bytes;
-    SimDuration& tx = serialization_cache_[key];
+    SimDuration& tx = st.serialization_cache[key];
     if (tx == 0) {
       tx = SerializationTime(link, sender, cls, size_bytes);  // always >= 1
     }
     return tx;
   }
 
-  Packet* AcquirePacket();
-  void ReleasePacket(Packet* packet);
+  Packet* AcquirePacket(ShardState& st);
+  void ReleasePacket(ShardState& st, Packet* packet);
 
   void ForwardHop(Packet* packet, std::shared_ptr<const RoutingTable> routing,
                   size_t hop_index);
@@ -176,14 +213,13 @@ class Network {
   std::vector<DeliveryFn> receivers_;
   std::vector<bool> node_down_;
   std::vector<bool> relay_drop_;
-  FlatMap64<SimTime> guardian_next_free_;
-  FlatMap64<SimDuration> serialization_cache_;
-  NetworkStats stats_;
-  uint32_t next_message_ = 0;
-
-  // Freelist-pooled in-flight packets.
-  std::vector<std::unique_ptr<Packet>> packet_blocks_;
-  std::vector<Packet*> packet_free_;
+  std::vector<std::unique_ptr<ShardState>> state_;  // one per shard
+  // Per-sender message counters, padded: each is written only by its
+  // sender's shard (or the exclusive driver path).
+  struct alignas(64) MessageCounter {
+    uint32_t next = 0;
+  };
+  std::vector<MessageCounter> next_message_;
 };
 
 }  // namespace btr

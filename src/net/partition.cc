@@ -1,0 +1,116 @@
+#include "src/net/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace btr {
+
+SimDuration MinHopLatency(const Topology& topo, const NetworkConfig& config, LinkId link) {
+  const LinkSpec& spec = topo.link(link);
+  const double max_fraction = std::max(
+      {config.foreground_fraction, config.evidence_fraction, config.control_fraction});
+  const double sender_share = 1.0 / static_cast<double>(spec.endpoints.size());
+  const double bps = static_cast<double>(spec.bandwidth_bps) * sender_share * max_fraction;
+  const uint32_t min_bytes = std::max<uint32_t>(1, config.min_frame_bytes);
+  // Mirrors Network::SerializationTime exactly (including the +1ns floor):
+  // a lookahead computed from a different formula could overshoot the real
+  // minimum and break conservativeness.
+  const double seconds = static_cast<double>(min_bytes) * 8.0 / bps;
+  const SimDuration tx = static_cast<SimDuration>(seconds * 1e9) + 1;
+  return tx + spec.propagation;
+}
+
+ShardLayout PartitionTopology(const Topology& topo, uint32_t shards,
+                              const NetworkConfig& config) {
+  const uint32_t n = static_cast<uint32_t>(topo.node_count());
+  ShardLayout layout;
+  layout.shard_of.assign(n, 0);
+  const uint32_t count = std::min<uint32_t>(std::max<uint32_t>(1, shards), std::max<uint32_t>(1, n));
+  layout.shard_count = count;
+  if (count <= 1 || n == 0) {
+    return layout;
+  }
+
+  // Pairwise affinity = sum over shared links of 1 / min-hop-latency:
+  // low-latency links bind hard, slow links barely at all. Precompute each
+  // link's weight once; a bus contributes its weight to every endpoint pair.
+  std::vector<double> link_weight(topo.link_count(), 0.0);
+  for (const LinkSpec& spec : topo.links()) {
+    const SimDuration latency = std::max<SimDuration>(1, MinHopLatency(topo, config, spec.id));
+    link_weight[spec.id.value()] = 1.0 / static_cast<double>(latency);
+  }
+
+  constexpr uint32_t kUnassigned = 0xFFFFFFFFu;
+  std::vector<uint32_t> assignment(n, kUnassigned);
+  // score[v] = total affinity between v and the shard currently growing.
+  std::vector<double> score(n, 0.0);
+  const uint32_t target = (n + count - 1) / count;
+
+  uint32_t assigned_total = 0;
+  for (uint32_t shard = 0; shard < count && assigned_total < n; ++shard) {
+    std::fill(score.begin(), score.end(), 0.0);
+    uint32_t members = 0;
+    // Seed with the lowest unassigned node id, then grow by max affinity to
+    // the members so far (ties to the lowest id — fully deterministic).
+    uint32_t next = kUnassigned;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (assignment[v] == kUnassigned) {
+        next = v;
+        break;
+      }
+    }
+    while (next != kUnassigned) {
+      assignment[next] = shard;
+      ++assigned_total;
+      ++members;
+      if (members >= target || assigned_total >= n) {
+        break;
+      }
+      for (LinkId link : topo.LinksAt(NodeId(next))) {
+        const double w = link_weight[link.value()];
+        for (NodeId peer : topo.link(link).endpoints) {
+          if (assignment[peer.value()] == kUnassigned) {
+            score[peer.value()] += w;
+          }
+        }
+      }
+      next = kUnassigned;
+      double best = -1.0;
+      for (uint32_t v = 0; v < n; ++v) {
+        if (assignment[v] == kUnassigned && score[v] > best) {
+          best = score[v];
+          next = v;
+        }
+      }
+    }
+  }
+  // Any stragglers (possible when early shards absorbed whole components)
+  // land on the last shard.
+  for (uint32_t v = 0; v < n; ++v) {
+    if (assignment[v] == kUnassigned) {
+      assignment[v] = count - 1;
+    }
+  }
+  layout.shard_of = std::move(assignment);
+
+  // Lookahead: minimum over links whose endpoints span more than one shard.
+  SimDuration lookahead = kSimTimeNever;
+  for (const LinkSpec& spec : topo.links()) {
+    const uint32_t first = layout.shard_of[spec.endpoints.front().value()];
+    bool cut = false;
+    for (NodeId endpoint : spec.endpoints) {
+      if (layout.shard_of[endpoint.value()] != first) {
+        cut = true;
+        break;
+      }
+    }
+    if (cut) {
+      lookahead = std::min(lookahead, MinHopLatency(topo, config, spec.id));
+    }
+  }
+  layout.lookahead = lookahead;
+  return layout;
+}
+
+}  // namespace btr

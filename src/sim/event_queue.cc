@@ -8,6 +8,14 @@ bool EventQueue::Cancel(EventHandle handle) {
   if (!handle.valid() || handle.slot_ >= slots_.size()) {
     return false;
   }
+  if (handle.queue_ != queue_id_) {
+    // A handle from another shard's queue: its (slot, generation) coordinates
+    // are meaningless here, and blindly bumping a generation would corrupt
+    // the lazy sweep. The simulator rejects these with a logged error before
+    // they reach us; this guard keeps direct EventQueue users safe too.
+    assert(false && "Cancel called with a handle from a different queue");
+    return false;
+  }
   Slot& slot = slots_[handle.slot_];
   if (slot.generation != handle.generation_) {
     return false;  // already fired, cancelled, or the slot was reused

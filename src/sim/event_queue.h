@@ -2,7 +2,10 @@
 //
 // Events at equal timestamps are delivered in insertion order (a strictly
 // increasing sequence number breaks ties), which makes entire simulations
-// reproducible from a seed.
+// reproducible from a seed. The sharded simulator supplies its own tie-break
+// keys instead: a canonical (scheduling actor, per-actor counter) priority
+// that is identical for every shard count, so per-queue sequence allocation
+// never leaks into cross-shard event order.
 //
 // Storage is slot-based: callables live in recycled slots (whose inline
 // SmallFn buffers hold the common capture sizes without allocating), and
@@ -33,18 +36,22 @@ namespace btr {
 // index + flag).
 using EventFn = SmallFn<48>;
 
-// Handle for cancelling a scheduled event.
+// Handle for cancelling a scheduled event. Carries the id of the queue that
+// issued it so a sharded simulator can route (and police) cancellations.
 class EventHandle {
  public:
   EventHandle() = default;
 
   bool valid() const { return generation_ != 0; }
+  uint32_t queue_id() const { return queue_; }
 
  private:
   friend class EventQueue;
-  EventHandle(uint32_t slot, uint32_t generation) : slot_(slot), generation_(generation) {}
+  EventHandle(uint32_t slot, uint32_t generation, uint32_t queue)
+      : slot_(slot), generation_(generation), queue_(queue) {}
   uint32_t slot_ = 0;
   uint32_t generation_ = 0;
+  uint32_t queue_ = 0;
 };
 
 class EventQueue {
@@ -53,19 +60,36 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
+  // No-owner sentinel for events scheduled through the plain Schedule path.
+  static constexpr uint32_t kNoOwner = 0xFFFFFFFFu;
+
+  // Identifies this queue in the handles it issues (the shard index in a
+  // sharded simulator). Must be set before the first Schedule.
+  void set_queue_id(uint32_t id) { queue_id_ = id; }
+
   // Schedules `fn` at absolute time `when`. `when` must be >= the time of the
   // last popped event (no scheduling into the past). Takes the callable by
   // rvalue so a caller-site lambda is materialized once and moved once.
+  // Equal timestamps tie-break on a per-queue insertion counter.
   EventHandle Schedule(SimTime when, EventFn&& fn) {
+    return Schedule(when, next_seq_++, kNoOwner, std::move(fn));
+  }
+
+  // Sharded form: the caller supplies the tie-break priority (canonical
+  // across shard counts) and the owning actor, which PopNext hands back so
+  // the simulator can stamp the execution context. Callers must not mix
+  // supplied priorities with the auto-sequenced overload in one queue.
+  EventHandle Schedule(SimTime when, uint64_t prio, uint32_t owner, EventFn&& fn) {
     assert(when >= last_popped_ && "scheduling into the past");
     const uint32_t index = AcquireSlot();
     Slot& slot = slots_[index];
     slot.fn = std::move(fn);
+    slot.owner = owner;
     slot.generation |= 1;  // arm: odd generation
-    HeapPush(HeapEntry{when < last_popped_ ? last_popped_ : when, next_seq_++, index,
+    HeapPush(HeapEntry{when < last_popped_ ? last_popped_ : when, prio, index,
                        slot.generation});
     ++live_count_;
-    return EventHandle(index, slot.generation);
+    return EventHandle(index, slot.generation, queue_id_);
   }
 
   // Cancels a previously scheduled event. Safe to call on already-fired or
@@ -84,10 +108,23 @@ class EventQueue {
     return heap_.front().when;
   }
 
+  // (when, prio) key of the earliest pending event, for cross-queue merges.
+  // Returns false if empty.
+  bool PeekKey(SimTime* when, uint64_t* prio) const {
+    SkipDead();
+    if (heap_.empty()) {
+      return false;
+    }
+    *when = heap_.front().when;
+    *prio = heap_.front().prio;
+    return true;
+  }
+
   // Pops the earliest event into `*fn` WITHOUT running it, and returns its
   // timestamp. Requires !Empty(). The driver advances its clock between the
   // pop and the call, so callbacks observe their own timestamp via Now().
-  SimTime PopNext(EventFn* fn) {
+  // `owner` (optional) receives the owning actor supplied at Schedule.
+  SimTime PopNext(EventFn* fn, uint32_t* owner = nullptr) {
     SkipDead();
     assert(!heap_.empty());
     const HeapEntry top = heap_.front();
@@ -96,6 +133,9 @@ class EventQueue {
     // Move the callable out before it can run: the callback may schedule
     // new events (growing slots_) or cancel, and must see this event done.
     *fn = std::move(slot.fn);
+    if (owner != nullptr) {
+      *owner = slot.owner;
+    }
     slot.generation += 1;
     ReleaseSlot(top.slot);
     --live_count_;
@@ -122,15 +162,16 @@ class EventQueue {
     // entry whose generation mismatches is stale. Starts at 0 (free).
     uint32_t generation = 0;
     uint32_t next_free = kNilSlot;
+    uint32_t owner = kNoOwner;
   };
   struct HeapEntry {
     SimTime when;
-    uint64_t seq;
+    uint64_t prio;
     uint32_t slot;
     uint32_t generation;
 
     bool Earlier(const HeapEntry& o) const {
-      return when != o.when ? when < o.when : seq < o.seq;
+      return when != o.when ? when < o.when : prio < o.prio;
     }
   };
 
@@ -151,9 +192,9 @@ class EventQueue {
     free_head_ = index;
   }
 
-  // 4-ary min-heap ordered by (when, seq): half the depth of a binary heap
+  // 4-ary min-heap ordered by (when, prio): half the depth of a binary heap
   // and better cache behavior for the sift-downs every pop performs. The
-  // (when, seq) order is strict and total, so the pop sequence — and with
+  // (when, prio) order is strict and total, so the pop sequence — and with
   // it the whole simulation — is identical for any correct heap layout.
   void HeapPush(HeapEntry entry) const {
     size_t i = heap_.size();
@@ -204,6 +245,7 @@ class EventQueue {
   mutable std::vector<HeapEntry> heap_;
   std::vector<Slot> slots_;
   uint32_t free_head_ = kNilSlot;
+  uint32_t queue_id_ = 0;
   uint64_t next_seq_ = 1;
   size_t live_count_ = 0;
   SimTime last_popped_ = 0;

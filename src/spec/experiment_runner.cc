@@ -77,6 +77,7 @@ BtrConfig MakeBtrConfig(const ExperimentSpec& spec) {
   config.planner.recovery_bound = spec.recovery_bound;
   config.runtime.heartbeats = spec.heartbeats;
   config.seed = spec.seed;
+  config.shards = spec.shards;
   return config;
 }
 

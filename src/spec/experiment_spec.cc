@@ -420,6 +420,9 @@ std::string SerializeExperimentSpec(const ExperimentSpec& spec) {
   if (!spec.heartbeats) {
     out += " heartbeats=0";
   }
+  if (spec.shards != 0) {
+    out += " shards=" + std::to_string(spec.shards);
+  }
   out += '\n';
   for (const SweepAxis& axis : spec.sweeps) {
     out += "SWEEP " + axis.key;
@@ -708,6 +711,15 @@ StatusOr<ExperimentSpec> ParseExperimentSpec(const std::string& text) {
         } else {
           return LineError(line_no, "heartbeats= must be 0 or 1");
         }
+      }
+      if (kv.Take("shards", &value)) {
+        uint64_t shards = 0;
+        // 0 would serialize as an absent key, so the canonical round-trip
+        // only admits explicit counts; 64 generously exceeds any host.
+        if (!ParseU64(value, &shards) || shards == 0 || shards > 64) {
+          return LineError(line_no, "shards= must be in [1, 64]");
+        }
+        spec.shards = static_cast<uint32_t>(shards);
       }
       Status done = kv.Done(line_no);
       if (!done.ok()) {

@@ -129,6 +129,9 @@ struct ExperimentSpec {
   // rollouts typically disable them until dissemination is heartbeat-aware
   // (the pacing item on the ROADMAP).
   bool heartbeats = true;
+  // Simulation shards (CONFIG shards=, parallel data plane). 0 = auto.
+  // Purely a speed knob: reports are byte-identical for every value.
+  uint32_t shards = 0;
   std::vector<SweepAxis> sweeps;
   std::vector<SpecPhase> phases;
 };

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "src/core/btr_system.h"
 #include "src/workload/generators.h"
@@ -107,6 +109,76 @@ TEST(Determinism, FingerprintMatchesSerialization) {
   auto report = system.Run(120);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(FingerprintRunReport(*report), HashString(dump));
+}
+
+// --- Shard-count invariance -------------------------------------------------
+//
+// The conservative-parallel engine's contract: sharding is a speed knob,
+// never a semantics knob. The same seeded scenario must produce a
+// byte-identical serialized report at every shard count, with shards=1
+// reducing exactly to the classic single-queue loop. These oracles force
+// BTR_SHARD_EXEC=threads so real worker threads, mailboxes, and the
+// conservative window handshake are on the hook even on single-core CI
+// hosts (where the auto policy would quietly fall back to sequential
+// windows and prove nothing).
+
+// Runs `configure`d E7-scale system (8 interchangeable flight computers,
+// f=2) once per shard count and requires all dumps byte-identical.
+template <typename ConfigureFaults>
+void ExpectShardInvariant(uint64_t seed, uint64_t periods, ConfigureFaults configure) {
+  setenv("BTR_SHARD_EXEC", "threads", 1);
+  std::string baseline;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    BtrSystem system(MakeAvionicsScenario(8), Config(seed));
+    system.set_shards(shards);
+    ASSERT_TRUE(system.Plan().ok());
+    configure(system);
+    auto report = system.Run(periods);
+    ASSERT_TRUE(report.ok());
+    const std::string dump = SerializeRunReport(*report);
+    if (shards == 1) {
+      baseline = dump;
+      ASSERT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(dump, baseline) << "report diverged at shards=" << shards;
+    }
+  }
+  unsetenv("BTR_SHARD_EXEC");
+}
+
+TEST(ShardInvariance, FaultFreeE7ByteIdenticalAcrossShardCounts) {
+  ExpectShardInvariant(11, 80, [](BtrSystem&) {});
+}
+
+TEST(ShardInvariance, FaultyE7ByteIdenticalAcrossShardCounts) {
+  // Crash + value corruption: detection, evidence distribution,
+  // verification, and the mode switch all cross shard boundaries.
+  ExpectShardInvariant(11, 80, [](BtrSystem& system) {
+    FaultInjection crash;
+    crash.node = NodeId(0);
+    crash.manifest_at = Milliseconds(300);
+    crash.behavior = FaultBehavior::kCrash;
+    system.AddFault(crash);
+    FaultInjection corrupt;
+    corrupt.node = NodeId(1);
+    corrupt.manifest_at = Milliseconds(700);
+    corrupt.behavior = FaultBehavior::kValueCorruption;
+    system.AddFault(corrupt);
+  });
+}
+
+TEST(ShardInvariance, TransientHealingFaultByteIdenticalAcrossShardCounts) {
+  // A transient corruption that heals (`until`): the heal edge and any
+  // conviction racing it must land in the same canonical order regardless
+  // of which shard executes the victim.
+  ExpectShardInvariant(13, 80, [](BtrSystem& system) {
+    FaultInjection transient;
+    transient.node = NodeId(2);
+    transient.manifest_at = Milliseconds(250);
+    transient.until = Milliseconds(650);
+    transient.behavior = FaultBehavior::kValueCorruption;
+    system.AddFault(transient);
+  });
 }
 
 }  // namespace
