@@ -4,8 +4,9 @@
 # every PR has a recorded perf trajectory.
 #
 # Usage:
-#   ci/run_benches.sh            # smoke preset (CI: fast, keeps binaries honest)
-#   ci/run_benches.sh --full     # E7 preset, more reps (perf work: real numbers)
+#   ci/run_benches.sh                  # smoke preset (CI: fast, keeps binaries honest)
+#   ci/run_benches.sh --full           # E7 preset, more reps (perf work: real numbers)
+#   ci/run_benches.sh --sweep-service  # + sweep_service row (btrsim --bench-service)
 #
 # The JSON is a single object:
 #   {
@@ -20,10 +21,22 @@ cd "$(dirname "$0")/.."
 
 PRESET=smoke
 REPS=2
-if [[ "${1:-}" == "--full" ]]; then
-  PRESET=e7
-  REPS=5
-fi
+SWEEP_SERVICE=0
+for arg in "$@"; do
+  case "${arg}" in
+    --full)
+      PRESET=e7
+      REPS=5
+      ;;
+    --sweep-service)
+      SWEEP_SERVICE=1
+      ;;
+    *)
+      echo "unknown option: ${arg}" >&2
+      exit 2
+      ;;
+  esac
+done
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-bench -j "$(nproc)" --target bench_sim_throughput bench_planner_scalability bench_plan_delta example_btrsim
@@ -64,6 +77,23 @@ SWEEP_ROWS=$( (./build-bench/example_btrsim --spec examples/specs/e7_sweep.btrx 
 if [[ -n "${SWEEP_ROWS}" ]]; then
   ROWS="${ROWS},
     ${SWEEP_ROWS}"
+fi
+# Sweep-service row (--sweep-service): the experiment service runs the
+# expanded e7_sweep fleet through {cache on, cache off} x {--jobs 1, 4}.
+# The row records the cache economics (cold vs warm wall, hit ratio) and
+# asserts the combined experiment fingerprint is identical across all four
+# corners — the cache and the job lanes are speed knobs, never semantics
+# knobs. btrsim exits nonzero on fingerprint divergence; like the sweep
+# row above, record it without killing the harness.
+if [[ "${SWEEP_SERVICE}" == "1" ]]; then
+  SERVICE_ROWS=$( (./build-bench/example_btrsim --spec examples/specs/e7_sweep.btrx \
+    --bench-service || \
+    echo "sweep service exited $? (fingerprint divergence or failed pass)" >&2) \
+    | sed -n 's/^BENCH_JSON //p' | paste -sd, -)
+  if [[ -n "${SERVICE_ROWS}" ]]; then
+    ROWS="${ROWS},
+    ${SERVICE_ROWS}"
+  fi
 fi
 
 {

@@ -38,6 +38,7 @@
 #include "src/core/btr_system.h"
 #include "src/core/strategy_io.h"
 #include "src/spec/experiment_runner.h"
+#include "src/spec/experiment_service.h"
 #include "src/spec/experiment_spec.h"
 #include "src/workload/generators.h"
 
@@ -62,6 +63,12 @@ struct Options {
   std::optional<std::string> save_strategy;
   bool dump_spec = false;
   bool verbose = false;
+  // Sweep-service knobs (sweep mode only). jobs = 0: host hardware
+  // concurrency; --jobs 1 reproduces the sequential sweep byte-for-byte.
+  size_t jobs = 0;
+  bool no_cache = false;
+  std::optional<std::string> results;
+  bool bench_service = false;
 };
 
 int Usage(const char* argv0) {
@@ -72,7 +79,8 @@ int Usage(const char* argv0) {
       "          [--fault crash|value-corruption|omission|selective-omission|\n"
       "                   delay|equivocate|evidence-flood]\n"
       "          [--fault-node N] [--fault-at-ms T] [--fault-until-ms T]\n"
-      "          [--analyze] [--save-strategy FILE] [--dump-spec] [--verbose]\n",
+      "          [--analyze] [--save-strategy FILE] [--dump-spec] [--verbose]\n"
+      "          [--jobs N] [--no-cache] [--results FILE.btrr] [--bench-service]\n",
       argv0);
   return 2;
 }
@@ -216,54 +224,44 @@ bool AnyViolation(const ExperimentReport& report) {
   return false;
 }
 
-// Sweep runner: expands the spec's axes, runs every combination, prints a
-// summary table, and emits one BENCH_JSON row (aggregate throughput +
+// Sweep runner: expands the spec's axes through the experiment service —
+// parallel job lanes over the fingerprint-keyed strategy cache — prints
+// the summary table, and emits one BENCH_JSON row (aggregate throughput +
 // combined fingerprint) that ci/run_benches.sh folds into
-// BENCH_runtime.json.
+// BENCH_runtime.json. The rendering is computed from the service's
+// deterministic job records, so stdout is byte-identical for every
+// --jobs / cache setting (and matches the pre-service sequential loop).
 int RunSweep(const ExperimentSpec& spec, const Options& opts) {
   if (opts.analyze || opts.save_strategy.has_value()) {
     std::printf("note: --analyze and --save-strategy apply to single runs and are "
                 "ignored in sweep mode\n");
   }
-  const std::vector<ExperimentSpec> expanded = ExpandSweeps(spec);
-  std::printf("sweep: %zu runs\n\n", expanded.size());
+  ServiceOptions service;
+  service.jobs = opts.jobs;
+  service.cache = !opts.no_cache;
+  service.results_path = opts.results.value_or("");
+  auto sweep = RunSweepService(spec, service);
+  if (!sweep.ok()) {
+    std::printf("sweep failed: %s\n", sweep.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sweep: %zu runs\n\n", sweep->jobs.size());
   Table table({"run", "modes", "correct/expected", "worst recovery", "R", "fingerprint"});
-  uint64_t combined_fp = 0;
-  uint64_t total_events = 0;
   int failures = 0;
-  for (const ExperimentSpec& one : expanded) {
-    size_t modes = 0;
-    ExperimentHooks hooks;
-    hooks.after_plan = [&modes](const BtrSystem& system) {
-      modes = system.strategy().mode_count();
-    };
-    auto report = RunExperiment(one, hooks);
-    if (!report.ok()) {
-      std::printf("%s failed: %s\n", one.name.c_str(),
-                  report.status().ToString().c_str());
+  for (const SweepJobRecord& job : sweep->jobs) {
+    if (!job.status.ok()) {
+      std::printf("%s failed: %s\n", job.name.c_str(), job.status.ToString().c_str());
       ++failures;
       continue;
     }
-    uint64_t correct = 0;
-    uint64_t expected = 0;
-    SimDuration worst_recovery = 0;
-    bool violated = false;
-    for (const RunReport& phase : report->phases) {
-      correct += phase.correctness.correct_instances;
-      expected += phase.correctness.total_instances;
-      worst_recovery = std::max(worst_recovery, phase.correctness.max_recovery);
-      violated = violated || phase.correctness.btr_violated;
-      total_events += phase.events_executed;
-    }
-    const uint64_t fp = FingerprintExperimentReport(*report);
-    combined_fp = combined_fp * 1099511628211ULL ^ fp;
     char fp_hex[32];
-    std::snprintf(fp_hex, sizeof(fp_hex), "%016llx", static_cast<unsigned long long>(fp));
-    table.AddRow({one.name, std::to_string(modes),
-                  std::to_string(correct) + "/" + std::to_string(expected),
-                  CellDouble(ToMillisF(worst_recovery), 2) + " ms",
-                  violated ? "VIOLATED" : "holds", fp_hex});
-    if (violated) {
+    std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                  static_cast<unsigned long long>(job.fingerprint));
+    table.AddRow({job.name, std::to_string(job.modes),
+                  std::to_string(job.correct) + "/" + std::to_string(job.expected),
+                  CellDouble(ToMillisF(job.worst_recovery), 2) + " ms",
+                  job.violated ? "VIOLATED" : "holds", fp_hex});
+    if (job.violated) {
       ++failures;
     }
   }
@@ -273,9 +271,82 @@ int RunSweep(const ExperimentSpec& spec, const Options& opts) {
   std::printf(
       "BENCH_JSON {\"bench\":\"spec_sweep\",\"spec\":\"%s\",\"runs\":%zu,"
       "\"events\":%llu,\"fingerprint\":\"%016llx\"}\n",
-      spec.name.c_str(), expanded.size(), static_cast<unsigned long long>(total_events),
-      static_cast<unsigned long long>(combined_fp));
+      spec.name.c_str(), sweep->jobs.size(),
+      static_cast<unsigned long long>(sweep->total_events),
+      static_cast<unsigned long long>(sweep->combined_fingerprint));
   return failures == 0 ? 0 : 1;
+}
+
+// --bench-service: measures the sweep service against its contract on the
+// loaded spec. Four passes over the same sweep — {cache off, cache on} x
+// {--jobs 1, --jobs 4} — must agree on the combined experiment
+// fingerprint; the wall times give the cache economics (cold = cache
+// disabled, warm = cache enabled, both at --jobs 1, so the speedup
+// isolates the cache from the parallelism). Emits one BENCH_JSON
+// sweep_service row for ci/run_benches.sh.
+int RunServiceBench(const ExperimentSpec& spec, const Options& opts) {
+  struct Pass {
+    const char* label;
+    size_t jobs;
+    bool cache;
+  };
+  const Pass passes[] = {
+      {"nocache/jobs=1", 1, false},
+      {"nocache/jobs=4", 4, false},
+      {"cache/jobs=1", 1, true},
+      {"cache/jobs=4", 4, true},
+  };
+  uint64_t fp[4] = {0, 0, 0, 0};
+  uint64_t wall_us[4] = {0, 0, 0, 0};
+  size_t runs = 0;
+  double hit_ratio = 0.0;
+  for (size_t i = 0; i < 4; ++i) {
+    ServiceOptions service;
+    service.jobs = passes[i].jobs;
+    service.cache = passes[i].cache;
+    service.results_path = opts.results.value_or("");
+    auto sweep = RunSweepService(spec, service);
+    if (!sweep.ok()) {
+      std::printf("pass %s failed: %s\n", passes[i].label,
+                  sweep.status().ToString().c_str());
+      return 1;
+    }
+    if (sweep->failures != 0) {
+      std::printf("pass %s: %zu job(s) failed\n", passes[i].label, sweep->failures);
+      return 1;
+    }
+    fp[i] = sweep->combined_fingerprint;
+    wall_us[i] = sweep->wall_us;
+    runs = sweep->jobs.size();
+    if (passes[i].cache && passes[i].jobs == 1) {
+      hit_ratio = sweep->cache_hit_ratio();
+    }
+    std::printf("%-16s %8.1f ms  hits/misses %llu/%llu  fingerprint %016llx\n",
+                passes[i].label, static_cast<double>(sweep->wall_us) / 1000.0,
+                static_cast<unsigned long long>(sweep->strategy_cache.hits),
+                static_cast<unsigned long long>(sweep->strategy_cache.misses),
+                static_cast<unsigned long long>(fp[i]));
+  }
+  bool identical = true;
+  for (size_t i = 1; i < 4; ++i) {
+    identical = identical && fp[i] == fp[0];
+  }
+  const double cold_ms = static_cast<double>(wall_us[0]) / 1000.0;
+  const double warm_ms = static_cast<double>(wall_us[2]) / 1000.0;
+  const double parallel_ms = static_cast<double>(wall_us[3]) / 1000.0;
+  std::printf("\nfingerprints across {cache on,off} x {jobs 1,4}: %s\n",
+              identical ? "identical" : "DIVERGED");
+  std::printf("cache speedup at --jobs 1: %.2fx (%.1f ms -> %.1f ms), hit ratio %.3f\n",
+              warm_ms > 0 ? cold_ms / warm_ms : 0.0, cold_ms, warm_ms, hit_ratio);
+  std::printf(
+      "BENCH_JSON {\"bench\":\"sweep_service\",\"spec\":\"%s\",\"runs\":%zu,"
+      "\"cold_ms\":%.1f,\"warm_ms\":%.1f,\"parallel_ms\":%.1f,"
+      "\"cache_speedup\":%.2f,\"hit_ratio\":%.3f,\"fingerprints_identical\":%s,"
+      "\"fingerprint\":\"%016llx\"}\n",
+      spec.name.c_str(), runs, cold_ms, warm_ms, parallel_ms,
+      warm_ms > 0 ? cold_ms / warm_ms : 0.0, hit_ratio, identical ? "true" : "false",
+      static_cast<unsigned long long>(fp[0]));
+  return identical ? 0 : 1;
 }
 
 }  // namespace
@@ -319,6 +390,14 @@ int main(int argc, char** argv) {
       opts.analyze = true;
     } else if (arg == "--save-strategy") {
       opts.save_strategy = next("--save-strategy");
+    } else if (arg == "--jobs") {
+      opts.jobs = static_cast<size_t>(std::atoll(next("--jobs")));
+    } else if (arg == "--no-cache") {
+      opts.no_cache = true;
+    } else if (arg == "--results") {
+      opts.results = next("--results");
+    } else if (arg == "--bench-service") {
+      opts.bench_service = true;
     } else if (arg == "--dump-spec") {
       opts.dump_spec = true;
     } else if (arg == "--verbose") {
@@ -365,6 +444,14 @@ int main(int argc, char** argv) {
   if (opts.dump_spec) {
     std::printf("%s", SerializeExperimentSpec(spec).c_str());
     return 0;
+  }
+
+  if (opts.bench_service) {
+    if (spec.sweeps.empty()) {
+      std::printf("--bench-service needs a spec with SWEEP axes\n");
+      return 2;
+    }
+    return RunServiceBench(spec, opts);
   }
 
   if (!spec.sweeps.empty()) {

@@ -9,7 +9,10 @@ namespace btr {
 namespace {
 
 LogLevel g_level = LogLevel::kOff;
-const SimTime* g_now = nullptr;
+// Thread-local: the sweep service runs one simulator per concurrent job,
+// each registering its own clock from its own thread. Shard workers never
+// read this (they carry their clock in ExecContext).
+thread_local const SimTime* g_now = nullptr;
 std::mutex g_emit_mu;
 
 const char* LevelName(LogLevel level) {

@@ -28,6 +28,8 @@ void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 // Simulated-time source for log prefixes; set by Simulator, may be null.
+// Thread-local: concurrent simulators (one per sweep-service job) each
+// register their clock on their own thread without racing.
 void SetLogTimeSource(const SimTime* now);
 
 bool LogEnabled(LogLevel level);

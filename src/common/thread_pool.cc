@@ -24,6 +24,11 @@ struct ThreadPool::Job {
 
 namespace {
 
+// Set for the lifetime of every pool worker thread (any pool instance):
+// nested Dispatch calls run inline instead of deadlocking the pool, and the
+// sharded simulator checks it to pick its sequential window path.
+thread_local bool tls_on_pool_worker = false;
+
 void PinToCore(size_t core) {
 #ifdef __linux__
   cpu_set_t set;
@@ -101,6 +106,13 @@ size_t ThreadPool::worker_count() const {
   return workers_.size();
 }
 
+size_t ThreadPool::busy_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_;
+}
+
+bool ThreadPool::OnWorkerThread() { return tls_on_pool_worker; }
+
 void ThreadPool::SpawnWorkerLocked() {
   const size_t index = workers_.size();
   workers_.emplace_back([this, index] { WorkerLoop(index); });
@@ -114,7 +126,16 @@ void ThreadPool::EnsureWorkers(size_t workers) {
   thread_count_ = std::max(thread_count_, workers_.size());
 }
 
+void ThreadPool::ReserveWorkers(size_t workers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() - busy_ < workers) {
+    SpawnWorkerLocked();
+  }
+  thread_count_ = std::max(thread_count_, workers_.size());
+}
+
 void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_on_pool_worker = true;
   if (pin_workers_) {
     const size_t cores = std::max<size_t>(1, std::thread::hardware_concurrency());
     PinToCore(worker_index % cores);
@@ -129,8 +150,13 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       }
       job = std::move(queue_.front());
       queue_.pop();
+      ++busy_;
     }
     ExecuteAndRetire(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_;
+    }
   }
 }
 
@@ -142,10 +168,16 @@ ThreadPool::Ticket ThreadPool::Dispatch(size_t count, std::function<void(size_t)
     return ticket;
   }
   auto shared_fn = std::make_shared<std::function<void(size_t)>>(std::move(fn));
-  bool inline_mode = false;
+  // Nested use: a batch dispatched from a pool worker runs inline. Every
+  // worker may be occupied by a long-running job that is itself about to
+  // block in Ticket::Wait (the sweep service runs whole experiment jobs as
+  // pool jobs, and each one plans in waves), so enqueueing here can starve
+  // forever — execute-on-caller is the deadlock-free degenerate schedule
+  // and keeps the batch's sequential semantics.
+  bool inline_mode = OnWorkerThread();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    inline_mode = workers_.empty();
+    inline_mode = inline_mode || workers_.empty();
     if (!inline_mode) {
       for (size_t i = 0; i < count; ++i) {
         queue_.push(Job{ticket.batch_, shared_fn, i});

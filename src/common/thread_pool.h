@@ -12,6 +12,17 @@
 // `ThreadPool::Shared()` is the one instance both subsystems fold onto; its
 // workers are pinned round-robin to cores (best effort, Linux only) so shard
 // loops do not migrate between windows.
+//
+// Nested use is safe by construction: the experiment service runs whole
+// sweep jobs as pool jobs, and each job plans (builder waves) and simulates
+// (shard loops) — on the same shared pool. A Dispatch issued *from* a pool
+// worker therefore runs its batch inline on that worker instead of
+// enqueueing, because every worker blocking in Ticket::Wait on jobs that no
+// free worker will ever pick up is a deadlock, not a queue. Callers that
+// must have genuinely concurrent helpers (the sharded simulator's window
+// handshake) reserve them with ReserveWorkers, which counts only idle
+// workers — a "reserved ticket" that cannot be starved by long-running
+// jobs already occupying the pool.
 
 #ifndef BTR_SRC_COMMON_THREAD_POOL_H_
 #define BTR_SRC_COMMON_THREAD_POOL_H_
@@ -53,6 +64,25 @@ class ThreadPool {
   // deadlock the window barrier.
   void EnsureWorkers(size_t workers);
 
+  // Grows the pool until at least `workers` workers are *idle* right now.
+  // EnsureWorkers only bounds the total, which is not enough once
+  // long-running jobs (sweep jobs, shard loops) occupy workers: a batch
+  // that needs genuinely concurrent helpers would queue behind them
+  // forever. Callers dispatch immediately after reserving; jobs enqueued
+  // concurrently from other threads can still race for the new workers,
+  // but a worker never blocks on another batch, so the reserve cannot be
+  // consumed by the reserving thread's own pending work.
+  void ReserveWorkers(size_t workers);
+
+  // True when called on one of this process's pool worker threads (any
+  // pool). Nested Dispatch/ParallelFor calls detect themselves with this
+  // and run inline; subsystems with long-lived loops (the sharded
+  // simulator) use it to fall back to their sequential path.
+  static bool OnWorkerThread();
+
+  // Workers currently executing a job (approximate the moment it returns).
+  size_t busy_workers() const;
+
   // Handle for a Dispatch batch. Wait() blocks until every job in the batch
   // returned and rethrows the first captured exception.
   class Ticket {
@@ -68,8 +98,9 @@ class ThreadPool {
 
   // Enqueues fn(0) ... fn(count - 1) and returns immediately. Jobs from
   // different Dispatch calls may interleave; each batch completes
-  // independently. With no workers (pool of size 1) the jobs run inline
-  // before Dispatch returns.
+  // independently. With no workers (pool of size 1) — or when called from
+  // a pool worker thread (nested use; see the header comment) — the jobs
+  // run inline before Dispatch returns.
   Ticket Dispatch(size_t count, std::function<void(size_t)> fn);
 
   // Runs fn(0) ... fn(count - 1) across the pool and blocks until every
@@ -91,6 +122,7 @@ class ThreadPool {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::queue<Job> queue_;
+  size_t busy_ = 0;  // workers currently executing a job (guarded by mu_)
   bool shutdown_ = false;
 };
 

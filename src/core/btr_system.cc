@@ -98,8 +98,38 @@ Status BtrSystem::Plan() {
   if (!strategy.ok()) {
     return strategy.status();
   }
-  strategy_ = std::move(strategy).value();
-  strategy_index_ = StrategyIndex(strategy_);
+  strategy_ = std::make_shared<const Strategy>(std::move(strategy).value());
+  strategy_index_ = StrategyIndex(*strategy_);
+  planned_ = true;
+  return Status::Ok();
+}
+
+Status BtrSystem::AdoptStrategy(std::shared_ptr<const Strategy> strategy) {
+  if (strategy == nullptr || strategy->mode_count() == 0) {
+    return Status::InvalidArgument("AdoptStrategy: empty strategy");
+  }
+  const StrategyProvenance& prov = strategy->provenance();
+  if (!prov.present) {
+    return Status::InvalidArgument("AdoptStrategy: strategy carries no provenance");
+  }
+  if (prov.max_faults != config_.planner.max_faults) {
+    return Status::InvalidArgument(
+        "AdoptStrategy: strategy was compiled for f=" + std::to_string(prov.max_faults) +
+        ", this system is configured for f=" +
+        std::to_string(config_.planner.max_faults));
+  }
+  if (prov.planner_fingerprint != planner_->Fingerprint()) {
+    return Status::InvalidArgument(
+        "AdoptStrategy: planner fingerprint mismatch (different config, topology, "
+        "or workload)");
+  }
+  if (prov.scenario_fingerprint != 0 &&
+      prov.scenario_fingerprint !=
+          FingerprintScenario(scenario_->topology, scenario_->workload)) {
+    return Status::InvalidArgument("AdoptStrategy: scenario fingerprint mismatch");
+  }
+  strategy_ = std::move(strategy);
+  strategy_index_ = StrategyIndex(*strategy_);
   planned_ = true;
   return Status::Ok();
 }
@@ -128,7 +158,7 @@ Status BtrSystem::ApplyDelta(const StrategyDelta& delta, SimTime rollout_at,
   auto next_planner =
       std::make_unique<Planner>(&next->topology, &next->workload, config_.planner);
   StrategyBuilder builder(next_planner.get(), config_.planner.planner_threads);
-  StatusOr<Strategy> rebuilt = builder.Rebuild(strategy_, *planner_, delta);
+  StatusOr<Strategy> rebuilt = builder.Rebuild(*strategy_, *planner_, delta);
   if (!rebuilt.ok()) {
     return rebuilt.status();
   }
@@ -140,7 +170,7 @@ Status BtrSystem::ApplyDelta(const StrategyDelta& delta, SimTime rollout_at,
     // Diff deployed vs rebuilt into the rollout's shipment set. The blobs
     // are canonical serialized text, so the patches are provably minimal
     // and chained by content fingerprint (see strategy_patch.h).
-    const std::string base_blob = SaveStrategy(strategy_, planner_->graph(),
+    const std::string base_blob = SaveStrategy(*strategy_, planner_->graph(),
                                                scenario_->topology);
     const std::string target_blob =
         SaveStrategy(*rebuilt, next_planner->graph(), next->topology);
@@ -167,8 +197,8 @@ const StrategyUpdate* BtrSystem::staged_update() const {
 void BtrSystem::CommitStaged() {
   scenario_ = std::move(staged_->scenario);
   planner_ = std::move(staged_->planner);
-  strategy_ = std::move(staged_->strategy);
-  strategy_index_ = StrategyIndex(strategy_);
+  strategy_ = std::make_shared<const Strategy>(std::move(staged_->strategy));
+  strategy_index_ = StrategyIndex(*strategy_);
   staged_.reset();
 }
 
@@ -177,7 +207,7 @@ TransitionAnalysis BtrSystem::AnalyzeRecoveryBound() const {
   config.network = config_.planner.network;
   config.period = scenario_->workload.period();
   config.recovery_bound = config_.planner.recovery_bound;
-  return AnalyzeTransitions(strategy_, planner_->graph(), scenario_->topology, config);
+  return AnalyzeTransitions(*strategy_, planner_->graph(), scenario_->topology, config);
 }
 
 StatusOr<RunReport> BtrSystem::Run(uint64_t periods) {
@@ -205,7 +235,7 @@ StatusOr<RunReport> BtrSystem::Run(uint64_t periods) {
   Network network(&sim, &scenario_->topology, netcfg);
   Rng key_rng(config_.seed ^ 0x5eedc0deULL);
   KeyStore keys(scenario_->topology.node_count(), &key_rng);
-  Monitor monitor(&scenario_->workload, &strategy_, &adversary_,
+  Monitor monitor(&scenario_->workload, strategy_.get(), &adversary_,
                   config_.planner.recovery_bound);
   monitor.ConfigureShards(sim.shard_count());
   monitor.ReserveObservations(periods * scenario_->workload.SinkIds().size());
@@ -216,7 +246,7 @@ StatusOr<RunReport> BtrSystem::Run(uint64_t periods) {
   ctx.topo = &scenario_->topology;
   ctx.workload = &scenario_->workload;
   ctx.graph = &planner_->graph();
-  ctx.strategy = &strategy_;
+  ctx.strategy = strategy_.get();
   ctx.strategy_index = &strategy_index_;
   ctx.planner = planner_.get();
   ctx.keys = &keys;

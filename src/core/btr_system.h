@@ -104,6 +104,17 @@ class BtrSystem {
   // Offline phase: builds the strategy. Must be called before Run.
   Status Plan();
 
+  // Adopts a strategy compiled elsewhere (the sweep service's
+  // fingerprint-keyed cache) instead of building one. The strategy is
+  // shared and immutable — many concurrent systems may run off the same
+  // object — so adoption is refused unless its provenance matches this
+  // system exactly: same f, same Planner::Fingerprint (config + topology +
+  // workload), and, when stamped, same FingerprintScenario. A successful
+  // adopt leaves the system indistinguishable from one that called Plan()
+  // on the same inputs (planning is deterministic), so reports are
+  // byte-identical either way.
+  Status AdoptStrategy(std::shared_ptr<const Strategy> strategy);
+
   // Registers an adversarial fault injection for subsequent runs.
   void AddFault(const FaultInjection& injection);
   void ClearFaults() { adversary_ = AdversarySpec(); }
@@ -144,7 +155,11 @@ class BtrSystem {
   TransitionAnalysis AnalyzeRecoveryBound() const;
 
   const Scenario& scenario() const { return *scenario_; }
-  const Strategy& strategy() const { return strategy_; }
+  const Strategy& strategy() const { return *strategy_; }
+  // The compiled strategy as a shareable immutable handle; the sweep
+  // service inserts this into its cache after Plan(). Empty strategy (not
+  // null) before planning.
+  std::shared_ptr<const Strategy> shared_strategy() const { return strategy_; }
   // O(1) fault-set -> plan index over the strategy (valid after Plan()).
   const StrategyIndex& strategy_index() const { return strategy_index_; }
   const Planner& planner() const { return *planner_; }
@@ -176,7 +191,11 @@ class BtrSystem {
   std::unique_ptr<Scenario> scenario_;
   BtrConfig config_;
   std::unique_ptr<Planner> planner_;
-  Strategy strategy_;
+  // Shared and immutable once published: cached strategies are adopted by
+  // many concurrent systems, so nothing may mutate through this pointer.
+  // Edits never do — ApplyDelta rebuilds into a *new* strategy (sharing
+  // unchanged immutable bodies) and swaps the pointer at commit.
+  std::shared_ptr<const Strategy> strategy_ = std::make_shared<Strategy>();
   StrategyIndex strategy_index_;
   AdversarySpec adversary_;
   bool planned_ = false;

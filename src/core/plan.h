@@ -169,6 +169,12 @@ struct StrategyProvenance {
   bool present = false;
   uint32_t max_faults = 0;
   uint64_t planner_fingerprint = 0;
+  // FingerprintScenario of the topology/workload this strategy was compiled
+  // for. In-memory only (stamped by StrategyBuilder, not persisted in the
+  // PROV record — the planner fingerprint already covers the content on
+  // disk); 0 on strategies loaded from a blob. The strategy cache keys on
+  // it, and BtrSystem::AdoptStrategy cross-checks it when nonzero.
+  uint64_t scenario_fingerprint = 0;
 };
 
 // The offline-computed strategy: fault set -> plan, deduplicated at two
@@ -228,8 +234,10 @@ class Strategy {
   const std::vector<std::shared_ptr<const PlanBody>>& bodies() const { return bodies_; }
 
   const StrategyProvenance& provenance() const { return provenance_; }
-  void set_provenance(uint32_t max_faults, uint64_t planner_fingerprint) {
-    provenance_ = StrategyProvenance{true, max_faults, planner_fingerprint};
+  void set_provenance(uint32_t max_faults, uint64_t planner_fingerprint,
+                      uint64_t scenario_fingerprint = 0) {
+    provenance_ =
+        StrategyProvenance{true, max_faults, planner_fingerprint, scenario_fingerprint};
   }
 
  private:

@@ -32,6 +32,38 @@ SimDuration Planner::EdgeLatencyBudgetLoaded(NodeId from, NodeId to, uint32_t by
   return latency_->EdgeBudget(from, to, bytes, routing, node_fg_bytes);
 }
 
+uint64_t FingerprintScenario(const Topology& topo, const Dataflow& workload) {
+  // Field-by-field (never whole structs: padding bytes are not stable
+  // across processes, and the fingerprint is persisted).
+  Hasher h;
+  h.Add(topo.node_count());
+  for (const LinkSpec& l : topo.links()) {
+    h.AddString(l.name).Add(l.bandwidth_bps).Add(l.propagation);
+    for (NodeId n : l.endpoints) {
+      h.Add(n.value());
+    }
+    h.Add(l.endpoints.size());
+  }
+  h.Add(topo.link_count());
+
+  h.Add(workload.period());
+  for (const TaskSpec& t : workload.tasks()) {
+    h.AddString(t.name)
+        .Add(t.kind)
+        .Add(t.wcet)
+        .Add(t.state_bytes)
+        .Add(t.pinned_node.value())
+        .Add(t.criticality)
+        .Add(t.relative_deadline);
+  }
+  h.Add(workload.task_count());
+  for (const ChannelSpec& ch : workload.channels()) {
+    h.Add(ch.from.value()).Add(ch.to.value()).Add(ch.message_bytes);
+  }
+  h.Add(workload.channels().size());
+  return h.Digest();
+}
+
 uint64_t Planner::Fingerprint() const {
   // Field-by-field (never whole structs: padding bytes are not stable
   // across processes, and the fingerprint is persisted).
@@ -59,31 +91,7 @@ uint64_t Planner::Fingerprint() const {
       .Add(config_.weight_parent)
       .Add(config_.weight_lookahead);
 
-  h.Add(topo_->node_count());
-  for (const LinkSpec& l : topo_->links()) {
-    h.AddString(l.name).Add(l.bandwidth_bps).Add(l.propagation);
-    for (NodeId n : l.endpoints) {
-      h.Add(n.value());
-    }
-    h.Add(l.endpoints.size());
-  }
-  h.Add(topo_->link_count());
-
-  h.Add(workload_->period());
-  for (const TaskSpec& t : workload_->tasks()) {
-    h.AddString(t.name)
-        .Add(t.kind)
-        .Add(t.wcet)
-        .Add(t.state_bytes)
-        .Add(t.pinned_node.value())
-        .Add(t.criticality)
-        .Add(t.relative_deadline);
-  }
-  h.Add(workload_->task_count());
-  for (const ChannelSpec& ch : workload_->channels()) {
-    h.Add(ch.from.value()).Add(ch.to.value()).Add(ch.message_bytes);
-  }
-  h.Add(workload_->channels().size());
+  h.Add(FingerprintScenario(*topo_, *workload_));
   return h.Digest();
 }
 

@@ -45,6 +45,13 @@
 
 namespace btr {
 
+// Content fingerprint of the *system under management* alone — topology
+// links and workload tasks/channels, no planner configuration. Stamped into
+// StrategyProvenance next to the planner fingerprint and used (with it) as
+// the strategy-cache key, so sweep jobs that differ only in seed share one
+// compiled strategy. Planner::Fingerprint composes this with the config.
+uint64_t FingerprintScenario(const Topology& topo, const Dataflow& workload);
+
 class Planner {
  public:
   Planner(const Topology* topo, const Dataflow* workload, PlannerConfig config);

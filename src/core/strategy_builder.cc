@@ -89,7 +89,8 @@ StatusOr<Strategy> StrategyBuilder::Build() {
   planner_->RecordBuildMetrics(strategy.dedup_hits(), strategy.unique_plan_count(),
                                static_cast<size_t>(max_faults) + 1, max_wave_modes,
                                threads_used);
-  strategy.set_provenance(max_faults, planner_->Fingerprint());
+  strategy.set_provenance(max_faults, planner_->Fingerprint(),
+                          FingerprintScenario(planner_->topology(), planner_->workload()));
   return strategy;
 }
 
@@ -821,7 +822,9 @@ StatusOr<Strategy> StrategyBuilder::Rebuild(const Strategy& old_strategy,
                                static_cast<size_t>(max_faults) + 1, max_wave_modes,
                                threads_used);
   planner_->RecordRebuildMetrics(dirty_modes, clean_modes, migrated_bodies);
-  strategy.set_provenance(max_faults, new_planner.Fingerprint());
+  strategy.set_provenance(
+      max_faults, new_planner.Fingerprint(),
+      FingerprintScenario(new_planner.topology(), new_planner.workload()));
   return strategy;
 }
 

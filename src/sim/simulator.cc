@@ -64,6 +64,15 @@ Simulator::Simulator(uint64_t seed, ShardLayout layout)
   } else {
     use_threads_ = std::thread::hardware_concurrency() > 1;
   }
+  // A simulator constructed *on* a pool worker (a sweep-service job) must
+  // not park long-lived shard loops on the pool its own job occupies: with
+  // every worker running a job, the loops would never start and the window
+  // handshake would spin forever. Sequential windows are the inline
+  // degenerate schedule — same canonical event order, same report — so
+  // this overrides even an explicit BTR_SHARD_EXEC=threads.
+  if (ThreadPool::OnWorkerThread()) {
+    use_threads_ = false;
+  }
   SetLogTimeSource(&now_);
 }
 
@@ -100,7 +109,11 @@ void Simulator::StartWorkers() {
   stop_workers_.store(false, std::memory_order_relaxed);
   const uint64_t base_epoch = epoch_.load(std::memory_order_relaxed);
   ThreadPool& pool = ThreadPool::Shared();
-  pool.EnsureWorkers(shard_count_ - 1);
+  // Reserved ticket: the loops below block until StopWorkers, so they need
+  // *idle* workers — EnsureWorkers only bounds the total, and a pool whose
+  // workers are all occupied by long-running sweep jobs would queue these
+  // loops forever and deadlock the first window's arrival barrier.
+  pool.ReserveWorkers(shard_count_ - 1);
   worker_ticket_ = pool.Dispatch(shard_count_ - 1, [this, base_epoch](size_t i) {
     const uint32_t shard = static_cast<uint32_t>(i) + 1;
     uint64_t seen = base_epoch;

@@ -144,6 +144,18 @@ StatusOr<ExperimentReport> RunExperiment(const ExperimentSpec& spec,
   if (!planned.ok()) {
     return planned;
   }
+  return RunExperimentPhases(system, spec, hooks);
+}
+
+StatusOr<ExperimentReport> RunExperimentPhases(BtrSystem& system,
+                                               const ExperimentSpec& spec,
+                                               const ExperimentHooks& hooks) {
+  if (spec.phases.empty()) {
+    return Status::InvalidArgument("experiment has no phases");
+  }
+  if (!system.planned()) {
+    return Status::FailedPrecondition("RunExperimentPhases needs a planned system");
+  }
   if (hooks.after_plan) {
     hooks.after_plan(system);
   }
@@ -189,7 +201,7 @@ StatusOr<ExperimentReport> RunExperiment(const ExperimentSpec& spec,
 
 namespace {
 
-void ApplyAxis(ExperimentSpec* spec, const std::string& key, uint64_t value) {
+bool ApplyAxis(ExperimentSpec* spec, const std::string& key, uint64_t value) {
   if (key == "seed") {
     spec->seed = value;
   } else if (key == "f") {
@@ -198,18 +210,64 @@ void ApplyAxis(ExperimentSpec* spec, const std::string& key, uint64_t value) {
     spec->scenario.nodes = value;
   } else if (key == "recovery-us") {
     spec->recovery_bound = static_cast<SimDuration>(value) * 1000;
+  } else {
+    return false;
   }
+  return true;
+}
+
+// Hardening errors cite the SWEEP record's source line when the axis came
+// from a parsed spec (hand-built axes have line 0).
+Status AxisError(const SweepAxis& axis, const std::string& message) {
+  if (axis.line == 0) {
+    return Status::InvalidArgument(message);
+  }
+  return Status::InvalidArgument("line " + std::to_string(axis.line) + ": " + message);
 }
 
 }  // namespace
 
-std::vector<ExperimentSpec> ExpandSweeps(const ExperimentSpec& spec) {
+StatusOr<std::vector<ExperimentSpec>> ExpandSweeps(const ExperimentSpec& spec) {
+  // Validate every axis before materializing anything: the product check
+  // must fire on the *declared* sizes, never after a partial expansion has
+  // already eaten the memory.
+  size_t product = 1;
+  for (size_t i = 0; i < spec.sweeps.size(); ++i) {
+    const SweepAxis& axis = spec.sweeps[i];
+    if (axis.values.empty()) {
+      return AxisError(axis, "sweep axis '" + axis.key +
+                                 "' has no values (it would expand to zero runs)");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (spec.sweeps[j].key == axis.key) {
+        return AxisError(axis, "duplicate sweep axis '" + axis.key + "'");
+      }
+    }
+    {
+      ExperimentSpec probe = spec;
+      if (!ApplyAxis(&probe, axis.key, axis.values.front())) {
+        return AxisError(axis, "unknown sweep key '" + axis.key +
+                                   "' (seed|f|nodes|recovery-us)");
+      }
+    }
+    if (product > kMaxSweepExpansions / axis.values.size()) {
+      return AxisError(axis, "sweep expands to more than " +
+                                 std::to_string(kMaxSweepExpansions) +
+                                 " runs (axis '" + axis.key + "' multiplies " +
+                                 std::to_string(product) + " by " +
+                                 std::to_string(axis.values.size()) + ")");
+    }
+    product *= axis.values.size();
+  }
+
   std::vector<ExperimentSpec> out;
+  out.reserve(product);
   ExperimentSpec base = spec;
   base.sweeps.clear();
   out.push_back(std::move(base));
   for (const SweepAxis& axis : spec.sweeps) {
     std::vector<ExperimentSpec> next;
+    next.reserve(out.size() * axis.values.size());
     for (const ExperimentSpec& partial : out) {
       for (uint64_t value : axis.values) {
         ExperimentSpec expanded = partial;

@@ -60,11 +60,28 @@ struct ExperimentHooks {
 StatusOr<ExperimentReport> RunExperiment(const ExperimentSpec& spec,
                                          const ExperimentHooks& hooks = {});
 
+// The phase loop of RunExperiment on a system that is already planned (or
+// has adopted a cached strategy — see ExperimentService). Calls
+// hooks.after_plan first, then replays every phase. RunExperiment is
+// exactly BuildScenario + Plan() + this, so a cache-adopted run serializes
+// byte-identical to a cold one.
+StatusOr<ExperimentReport> RunExperimentPhases(BtrSystem& system,
+                                               const ExperimentSpec& spec,
+                                               const ExperimentHooks& hooks = {});
+
+// Hard ceiling on the cartesian product ExpandSweeps will materialize; a
+// larger sweep is a spec bug (or a job for a sharded results pipeline),
+// not a vector to silently allocate.
+inline constexpr size_t kMaxSweepExpansions = 100000;
+
 // Expands the spec's sweep axes into their cartesian product: one spec per
 // combination, sweeps cleared, name suffixed "/key=value,...", axis keys
 // applied to the config (seed, f, nodes, recovery-us). A spec without
-// axes expands to itself.
-std::vector<ExperimentSpec> ExpandSweeps(const ExperimentSpec& spec);
+// axes expands to itself. Hardened: an unknown or duplicate axis key, an
+// axis with no values, or a product beyond kMaxSweepExpansions is an
+// error citing the axis's spec line (when it was parsed from text) —
+// never a silent cartesian blowup.
+StatusOr<std::vector<ExperimentSpec>> ExpandSweeps(const ExperimentSpec& spec);
 
 }  // namespace btr
 

@@ -409,6 +409,13 @@ std::optional<SpecScenario::Kind> ParseScenarioKind(std::string_view name) {
   return std::nullopt;
 }
 
+std::string SerializeSpecScenario(const SpecScenario& scenario) {
+  std::string out;
+  out.reserve(256);
+  AppendScenario(&out, scenario);
+  return out;
+}
+
 std::string SerializeExperimentSpec(const ExperimentSpec& spec) {
   std::string out;
   out.reserve(512);
@@ -734,6 +741,7 @@ StatusOr<ExperimentSpec> ParseExperimentSpec(const std::string& text) {
         return LineError(line_no, "expected 'SWEEP <key> <value>...'");
       }
       SweepAxis axis;
+      axis.line = static_cast<uint32_t>(line_no);
       axis.key = std::string(fields[1]);
       if (axis.key != "seed" && axis.key != "f" && axis.key != "nodes" &&
           axis.key != "recovery-us") {

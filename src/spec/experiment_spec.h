@@ -117,6 +117,10 @@ struct SpecPhase {
 struct SweepAxis {
   std::string key;
   std::vector<uint64_t> values;
+  // 1-based source line of the SWEEP record (0 for hand-built axes); not
+  // serialized. ExpandSweeps' hardening errors cite it so a rejected sweep
+  // (empty axis, duplicate key, cartesian blowup) points at its spec line.
+  uint32_t line = 0;
 };
 
 struct ExperimentSpec {
@@ -146,6 +150,12 @@ std::optional<SpecScenario::Kind> ParseScenarioKind(std::string_view name);
 // when they deviate from defaults, no comments. The exact inverse of
 // ParseExperimentSpec over its own output.
 std::string SerializeExperimentSpec(const ExperimentSpec& spec);
+
+// Canonical serialization of the scenario section alone (the SCENARIO
+// record plus inline LINK/TASK/FLOW records). Two specs with equal section
+// texts build identical scenarios, so the sweep service memoizes scenario
+// builds on a hash of this string.
+std::string SerializeSpecScenario(const SpecScenario& scenario);
 
 // Strict parser. Errors carry 1-based line numbers and never crash on
 // malformed input (fuzzed with a corruption sweep under ASan/UBSan).

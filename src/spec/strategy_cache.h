@@ -1,0 +1,154 @@
+// Fingerprint-keyed, single-flight caches for the sweep service.
+//
+// A sweep expands into many jobs that differ only in their runtime seed or
+// fault script: the expensive offline artifacts — the built Scenario and
+// the compiled Strategy — are identical across them. Both are immutable
+// once published (BtrSystem shares strategies behind
+// shared_ptr<const Strategy> and never mutates through the pointer), so
+// jobs can share one object instead of recompiling per job.
+//
+// SingleFlightCache is the concurrency contract: the first caller of a key
+// runs the compile; concurrent callers of the same key block until it
+// lands and share the result (counted as hits — they did not pay for a
+// compile). Failures are never cached: the failing caller reports its
+// Status, waiters retry as the new leader, and a later sweep against a
+// fixed spec starts clean.
+//
+// Correctness does not depend on the cache at all. Planning is
+// deterministic (PR 1's contract: identical strategies for any thread
+// count), so a cache hit adopted via BtrSystem::AdoptStrategy is
+// bit-identical to the strategy a cold Plan() would have built — the
+// experiment-service oracle test fuzzes exactly this: every per-job report
+// serializes byte-identical with the cache on and off.
+
+#ifndef BTR_SRC_SPEC_STRATEGY_CACHE_H_
+#define BTR_SRC_SPEC_STRATEGY_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/core/plan.h"
+#include "src/workload/generators.h"
+
+namespace btr {
+
+// The identity of a compiled strategy: everything planning reads.
+// Planner::Fingerprint already folds in the scenario and f; the other two
+// fields are kept explicit so a cache entry's provenance can be checked
+// (and dumped into results.btrr) without re-deriving them.
+struct StrategyCacheKey {
+  uint64_t planner_fingerprint = 0;   // Planner::Fingerprint (config + scenario)
+  uint64_t scenario_fingerprint = 0;  // FingerprintScenario (topology + workload)
+  uint32_t max_faults = 0;            // f
+
+  bool operator<(const StrategyCacheKey& o) const {
+    return std::tie(planner_fingerprint, scenario_fingerprint, max_faults) <
+           std::tie(o.planner_fingerprint, o.scenario_fingerprint, o.max_faults);
+  }
+};
+
+// Thread-safe single-flight memo map: GetOrCompute(key, compute) runs
+// `compute` at most once per key among concurrent callers. Values are
+// handed out as shared immutable pointers and retained for the cache's
+// lifetime (a sweep's working set is its distinct (scenario, config)
+// combinations — small by construction, bounded by kMaxSweepExpansions).
+template <typename Key, typename V>
+class SingleFlightCache {
+ public:
+  using ValuePtr = std::shared_ptr<const V>;
+
+  struct Stats {
+    uint64_t hits = 0;    // served a cached (or concurrently compiled) value
+    uint64_t misses = 0;  // this caller ran the compile
+  };
+
+  // Returns the cached value for `key`, computing it via `compute` on the
+  // first call. Concurrent callers of an in-flight key block and share the
+  // leader's result; they count as hits. A failed compute is returned to
+  // the leader verbatim and leaves no entry behind (one blocked waiter, if
+  // any, takes over as the next leader). `was_hit`, when non-null, reports
+  // whether this particular call paid for the compile.
+  StatusOr<ValuePtr> GetOrCompute(const Key& key,
+                                  const std::function<StatusOr<ValuePtr>()>& compute,
+                                  bool* was_hit = nullptr) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = entries_.find(key);
+      if (it == entries_.end()) {
+        break;  // no entry: this caller becomes the leader
+      }
+      if (it->second->ready) {
+        ++stats_.hits;
+        if (was_hit != nullptr) {
+          *was_hit = true;
+        }
+        return it->second->value;
+      }
+      // A leader is compiling this key right now; wait for the outcome.
+      // Re-find after waking: ready (hit) or erased (leader failed — loop
+      // around and take over).
+      cv_.wait(lock);
+    }
+    auto entry = std::make_shared<Entry>();
+    entries_[key] = entry;
+    ++stats_.misses;
+    if (was_hit != nullptr) {
+      *was_hit = false;
+    }
+    lock.unlock();
+    StatusOr<ValuePtr> computed = compute();
+    lock.lock();
+    if (!computed.ok()) {
+      entries_.erase(key);
+      cv_.notify_all();
+      return computed.status();
+    }
+    entry->value = std::move(computed).value();
+    entry->ready = true;
+    cv_.notify_all();
+    return entry->value;
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    bool ready = false;
+    ValuePtr value;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, std::shared_ptr<Entry>> entries_;
+  Stats stats_;
+};
+
+// Compiled strategies, keyed by (Planner::Fingerprint, scenario
+// fingerprint, f). A hit is adopted with BtrSystem::AdoptStrategy, which
+// re-checks the provenance stamp against the adopting system.
+using StrategyCache = SingleFlightCache<StrategyCacheKey, Strategy>;
+
+// Built scenarios, keyed by HashString(SerializeSpecScenario(...)) — two
+// specs with equal scenario-section text build identical scenarios. Jobs
+// copy the shared scenario (BtrSystem owns and may edit its own), so this
+// memoizes the generator work, not the per-job object.
+using ScenarioCache = SingleFlightCache<uint64_t, Scenario>;
+
+}  // namespace btr
+
+#endif  // BTR_SRC_SPEC_STRATEGY_CACHE_H_

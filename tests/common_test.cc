@@ -1,12 +1,17 @@
 // Unit tests for src/common: ids, rng, hashing, status, stats, tables,
-// math, and the data-plane containers (flat maps, packed keys, small
-// callables, block pools).
+// math, the thread pool's nested-use contract, and the data-plane
+// containers (flat maps, packed keys, small callables, block pools).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -21,6 +26,7 @@
 #include "src/common/stats.h"
 #include "src/common/status.h"
 #include "src/common/table.h"
+#include "src/common/thread_pool.h"
 #include "src/common/types.h"
 
 namespace btr {
@@ -587,6 +593,90 @@ TEST(BlockPool, PoolOutlivesItsObjects) {
   // The arena handle inside the control block keeps the pool alive.
   EXPECT_EQ(*survivor, 77);
   survivor.reset();
+}
+
+// --- thread pool: nested use ---
+
+TEST(ThreadPoolNested, OnWorkerThreadIsSetExactlyOnWorkers) {
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+  ThreadPool pool(2);
+  std::atomic<int> on_worker{0};
+  pool.ParallelFor(4, [&](size_t) {
+    if (ThreadPool::OnWorkerThread()) {
+      on_worker.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(on_worker.load(), 4);
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+}
+
+// A batch submitted from a pool worker runs inline on that worker —
+// enqueueing could starve forever when every worker is occupied by a
+// long-running job (the sweep service's whole-experiment jobs). This test
+// is exactly that worst case: both workers busy, each submitting nested
+// batches; it must terminate.
+TEST(ThreadPoolNested, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_jobs{0};
+  pool.ParallelFor(2, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) {
+      EXPECT_TRUE(ThreadPool::OnWorkerThread());
+      inner_jobs.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_jobs.load(), 16);
+}
+
+TEST(ThreadPoolNested, DeeplyNestedDispatchStillCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  pool.ParallelFor(2, [&](size_t) {
+    pool.ParallelFor(2, [&](size_t) {
+      pool.ParallelFor(2, [&](size_t) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 8);
+}
+
+// ReserveWorkers guarantees *idle* workers, not a worker-count bound:
+// long-running occupants must not absorb the reservation. Two occupants
+// park on every initial worker, then a reserved batch of two genuinely
+// concurrent helpers must rendezvous with each other — impossible unless
+// both run on (new) idle workers at the same time.
+TEST(ThreadPoolNested, ReserveWorkersGuaranteesIdleWorkersUnderLoad) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release_occupants = false;
+
+  std::atomic<size_t> occupants_running{0};
+  ThreadPool::Ticket occupants = pool.Dispatch(pool.worker_count(), [&](size_t) {
+    occupants_running.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release_occupants; });
+  });
+  while (occupants_running.load() < pool.worker_count()) {
+    std::this_thread::yield();
+  }
+
+  // Pool fully occupied. Reserve two idle workers and run a barrier pair.
+  pool.ReserveWorkers(2);
+  std::atomic<int> arrived{0};
+  ThreadPool::Ticket helpers = pool.Dispatch(2, [&](size_t) {
+    arrived.fetch_add(1);
+    while (arrived.load() < 2) {
+      std::this_thread::yield();  // spins forever unless both run concurrently
+    }
+  });
+  helpers.Wait();
+  EXPECT_EQ(arrived.load(), 2);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release_occupants = true;
+  }
+  cv.notify_all();
+  occupants.Wait();
 }
 
 }  // namespace

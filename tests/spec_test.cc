@@ -349,15 +349,16 @@ TEST(SpecSweeps, ExpandsCartesianProductWithStableNames) {
   phase.periods = 10;
   spec.phases.push_back(phase);
 
-  const std::vector<ExperimentSpec> expanded = ExpandSweeps(spec);
-  ASSERT_EQ(expanded.size(), 6u);
-  EXPECT_EQ(expanded[0].name, "sweepy/seed=7,f=1");
-  EXPECT_EQ(expanded[0].seed, 7u);
-  EXPECT_EQ(expanded[0].max_faults, 1u);
-  EXPECT_EQ(expanded[5].name, "sweepy/seed=8,f=3");
-  EXPECT_EQ(expanded[5].seed, 8u);
-  EXPECT_EQ(expanded[5].max_faults, 3u);
-  for (const ExperimentSpec& one : expanded) {
+  const auto expanded = ExpandSweeps(spec);
+  ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
+  ASSERT_EQ(expanded->size(), 6u);
+  EXPECT_EQ((*expanded)[0].name, "sweepy/seed=7,f=1");
+  EXPECT_EQ((*expanded)[0].seed, 7u);
+  EXPECT_EQ((*expanded)[0].max_faults, 1u);
+  EXPECT_EQ((*expanded)[5].name, "sweepy/seed=8,f=3");
+  EXPECT_EQ((*expanded)[5].seed, 8u);
+  EXPECT_EQ((*expanded)[5].max_faults, 3u);
+  for (const ExperimentSpec& one : *expanded) {
     EXPECT_TRUE(one.sweeps.empty());
   }
 }
@@ -365,9 +366,10 @@ TEST(SpecSweeps, ExpandsCartesianProductWithStableNames) {
 TEST(SpecSweeps, NoAxesExpandsToItself) {
   ExperimentSpec spec;
   spec.name = "solo";
-  const std::vector<ExperimentSpec> expanded = ExpandSweeps(spec);
-  ASSERT_EQ(expanded.size(), 1u);
-  EXPECT_EQ(expanded[0].name, "solo");
+  const auto expanded = ExpandSweeps(spec);
+  ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
+  ASSERT_EQ(expanded->size(), 1u);
+  EXPECT_EQ((*expanded)[0].name, "solo");
 }
 
 // --- spec path == raw C++ API path -----------------------------------------
