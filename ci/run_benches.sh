@@ -7,6 +7,8 @@
 #   ci/run_benches.sh                  # smoke preset (CI: fast, keeps binaries honest)
 #   ci/run_benches.sh --full           # E7 preset, more reps (perf work: real numbers)
 #   ci/run_benches.sh --sweep-service  # + sweep_service row (btrsim --bench-service)
+#   ci/run_benches.sh --dissemination  # + gossip-vs-unicast rollout rows
+#                                      #   (latency + bytes-on-bus vs fleet size)
 #
 # The JSON is a single object:
 #   {
@@ -22,6 +24,7 @@ cd "$(dirname "$0")/.."
 PRESET=smoke
 REPS=2
 SWEEP_SERVICE=0
+DISSEMINATION=0
 for arg in "$@"; do
   case "${arg}" in
     --full)
@@ -31,6 +34,9 @@ for arg in "$@"; do
     --sweep-service)
       SWEEP_SERVICE=1
       ;;
+    --dissemination)
+      DISSEMINATION=1
+      ;;
     *)
       echo "unknown option: ${arg}" >&2
       exit 2
@@ -39,7 +45,11 @@ for arg in "$@"; do
 done
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-bench -j "$(nproc)" --target bench_sim_throughput bench_planner_scalability bench_plan_delta example_btrsim
+BENCH_TARGETS=(bench_sim_throughput bench_planner_scalability bench_plan_delta example_btrsim)
+if [[ "${DISSEMINATION}" == "1" ]]; then
+  BENCH_TARGETS+=(bench_dissemination)
+fi
+cmake --build build-bench -j "$(nproc)" --target "${BENCH_TARGETS[@]}"
 
 OUT=BENCH_runtime.json
 # bench_sim_throughput emits the sequential rows plus the sim_parallel
@@ -93,6 +103,19 @@ if [[ "${SWEEP_SERVICE}" == "1" ]]; then
   if [[ -n "${SERVICE_ROWS}" ]]; then
     ROWS="${ROWS},
     ${SERVICE_ROWS}"
+  fi
+fi
+
+# Dissemination rows (--dissemination): the staged convoy edit rolled out
+# with dissem=unicast vs dissem=gossip at each fleet size, heartbeats ON —
+# rollout latency, nodes installed, and control-class bytes on the shared
+# bus (the suppression / leaf-slice economy made measurable).
+if [[ "${DISSEMINATION}" == "1" ]]; then
+  DISSEM_ROWS=$(./build-bench/bench_dissemination "--preset=${PRESET}" \
+    | sed -n 's/^BENCH_JSON //p' | paste -sd, -)
+  if [[ -n "${DISSEM_ROWS}" ]]; then
+    ROWS="${ROWS},
+    ${DISSEM_ROWS}"
   fi
 fi
 

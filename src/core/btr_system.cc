@@ -71,6 +71,15 @@ std::string SerializeRunReport(const RunReport& report) {
          " patch_bytes=%" PRIu64 " full_bytes=%" PRIu64,
          ir.started_at, ir.completed_at, ir.nodes_installed, ir.fallbacks,
          ir.patch_bytes_sent, ir.full_bytes_sent);
+    // Gated on the gossip flag so unicast reports stay byte-identical to
+    // what they were before dissemination existed.
+    if (ir.gossip) {
+      line("dissem beacons=%" PRIu64 " suppressed=%" PRIu64 " requests=%" PRIu64
+           " chunks=%" PRIu64 " bytes=%" PRIu64 " serves=%" PRIu64 " resumes=%" PRIu64,
+           ir.dissem.beacons_sent, ir.dissem.beacons_suppressed, ir.dissem.requests_sent,
+           ir.dissem.chunks_sent, ir.dissem.bytes_sent, ir.dissem.serves,
+           ir.dissem.resumes);
+    }
   }
   return out;
 }
@@ -259,20 +268,22 @@ StatusOr<RunReport> BtrSystem::Run(uint64_t periods) {
   if (staged_ != nullptr && staged_->update != nullptr) {
     // Replay the staged edit's dissemination over the control class while
     // the data plane keeps executing the deployed (pre-edit) strategy.
-    // Distributor: the lowest-id node with no registered injection — a
+    // Distributor: the lowest-id node honest *at rollout time* — a
     // compromised distributor's shipments would be discarded by every node
     // that convicted it, so a rollout with no honest candidate is refused
-    // rather than silently shipped into the void.
+    // rather than silently shipped into the void. A node whose transient
+    // injection has healed before rollout_at is a legitimate candidate;
+    // disqualifying on any registered injection would permanently ban it.
     NodeId distributor;
     for (uint32_t n = 0; n < scenario_->topology.node_count(); ++n) {
-      if (adversary_.ManifestTime(NodeId(n)) == kSimTimeNever) {
+      if (adversary_.ActiveOn(NodeId(n), staged_->rollout_at) == nullptr) {
         distributor = NodeId(n);
         break;
       }
     }
     if (!distributor.valid()) {
       return Status::FailedPrecondition(
-          "staged rollout needs a distributor with no registered fault injection");
+          "staged rollout needs a distributor that is honest at rollout time");
     }
     runtime.ScheduleStrategyInstall(staged_->rollout_at, staged_->update, distributor,
                                     staged_->ship_mode);

@@ -9,6 +9,7 @@
 
 #include "src/core/evidence.h"
 #include "src/crypto/keys.h"
+#include "src/net/dissemination.h"
 #include "src/net/network.h"
 
 namespace btr {
@@ -93,6 +94,46 @@ struct InstallNackMessage : Payload {
   uint64_t target_fp = 0;
 
   PayloadKind kind() const override { return PayloadKind::kInstallNack; }
+};
+
+// --- gossip dissemination (see src/net/dissemination.h) --------------------
+
+// Trickle beacon: "I currently run `announced_fp`; the rollout I know of
+// targets `target_fp`". A neighbor behind the announcer pulls; a neighbor
+// ahead of it resets its Trickle interval and re-offers.
+struct DissemBeaconMessage : Payload {
+  NodeId from;
+  uint64_t announced_fp = 0;
+  uint64_t target_fp = 0;
+
+  PayloadKind kind() const override { return PayloadKind::kDissemBeacon; }
+};
+
+// Pull request to a neighbor that announced the target version.
+// `have_chunks` is the contiguous chunk prefix the requester already holds
+// (resume offset); `want_blob` asks for the blob artifact after a patch
+// failed to apply.
+struct DissemRequestMessage : Payload {
+  NodeId from;
+  uint64_t target_fp = 0;
+  uint32_t have_chunks = 0;
+  bool want_blob = false;
+
+  PayloadKind kind() const override { return PayloadKind::kDissemRequest; }
+};
+
+// One paced chunk of an artifact transfer. Only the final chunk (seq ==
+// total - 1) carries the artifact text; earlier chunks model wire bytes.
+struct DissemChunkMessage : Payload {
+  NodeId from;  // the serving node
+  uint64_t target_fp = 0;
+  DissemContent content = DissemContent::kPatchFull;
+  uint32_t seq = 0;
+  uint32_t total = 0;
+  uint64_t content_fp = 0;  // fingerprint of the complete artifact text
+  std::string text;         // set on the final chunk only
+
+  PayloadKind kind() const override { return PayloadKind::kDissemChunk; }
 };
 
 }  // namespace btr

@@ -164,6 +164,12 @@ void BtrRuntime::Start(uint64_t periods) {
           (still == nullptr || still->behavior != FaultBehavior::kOmission)) {
         ctx_.network->SetRelayDrop(inj.node, false);
       }
+      if (still == nullptr) {
+        // A healed node rejoins the dissemination conversation: its stale
+        // beacon makes neighbors reset their Trickle intervals and re-offer,
+        // and its resume request picks the transfer up where it stopped.
+        nodes_[inj.node.value()]->WakeDissem();
+      }
     });
   }
 }
@@ -189,21 +195,39 @@ void BtrRuntime::ScheduleStrategyInstall(SimTime at,
     } else {
       nodes_[d]->InstallTargetSlice(*update_);
     }
+    if (ctx_.config.dissem.mode == DissemMode::kGossip) {
+      // Gossip: no shipments yet — every node starts a Trickle agent; the
+      // distributor's beacons announce the target and neighbors pull,
+      // hop by hop.
+      for (auto& node : nodes_) {
+        node->StartGossip(install_distributor_, mode);
+      }
+      return;
+    }
     ShipNextInstall(0, mode);
   });
 }
 
 SimDuration BtrRuntime::EstimateInstallTx(NodeId dst, uint32_t bytes) const {
   const RoutingTable* routing = ctx_.network->routing();
-  if (routing == nullptr) {
-    return 0;
+  if (routing != nullptr) {
+    const Route& route = routing->RouteBetween(install_distributor_, dst);
+    if (!route.empty()) {
+      return ctx_.network->SerializationTime(route[0].link, install_distributor_,
+                                             TrafficClass::kControl, bytes);
+    }
   }
-  const Route& route = routing->RouteBetween(install_distributor_, dst);
-  if (route.empty()) {
-    return 0;
+  // No routing yet (or dst unreachable): a 0 here would collapse the whole
+  // rollout into a same-instant burst that overflows the control guardian.
+  // Fall back to the serialization time (frame floor included) on the
+  // distributor's first attached link so shipments stay spaced.
+  const std::vector<LinkId>& links = ctx_.topo->LinksAt(install_distributor_);
+  if (links.empty()) {
+    return 1;
   }
-  return ctx_.network->SerializationTime(route[0].link, install_distributor_,
-                                         TrafficClass::kControl, bytes);
+  return ctx_.network->SerializationTime(links[0], install_distributor_,
+                                         TrafficClass::kControl,
+                                         std::max(bytes, kInstallNackBytes));
 }
 
 void BtrRuntime::ShipNextInstall(uint32_t index, InstallShipMode mode) {
@@ -251,9 +275,15 @@ void BtrRuntime::HandleInstallNack(NodeId from) {
     return;
   }
   if (fallbacks_sent_[from.value()] >= kMaxInstallFallbacksPerNode) {
-    BTR_LOG(kWarning, "install")
-        << "node " << from.value() << " still nacking after "
-        << kMaxInstallFallbacksPerNode << " full-slice shipments; giving up on it";
+    // Warn exactly once per node per rollout: the counter keeps advancing
+    // past the cap so later nacks from the same node stay silent instead of
+    // re-logging "giving up" on every retry.
+    if (fallbacks_sent_[from.value()] == kMaxInstallFallbacksPerNode) {
+      ++fallbacks_sent_[from.value()];
+      BTR_LOG(kWarning, "install")
+          << "node " << from.value() << " still nacking after "
+          << kMaxInstallFallbacksPerNode << " full-slice shipments; giving up on it";
+    }
     return;
   }
   ++fallbacks_sent_[from.value()];
@@ -284,6 +314,19 @@ const InstallRunReport& BtrRuntime::install_report() const {
   for (const InstallShard& sh : install_shards_) {
     installed += sh.installed;
     last = std::max(last, sh.last_at);
+  }
+  // Gossip counters: sums over the per-node agents, in node order — shard-
+  // layout invariant by construction.
+  if (ctx_.config.dissem.mode == DissemMode::kGossip && update_ != nullptr) {
+    install_report_final_.gossip = true;
+    for (const auto& node : nodes_) {
+      if (const DissemAgentStats* stats = node->gossip_stats()) {
+        install_report_final_.dissem.MergeFrom(*stats);
+      }
+    }
+    install_report_final_.fallbacks += install_report_final_.dissem.fallbacks;
+    install_report_final_.patch_bytes_sent += install_report_final_.dissem.patch_payload_bytes;
+    install_report_final_.full_bytes_sent += install_report_final_.dissem.full_payload_bytes;
   }
   install_report_final_.nodes_installed = installed;
   // Completion time is the moment the last node reached the target — a
@@ -1106,6 +1149,18 @@ void NodeRuntime::OnPacket(const Packet& packet) {
       owner_->HandleInstallNack(nack.from);
       return;
     }
+    case PayloadKind::kDissemBeacon: {
+      HandleDissemBeacon(packet, static_cast<const DissemBeaconMessage&>(*packet.payload));
+      return;
+    }
+    case PayloadKind::kDissemRequest: {
+      HandleDissemRequest(packet, static_cast<const DissemRequestMessage&>(*packet.payload));
+      return;
+    }
+    case PayloadKind::kDissemChunk: {
+      HandleDissemChunk(packet, static_cast<const DissemChunkMessage&>(*packet.payload));
+      return;
+    }
     case PayloadKind::kOther:
       return;  // foreign payload (baseline protocols, tests): not ours
   }
@@ -1202,6 +1257,464 @@ void NodeRuntime::SendInstallNack(NodeId distributor, uint64_t target_fp) {
   nack->target_fp = target_fp;
   ctx_.network->Send(id_, distributor, kInstallNackBytes, TrafficClass::kControl,
                      std::move(nack));
+}
+
+// ---------------------------------------------------------------------------
+// Gossip dissemination (Trickle agents; see src/net/dissemination.h)
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::StartGossip(NodeId distributor, BtrRuntime::InstallShipMode mode) {
+  DissemConfig config = ctx_.config.dissem;
+  if (config.beacon_period <= 0) {
+    // Default beat: one workload period — beacons ride the same cadence the
+    // omission detector already tolerates.
+    config.beacon_period = ctx_.workload->period();
+  }
+  gossip_ = std::make_unique<GossipSession>(config, id_.value(), owner_->update_->target_fp,
+                                            ctx_.topo->node_count());
+  gossip_->blob_mode = mode == BtrRuntime::InstallShipMode::kFullBlob;
+  gossip_->relay = id_ == distributor;
+  gossip_->busy_links.assign(ctx_.topo->link_count(), 0);
+  gossip_->serving_to.assign(ctx_.topo->node_count(), 0);
+  if (Crashed()) {
+    return;  // the agent starts dormant; the heal event wakes it
+  }
+  gossip_->timer.Start(ctx_.sim->Now());
+  ScheduleTrickle();
+}
+
+void NodeRuntime::WakeDissem() {
+  if (gossip_ == nullptr || gossip_->gave_up || Crashed()) {
+    return;
+  }
+  // Any transfer that was in flight when we went down is stale; the next
+  // target beacon re-requests with the resume offset (rx keeps the
+  // contiguous prefix already received).
+  gossip_->pending_from = NodeId::Invalid();
+  ResetTrickle();
+}
+
+const DissemAgentStats* NodeRuntime::gossip_stats() const {
+  return gossip_ != nullptr ? &gossip_->stats : nullptr;
+}
+
+bool NodeRuntime::DissemSilenced() const {
+  const FaultInjection* fault = ActiveFault();
+  return fault != nullptr && fault->behavior != FaultBehavior::kDelay &&
+         fault->behavior != FaultBehavior::kValueCorruption;
+}
+
+uint64_t NodeRuntime::DissemAnnounceFp() const { return install_.strategy_fingerprint(); }
+
+bool NodeRuntime::DissemInstalled() const {
+  return gossip_ != nullptr && install_.strategy_fingerprint() == gossip_->target_fp;
+}
+
+void NodeRuntime::ScheduleTrickle() {
+  const uint32_t gen = ++gossip_->timer_generation;
+  ctx_.sim->AtActor(id_.value(), gossip_->timer.fire_at(),
+                    [this, gen]() { OnTrickleFire(gen); });
+  ctx_.sim->AtActor(id_.value(), gossip_->timer.end_at(),
+                    [this, gen]() { OnTrickleEnd(gen); });
+}
+
+void NodeRuntime::OnTrickleFire(uint32_t generation) {
+  if (gossip_ == nullptr || generation != gossip_->timer_generation ||
+      !gossip_->timer.running()) {
+    return;
+  }
+  if (Crashed()) {
+    gossip_->timer.Stop();  // dormant until the heal event pokes us
+    return;
+  }
+  if (!gossip_->timer.ShouldSendAtFire()) {
+    ++gossip_->stats.beacons_suppressed;
+    return;
+  }
+  if (!DissemSilenced()) {
+    SendDissemBeacon();
+  }
+}
+
+void NodeRuntime::OnTrickleEnd(uint32_t generation) {
+  if (gossip_ == nullptr || generation != gossip_->timer_generation ||
+      !gossip_->timer.running()) {
+    return;
+  }
+  if (Crashed()) {
+    gossip_->timer.Stop();
+    return;
+  }
+  if (gossip_->timer.OnIntervalEnd(ctx_.sim->Now())) {
+    ScheduleTrickle();
+  }
+  // else: dormant — the event stream for this agent stops here, which is
+  // what lets the simulation drain after convergence.
+}
+
+void NodeRuntime::ResetTrickle() {
+  if (gossip_ == nullptr || gossip_->gave_up) {
+    return;
+  }
+  const SimTime now = ctx_.sim->Now();
+  if (!gossip_->timer.running()) {
+    gossip_->timer.Start(now);
+    ScheduleTrickle();
+  } else if (gossip_->timer.OnInconsistent(now)) {
+    ScheduleTrickle();
+  }
+}
+
+void NodeRuntime::SendDissemBeacon() {
+  std::shared_ptr<const DissemBeaconMessage> beacon;
+  for (NodeId n : ctx_.topo->Neighbors(id_)) {
+    if (fault_set_.Contains(n)) {
+      continue;
+    }
+    if (beacon == nullptr) {
+      auto fresh = NewPayload<DissemBeaconMessage>();
+      fresh->from = id_;
+      fresh->announced_fp = DissemAnnounceFp();
+      fresh->target_fp = gossip_->target_fp;
+      beacon = std::move(fresh);
+    }
+    ctx_.network->Send(id_, n, kDissemBeaconBytes, TrafficClass::kControl, beacon);
+    ++gossip_->stats.beacons_sent;
+    gossip_->stats.bytes_sent += kDissemBeaconBytes;
+  }
+}
+
+void NodeRuntime::HandleDissemBeacon(const Packet& packet, const DissemBeaconMessage& msg) {
+  (void)packet;
+  if (gossip_ == nullptr || msg.target_fp != gossip_->target_fp) {
+    return;
+  }
+  GossipSession& g = *gossip_;
+  g.peer_fp[msg.from.value()] = msg.announced_fp;
+  if (msg.announced_fp == DissemAnnounceFp()) {
+    g.timer.OnConsistent();
+    return;
+  }
+  // Inconsistent neighborhood: whichever side is fresher should talk soon.
+  ResetTrickle();
+  g.timer.NoteActivity();
+  if (msg.announced_fp == g.target_fp && !DissemInstalled() && !g.gave_up &&
+      !g.pending_from.valid() && !DissemSilenced()) {
+    SendDissemRequest(msg.from);
+  }
+}
+
+void NodeRuntime::SendDissemRequest(NodeId to) {
+  GossipSession& g = *gossip_;
+  // Resume only when the partial transfer matches the artifact family we
+  // would request now; otherwise restart from chunk 0.
+  const bool blob_family = g.want_blob || g.blob_mode;
+  if (g.rx.active && DissemContentIsPatch(g.rx.content) == blob_family) {
+    g.rx = DissemReassembly{};
+  }
+  auto req = NewPayload<DissemRequestMessage>();
+  req->from = id_;
+  req->target_fp = g.target_fp;
+  req->have_chunks = g.rx.active ? g.rx.received : 0;
+  req->want_blob = g.want_blob;
+  ctx_.network->Send(id_, to, kDissemRequestBytes, TrafficClass::kControl, std::move(req));
+  ++g.stats.requests_sent;
+  g.stats.bytes_sent += kDissemRequestBytes;
+  g.pending_from = to;
+  g.progress_mark = g.rx.active ? g.rx.received : 0;
+  const uint32_t attempt = ++g.request_attempt;
+  ctx_.sim->AtActor(id_.value(), ctx_.sim->Now() + 4 * ctx_.workload->period(),
+                    [this, attempt]() { CheckDissemProgress(attempt); });
+}
+
+void NodeRuntime::CheckDissemProgress(uint32_t attempt) {
+  if (gossip_ == nullptr || attempt != gossip_->request_attempt) {
+    return;  // superseded by a newer request
+  }
+  GossipSession& g = *gossip_;
+  if (DissemInstalled() || !g.pending_from.valid()) {
+    return;
+  }
+  const uint32_t received = g.rx.active ? g.rx.received : 0;
+  if (received > g.progress_mark) {
+    g.progress_mark = received;
+    ctx_.sim->AtActor(id_.value(), ctx_.sim->Now() + 4 * ctx_.workload->period(),
+                      [this, attempt]() { CheckDissemProgress(attempt); });
+    return;
+  }
+  // Stalled (server down, chunks dropped): release the slot and rejoin the
+  // conversation; the next target beacon re-requests from the resume offset.
+  g.pending_from = NodeId::Invalid();
+  ResetTrickle();
+}
+
+void NodeRuntime::HandleDissemRequest(const Packet& packet, const DissemRequestMessage& msg) {
+  (void)packet;
+  if (gossip_ == nullptr || msg.target_fp != gossip_->target_fp) {
+    return;
+  }
+  GossipSession& g = *gossip_;
+  g.timer.NoteActivity();
+  if (!g.relay || !DissemInstalled() || DissemSilenced()) {
+    return;  // nothing servable (or not allowed to transmit)
+  }
+  const uint32_t to = msg.from.value();
+  if (to >= g.serving_to.size() || g.serving_to[to] != 0) {
+    return;  // a transfer to this node is already queued or in flight
+  }
+  const LinkId link = LinkToNeighbor(msg.from);
+  if (!link.valid()) {
+    return;  // gossip serves one-hop neighbors only
+  }
+  const bool blob = msg.want_blob || g.blob_mode;
+  // Leaf optimization: a single-neighbor requester can never relay, so it
+  // gets only its own slice; everyone else receives the full artifact and
+  // becomes a relay. This is where gossip undercuts unicast on bus bytes.
+  const bool leaf = ctx_.topo->Neighbors(msg.from).size() <= 1;
+  const DissemContent content =
+      blob ? (leaf ? DissemContent::kBlobSlice : DissemContent::kBlobFull)
+           : (leaf ? DissemContent::kPatchSlice : DissemContent::kPatchFull);
+  g.serving_to[to] = 1;
+  g.serve_queue.push_back(PendingServe{msg.from, content, msg.have_chunks, link, 0});
+  MaybeServeNext();
+}
+
+LinkId NodeRuntime::LinkToNeighbor(NodeId peer) const {
+  for (LinkId link : ctx_.topo->LinksAt(id_)) {
+    if (ctx_.topo->Attaches(link, peer)) {
+      return link;
+    }
+  }
+  return LinkId();
+}
+
+// The relay protocol ships one full artifact per hop; what a relay serves a
+// leaf is the slice it can carve deterministically from its own verified
+// copy (SaveStrategyPatchSlice / ExtractSlice). Reading the carved texts off
+// the shared StrategyUpdate models exactly that without holding N copies of
+// identical bytes per node.
+const std::string* NodeRuntime::DissemArtifact(DissemContent content, NodeId to) const {
+  const StrategyUpdate* update = owner_->update_.get();
+  if (update == nullptr) {
+    return nullptr;
+  }
+  switch (content) {
+    case DissemContent::kPatchFull:
+      return &update->patch_full;
+    case DissemContent::kBlobFull:
+      return &update->target_blob;
+    case DissemContent::kPatchSlice:
+      return to.value() < update->patch_slices.size() ? &update->patch_slices[to.value()]
+                                                      : nullptr;
+    case DissemContent::kBlobSlice:
+      return to.value() < update->full_slices.size() ? &update->full_slices[to.value()]
+                                                     : nullptr;
+  }
+  return nullptr;
+}
+
+void NodeRuntime::MaybeServeNext() {
+  if (gossip_ == nullptr) {
+    return;
+  }
+  GossipSession& g = *gossip_;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < g.serve_queue.size(); ++i) {
+      if (g.busy_links[g.serve_queue[i].link.value()] != 0) {
+        continue;
+      }
+      PendingServe serve = g.serve_queue[i];
+      g.serve_queue.erase(g.serve_queue.begin() + static_cast<ptrdiff_t>(i));
+      progress = true;
+      const std::string* artifact = DissemArtifact(serve.content, serve.to);
+      if ((artifact == nullptr || artifact->empty()) &&
+          serve.content == DissemContent::kPatchFull) {
+        // A hand-built update without the unsliced patch text: downgrade to
+        // the per-node slice (the requester installs but cannot relay).
+        serve.content = DissemContent::kPatchSlice;
+        artifact = DissemArtifact(serve.content, serve.to);
+      }
+      if (artifact == nullptr || artifact->empty()) {
+        g.serving_to[serve.to.value()] = 0;
+        break;  // rollout torn down; drop the serve
+      }
+      switch (serve.content) {
+        case DissemContent::kPatchFull:
+          serve.content_fp = owner_->update_->patch_full_fp;
+          break;
+        case DissemContent::kBlobFull:
+          serve.content_fp = owner_->update_->target_fp;
+          break;
+        case DissemContent::kBlobSlice:
+          serve.content_fp = owner_->update_->slice_fps[serve.to.value()];
+          break;
+        case DissemContent::kPatchSlice:
+          serve.content_fp = FingerprintStrategyText(*artifact);
+          break;
+      }
+      // Pace: one chunk's serialization time fits in pace_fraction of a
+      // period, so a heartbeat queued behind the transfer waits far less
+      // than the two consecutive periods an omission declaration needs.
+      const SimDuration tx4k =
+          ctx_.network->SerializationTime(serve.link, id_, TrafficClass::kControl, 4096);
+      const SimDuration per_byte = std::max<SimDuration>(tx4k / 4096, 1);
+      const ChunkPlan plan =
+          PlanChunks(artifact->size(), per_byte, ctx_.workload->period(), g.config);
+      if (serve.start_chunk >= plan.total) {
+        serve.start_chunk = 0;  // the requester's resume claim predates this plan
+      }
+      if (serve.start_chunk > 0) {
+        ++g.stats.resumes;
+      }
+      g.busy_links[serve.link.value()] = 1;
+      SendDissemChunk(serve, serve.start_chunk, plan);
+      break;  // rescan: the next queued serve may use a different link
+    }
+  }
+}
+
+void NodeRuntime::SendDissemChunk(PendingServe serve, uint32_t seq, ChunkPlan plan) {
+  if (gossip_ == nullptr) {
+    return;
+  }
+  GossipSession& g = *gossip_;
+  const std::string* artifact = DissemArtifact(serve.content, serve.to);
+  const bool done = artifact == nullptr || seq >= plan.total;
+  const bool aborted = Crashed() || DissemSilenced() || fault_set_.Contains(serve.to);
+  if (done || aborted) {
+    g.busy_links[serve.link.value()] = 0;
+    g.serving_to[serve.to.value()] = 0;
+    if (done && !aborted && artifact != nullptr) {
+      ++g.stats.serves;
+      if (DissemContentIsPatch(serve.content)) {
+        g.stats.patch_payload_bytes += artifact->size();
+      } else {
+        g.stats.full_payload_bytes += artifact->size();
+      }
+    }
+    if (!Crashed()) {
+      MaybeServeNext();
+    }
+    return;
+  }
+  const uint64_t total_bytes = artifact->size();
+  const uint64_t offset = static_cast<uint64_t>(seq) * plan.chunk_bytes;
+  const uint32_t payload =
+      static_cast<uint32_t>(std::min<uint64_t>(plan.chunk_bytes, total_bytes - offset));
+  const uint32_t wire = payload + kDissemChunkHeaderBytes;
+  auto msg = NewPayload<DissemChunkMessage>();
+  msg->from = id_;
+  msg->target_fp = g.target_fp;
+  msg->content = serve.content;
+  msg->seq = seq;
+  msg->total = plan.total;
+  msg->content_fp = serve.content_fp;
+  if (seq + 1 == plan.total) {
+    msg->text = *artifact;  // only the final chunk carries the text
+  }
+  ctx_.network->Send(id_, serve.to, wire, TrafficClass::kControl, std::move(msg));
+  ++g.stats.chunks_sent;
+  g.stats.bytes_sent += wire;
+  const SimDuration tx =
+      ctx_.network->SerializationTime(serve.link, id_, TrafficClass::kControl, wire);
+  ctx_.sim->AtActor(id_.value(), ctx_.sim->Now() + ChunkSpacing(tx, g.config),
+                    [this, serve, seq, plan]() { SendDissemChunk(serve, seq + 1, plan); });
+}
+
+void NodeRuntime::HandleDissemChunk(const Packet& packet, const DissemChunkMessage& msg) {
+  if (gossip_ == nullptr || msg.target_fp != gossip_->target_fp) {
+    return;
+  }
+  GossipSession& g = *gossip_;
+  g.timer.NoteActivity();
+  install_.CountReceivedBytes(packet.size_bytes);
+  if (DissemInstalled() || g.gave_up) {
+    return;  // late duplicates
+  }
+  DissemReassembly& rx = g.rx;
+  const bool matches = rx.active && rx.content == msg.content &&
+                       rx.content_fp == msg.content_fp && rx.total == msg.total;
+  if (!matches) {
+    if (msg.seq != 0) {
+      return;  // mid-stream chunk of a transfer we are not assembling
+    }
+    rx = DissemReassembly{};
+    rx.active = true;
+    rx.content = msg.content;
+    rx.content_fp = msg.content_fp;
+    rx.total = msg.total;
+  }
+  if (msg.seq != rx.received) {
+    return;  // gap (a dropped chunk): the progress timeout re-requests
+  }
+  ++rx.received;
+  if (rx.received < rx.total) {
+    return;
+  }
+  // Final chunk carries the artifact text; content-verify before touching
+  // the engine (the fingerprint chain alone cannot catch a flipped byte).
+  rx = DissemReassembly{};
+  g.pending_from = NodeId::Invalid();
+  if (FingerprintStrategyText(msg.text) != msg.content_fp) {
+    return;  // corrupt in transit: the next beacon triggers a clean re-pull
+  }
+  ApplyDissemArtifact(msg.content, msg.text, msg.from);
+}
+
+void NodeRuntime::ApplyDissemArtifact(DissemContent content, const std::string& text,
+                                      NodeId server) {
+  GossipSession& g = *gossip_;
+  Status st = Status::Ok();
+  switch (content) {
+    case DissemContent::kPatchSlice:
+      st = install_.ApplyPatch(text);
+      break;
+    case DissemContent::kPatchFull: {
+      StatusOr<StrategyPatch> patch = ParseStrategyPatch(text);
+      if (patch.ok()) {
+        StatusOr<std::string> sliced = SaveStrategyPatchSlice(*patch, id_.value());
+        st = sliced.ok() ? install_.ApplyPatch(*sliced) : sliced.status();
+      } else {
+        st = patch.status();
+      }
+      break;
+    }
+    case DissemContent::kBlobFull: {
+      StatusOr<std::string> carved = ExtractSlice(text, id_.value());
+      st = carved.ok() ? install_.InstallFull(*carved, g.target_fp) : carved.status();
+      break;
+    }
+    case DissemContent::kBlobSlice:
+      st = install_.InstallFull(text, g.target_fp);
+      break;
+  }
+  if (st.ok()) {
+    if (DissemContentIsFull(content)) {
+      g.relay = true;  // we hold a verified full artifact and can re-carve it
+    }
+    owner_->NotifyInstalled(id_);
+    // Fresh version on board: reset so the next hop hears about it quickly.
+    ResetTrickle();
+    return;
+  }
+  if (DissemContentIsPatch(content)) {
+    // The patch does not chain to our installed base: fall back to the blob
+    // artifact from the same server (gossip's analogue of the install nack).
+    ++g.stats.fallbacks;
+    g.want_blob = true;
+    g.rx = DissemReassembly{};
+    if (!DissemSilenced()) {
+      SendDissemRequest(server);
+    }
+    return;
+  }
+  // A content-verified blob refused to install: re-pulling cannot help.
+  BTR_LOG(kWarning, "install") << "node " << id_.value()
+                            << ": gossip blob install refused: " << st.ToString();
+  g.gave_up = true;
+  g.timer.Stop();  // go silent so the neighborhood can go dormant
 }
 
 void NodeRuntime::HandleOutputRecord(const Packet& packet, const OutputRecord& record) {

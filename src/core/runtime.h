@@ -37,6 +37,7 @@
 #include "src/core/planner.h"
 #include "src/core/strategy_patch.h"
 #include "src/crypto/keys.h"
+#include "src/net/dissemination.h"
 #include "src/net/network.h"
 #include "src/sim/clock.h"
 #include "src/sim/simulator.h"
@@ -70,6 +71,9 @@ struct RuntimeConfig {
   // falsely accuse honest senders. 0 = perfect clocks.
   SimDuration max_clock_offset = Microseconds(30);
   uint32_t heartbeat_bytes = 32;
+  // Install-plane dissemination: unicast (PR 4 point-to-point) or
+  // Trickle-style gossip with heartbeat-aware pacing.
+  DissemConfig dissem;
 };
 
 struct NodeStats {
@@ -164,6 +168,11 @@ struct InstallRunReport {
   size_t fallbacks = 0;                  // full-slice installs after a failed patch
   uint64_t patch_bytes_sent = 0;         // wire bytes of patch shipments
   uint64_t full_bytes_sent = 0;          // wire bytes of fallback shipments
+  // Gossip-mode counters (sums of the per-node agent stats, so the values
+  // are shard-layout invariant). `gossip` gates the extra report line so
+  // unicast reports stay byte-identical to the pre-gossip format.
+  bool gossip = false;
+  DissemAgentStats dissem;
 };
 
 // A nacking node gets at most this many full-slice re-shipments per
@@ -249,8 +258,9 @@ class BtrRuntime {
   // and chains the next shipment one serialization time later.
   void ShipNextInstall(uint32_t index, InstallShipMode mode);
   // First-hop serialization time of `bytes` from the distributor to `dst`
-  // under the current routing (0 if unreachable; pacing degrades to a
-  // burst, and the guardian backlog has the final say).
+  // under the current routing. With no routing or no route, falls back to
+  // the frame-floor serialization time on the distributor's first attached
+  // link, so shipments are always spaced (never a same-instant burst).
   SimDuration EstimateInstallTx(NodeId dst, uint32_t bytes) const;
 
   RuntimeContext ctx_;
@@ -312,6 +322,15 @@ class NodeRuntime {
   // baseline mode).
   void InstallTargetSlice(const StrategyUpdate& update);
 
+  // Gossip dissemination (config.dissem.mode == kGossip): starts this
+  // node's Trickle agent for the active rollout. WakeDissem revives a
+  // dormant agent — the driver's heal events poke a healed node back into
+  // the conversation, which is what makes catch-up resumable.
+  void StartGossip(NodeId distributor, BtrRuntime::InstallShipMode mode);
+  void WakeDissem();
+  // Agent stats for report aggregation; null when no gossip session ran.
+  const DissemAgentStats* gossip_stats() const;
+
  private:
   struct ReceivedInput {
     uint64_t digest = 0;
@@ -367,6 +386,32 @@ class NodeRuntime {
   // Escalates a failed install shipment back to the distributor.
   void SendInstallNack(NodeId distributor, uint64_t target_fp);
 
+  // --- gossip dissemination ---
+  // An active fault (other than delay / value corruption) silences this
+  // node's dissemination sends, mirroring the heartbeat discipline.
+  bool DissemSilenced() const;
+  uint64_t DissemAnnounceFp() const;  // what our beacon would announce
+  bool DissemInstalled() const;
+  void ScheduleTrickle();
+  void OnTrickleFire(uint32_t generation);
+  void OnTrickleEnd(uint32_t generation);
+  // Inconsistency observed (or a wake-up): restart the Trickle interval.
+  void ResetTrickle();
+  void SendDissemBeacon();
+  void HandleDissemBeacon(const Packet& packet, const DissemBeaconMessage& msg);
+  void HandleDissemRequest(const Packet& packet, const DissemRequestMessage& msg);
+  void HandleDissemChunk(const Packet& packet, const DissemChunkMessage& msg);
+  void SendDissemRequest(NodeId to);
+  void CheckDissemProgress(uint32_t attempt);
+  // Serving: one active transfer per link; a completed serve re-scans the
+  // queue.
+  void MaybeServeNext();
+  void SendDissemChunk(PendingServe serve, uint32_t seq, ChunkPlan plan);
+  // Resolves the artifact a serve ships. Returns null if unavailable.
+  const std::string* DissemArtifact(DissemContent content, NodeId to) const;
+  void ApplyDissemArtifact(DissemContent content, const std::string& text, NodeId server);
+  LinkId LinkToNeighbor(NodeId peer) const;
+
   bool StateReady(TaskId task) const;
 
   BtrRuntime* owner_;
@@ -378,6 +423,7 @@ class NodeRuntime {
   std::shared_ptr<BlockPool> arena_;  // payload freelist (shared, see owner)
 
   InstallEngine install_;               // installed-strategy state (install plane)
+  std::unique_ptr<GossipSession> gossip_;  // per-rollout Trickle agent (gossip mode)
   const Plan* plan_ = nullptr;          // active plan
   const Plan* pending_plan_ = nullptr;  // adopted at next period boundary
   FaultSet fault_set_;

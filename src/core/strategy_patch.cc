@@ -723,6 +723,8 @@ StatusOr<StrategyUpdate> BuildStrategyUpdate(const std::string& base_blob,
   if (!patch.ok()) {
     return patch.status();
   }
+  update.patch_full = SaveStrategyPatch(*patch);
+  update.patch_full_fp = FingerprintStrategyText(update.patch_full);
   const uint32_t n = static_cast<uint32_t>(patch->node_count);
   update.base_slices.reserve(n);
   update.patch_slices.reserve(n);

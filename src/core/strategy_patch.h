@@ -154,6 +154,11 @@ struct StrategyUpdate {
   // the slice's own SFP record chains to the parent blob, not to its own
   // bytes, so it cannot detect in-transit corruption of a table row.
   std::vector<uint64_t> slice_fps;
+  // Unsliced BTRPATCH text. Gossip relays receive this (instead of N
+  // per-node slices), carve their own slice locally, and re-serve it to the
+  // next hop.
+  std::string patch_full;
+  uint64_t patch_full_fp = 0;
 };
 
 StatusOr<StrategyUpdate> BuildStrategyUpdate(const std::string& base_blob,

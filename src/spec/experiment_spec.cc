@@ -430,6 +430,16 @@ std::string SerializeExperimentSpec(const ExperimentSpec& spec) {
   if (spec.shards != 0) {
     out += " shards=" + std::to_string(spec.shards);
   }
+  if (spec.dissem != DissemMode::kUnicast) {
+    out += " dissem=";
+    out += DissemModeName(spec.dissem);
+  }
+  if (spec.beacon_period != 0) {
+    out += " beacon-us=" + Us(spec.beacon_period);
+  }
+  if (spec.suppress_k != 0) {
+    out += " suppress-k=" + std::to_string(spec.suppress_k);
+  }
   out += '\n';
   for (const SweepAxis& axis : spec.sweeps) {
     out += "SWEEP " + axis.key;
@@ -727,6 +737,25 @@ StatusOr<ExperimentSpec> ParseExperimentSpec(const std::string& text) {
           return LineError(line_no, "shards= must be in [1, 64]");
         }
         spec.shards = static_cast<uint32_t>(shards);
+      }
+      if (kv.Take("dissem", &value)) {
+        if (!ParseDissemMode(std::string(value), &spec.dissem)) {
+          return LineError(line_no, "dissem= must be unicast or gossip");
+        }
+      }
+      if (kv.Take("beacon-us", &value)) {
+        if (!ParseDurationUs(value, &spec.beacon_period) || spec.beacon_period == 0) {
+          return LineError(line_no, "beacon-us= must be a positive duration");
+        }
+      }
+      if (kv.Take("suppress-k", &value)) {
+        uint64_t k = 0;
+        // 0 would serialize as an absent key; 64 announcements per interval
+        // already exceeds any plausible neighborhood.
+        if (!ParseU64(value, &k) || k == 0 || k > 64) {
+          return LineError(line_no, "suppress-k= must be in [1, 64]");
+        }
+        spec.suppress_k = static_cast<uint32_t>(k);
       }
       Status done = kv.Done(line_no);
       if (!done.ok()) {

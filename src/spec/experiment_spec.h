@@ -42,6 +42,7 @@
 #include "src/common/status.h"
 #include "src/core/adversary.h"
 #include "src/core/strategy_delta.h"
+#include "src/net/dissemination.h"
 #include "src/workload/dataflow.h"
 
 namespace btr {
@@ -129,13 +130,21 @@ struct ExperimentSpec {
   uint32_t max_faults = 1;
   SimDuration recovery_bound = Milliseconds(500);
   uint64_t seed = 1;
-  // Heartbeats share the control class with install traffic; scripts with
-  // rollouts typically disable them until dissemination is heartbeat-aware
-  // (the pacing item on the ROADMAP).
+  // Heartbeats share the control class with install traffic. With
+  // dissem=gossip the rollout paces itself around the heartbeat cadence, so
+  // scripts with rollouts can keep them on; unicast rollouts may still want
+  // heartbeats=0 to avoid self-convicting the distributor.
   bool heartbeats = true;
   // Simulation shards (CONFIG shards=, parallel data plane). 0 = auto.
   // Purely a speed knob: reports are byte-identical for every value.
   uint32_t shards = 0;
+  // Install-plane dissemination (CONFIG dissem=unicast|gossip).
+  DissemMode dissem = DissemMode::kUnicast;
+  // Trickle minimum beacon interval (CONFIG beacon-us=). 0 = one workload
+  // period, resolved at rollout time.
+  SimDuration beacon_period = 0;
+  // Trickle suppression constant (CONFIG suppress-k=). 0 = default (1).
+  uint32_t suppress_k = 0;
   std::vector<SweepAxis> sweeps;
   std::vector<SpecPhase> phases;
 };
