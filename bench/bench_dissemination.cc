@@ -78,6 +78,48 @@ StatusOr<RolloutRow> RunOne(size_t nodes, const char* dissem) {
   return row;
 }
 
+// Pace-fraction sweep: the same gossip rollout with the chunk-pacing knob
+// turned. pace_fraction caps one chunk's serialization time at that
+// fraction of the workload period — small values keep heartbeats flowing
+// but stretch the transfer; large values approach the unicast burst.
+// DissemConfig is not spec-exposed, so the system is built by hand:
+// BuildScenario + MakeBtrConfig, mutate, then replay the identical script
+// through RunExperimentPhases.
+StatusOr<RolloutRow> RunPace(size_t nodes, double pace_fraction) {
+  auto spec = ParseExperimentSpec(ConvoySpecText(nodes, "gossip"));
+  if (!spec.ok()) {
+    return spec.status();
+  }
+  auto scenario = BuildScenario(spec->scenario);
+  if (!scenario.ok()) {
+    return scenario.status();
+  }
+  BtrConfig config = MakeBtrConfig(*spec);
+  config.runtime.dissem.pace_fraction = pace_fraction;
+  BtrSystem system(std::move(*scenario), config);
+  if (auto planned = system.Plan(); !planned.ok()) {
+    return planned;
+  }
+  auto report = RunExperimentPhases(system, *spec);
+  if (!report.ok()) {
+    return report.status();
+  }
+  const RunReport& phase = report->phases[0];
+  RolloutRow row;
+  if (phase.install.completed_at != kSimTimeNever) {
+    row.rollout_ms =
+        static_cast<double>(phase.install.completed_at - phase.install.started_at) / 1e6;
+  }
+  row.installed = phase.install.nodes_installed;
+  row.control_bytes =
+      phase.network.bytes_by_class[static_cast<int>(TrafficClass::kControl)];
+  row.install_payload = phase.install.patch_bytes_sent + phase.install.full_bytes_sent;
+  row.missing = phase.correctness.incorrect_missing;
+  row.dissem = phase.install.dissem;
+  row.fingerprint = FingerprintExperimentReport(*report);
+  return row;
+}
+
 int Main(int argc, char** argv) {
   std::string preset = "smoke";
   for (int i = 1; i < argc; ++i) {
@@ -137,6 +179,37 @@ int Main(int argc, char** argv) {
     }
   }
   std::printf("%s\n", table.Render().c_str());
+
+  // Rollout latency vs pace_fraction at convoy40: how hard the pacing knob
+  // trades heartbeat headroom against install speed.
+  Table pace_table({"fleet", "pace", "rollout", "installed", "control B",
+                    "missing sinks"});
+  for (double pace : {0.1, 0.25, 0.5}) {
+    auto row = RunPace(40, pace);
+    if (!row.ok()) {
+      std::printf("dissemination pace bench convoy40/%.2f: %s\n", pace,
+                  row.status().ToString().c_str());
+      return 1;
+    }
+    pace_table.AddRow({"convoy40", CellDouble(pace, 2),
+                       row->rollout_ms < 0 ? std::string("incomplete")
+                                           : CellDouble(row->rollout_ms, 2) + " ms",
+                       CellInt(static_cast<int64_t>(row->installed)) + "/40",
+                       CellBytes(static_cast<double>(row->control_bytes)),
+                       CellInt(static_cast<int64_t>(row->missing))});
+    std::printf(
+        "BENCH_JSON {\"bench\":\"dissemination_pace\",\"preset\":\"%s\","
+        "\"variant\":\"convoy40/pace%.2f\",\"nodes\":40,\"pace_fraction\":%.2f,"
+        "\"rollout_ms\":%.3f,\"installed\":%zu,\"control_bus_bytes\":%llu,"
+        "\"install_payload_bytes\":%llu,\"missing_sinks\":%llu,"
+        "\"fingerprint\":\"%016llx\"}\n",
+        preset.c_str(), pace, pace, row->rollout_ms, row->installed,
+        static_cast<unsigned long long>(row->control_bytes),
+        static_cast<unsigned long long>(row->install_payload),
+        static_cast<unsigned long long>(row->missing),
+        static_cast<unsigned long long>(row->fingerprint));
+  }
+  std::printf("%s\n", pace_table.Render().c_str());
   return 0;
 }
 

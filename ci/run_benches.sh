@@ -8,7 +8,10 @@
 #   ci/run_benches.sh --full           # E7 preset, more reps (perf work: real numbers)
 #   ci/run_benches.sh --sweep-service  # + sweep_service row (btrsim --bench-service)
 #   ci/run_benches.sh --dissemination  # + gossip-vs-unicast rollout rows
-#                                      #   (latency + bytes-on-bus vs fleet size)
+#                                      #   (latency + bytes-on-bus vs fleet size,
+#                                      #   and rollout latency vs pace_fraction)
+#   ci/run_benches.sh --scenarios      # + scenario-family rows (coverage vs
+#                                      #   churn rate on the mobile convoy)
 #
 # The JSON is a single object:
 #   {
@@ -25,6 +28,7 @@ PRESET=smoke
 REPS=2
 SWEEP_SERVICE=0
 DISSEMINATION=0
+SCENARIOS=0
 for arg in "$@"; do
   case "${arg}" in
     --full)
@@ -37,6 +41,9 @@ for arg in "$@"; do
     --dissemination)
       DISSEMINATION=1
       ;;
+    --scenarios)
+      SCENARIOS=1
+      ;;
     *)
       echo "unknown option: ${arg}" >&2
       exit 2
@@ -48,6 +55,9 @@ cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
 BENCH_TARGETS=(bench_sim_throughput bench_planner_scalability bench_plan_delta example_btrsim)
 if [[ "${DISSEMINATION}" == "1" ]]; then
   BENCH_TARGETS+=(bench_dissemination)
+fi
+if [[ "${SCENARIOS}" == "1" ]]; then
+  BENCH_TARGETS+=(bench_scenarios)
 fi
 cmake --build build-bench -j "$(nproc)" --target "${BENCH_TARGETS[@]}"
 
@@ -116,6 +126,20 @@ if [[ "${DISSEMINATION}" == "1" ]]; then
   if [[ -n "${DISSEM_ROWS}" ]]; then
     ROWS="${ROWS},
     ${DISSEM_ROWS}"
+  fi
+fi
+
+# Scenario-family rows (--scenarios): the mobile-convoy churn sweep —
+# coverage (fraction of node-time on an exactly-covered mode) vs churn
+# rate, with the beyond-f fallback counters. Fingerprints pin the whole
+# degradation path: a changed fingerprint for an unchanged seed means the
+# nearest-covered fallback behaved differently, not just slower.
+if [[ "${SCENARIOS}" == "1" ]]; then
+  SCENARIO_ROWS=$(./build-bench/bench_scenarios "--preset=${PRESET}" \
+    | sed -n 's/^BENCH_JSON //p' | paste -sd, -)
+  if [[ -n "${SCENARIO_ROWS}" ]]; then
+    ROWS="${ROWS},
+    ${SCENARIO_ROWS}"
   fi
 fi
 

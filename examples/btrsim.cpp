@@ -20,7 +20,7 @@
 //   btrsim --scenario avionics --f 2 --analyze
 //   btrsim --scenario random --seed 9 --periods 500 --dump-spec
 //
-//   btrsim [--spec FILE] [--scenario avionics|scada|convoy|random]
+//   btrsim [--spec FILE] [--scenario avionics|scada|convoy|convoy-mobile|lossy-mesh|random]
 //          [--nodes N] [--seed S] [--f F] [--recovery-ms R] [--periods P]
 //          [--fault BEHAVIOR] [--fault-node N] [--fault-at-ms T]
 //          [--fault-until-ms T] [--analyze] [--save-strategy FILE]
@@ -77,7 +77,7 @@ struct Options {
 int Usage(const char* argv0) {
   std::printf(
       "usage: %s [--spec FILE.btrx]\n"
-      "          [--scenario avionics|scada|convoy|random] [--nodes N]\n"
+      "          [--scenario avionics|scada|convoy|convoy-mobile|lossy-mesh|random] [--nodes N]\n"
       "          [--seed S] [--f F] [--recovery-ms R] [--periods P] [--shards N]\n"
       "          [--dissem unicast|gossip] [--beacon-us T] [--suppress-k K]\n"
       "          [--fault crash|value-corruption|omission|selective-omission|\n"

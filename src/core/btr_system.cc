@@ -47,6 +47,11 @@ std::string SerializeRunReport(const RunReport& report) {
        " unreachable=%" PRIu64 " backlog=%" PRIu64 " link_bytes=%" PRIu64,
        n.packets_sent, n.packets_delivered, n.packets_dropped_loss, n.packets_dropped_down,
        n.packets_dropped_unreachable, n.packets_dropped_backlog, n.total_link_bytes);
+  // Gated on activity so runs without duty-cycled links keep their
+  // pre-existing report bytes (and fingerprints).
+  if (n.packets_dropped_duty != 0) {
+    line("network_duty drops=%" PRIu64, n.packets_dropped_duty);
+  }
 
   for (size_t i = 0; i < report.per_node.size(); ++i) {
     const NodeStats& s = report.per_node[i];
@@ -62,6 +67,14 @@ std::string SerializeRunReport(const RunReport& report) {
          " distribute=%" PRId64 " recover=%" PRId64,
          f.node.value(), static_cast<int>(f.behavior), f.first_conviction, f.last_conviction,
          f.detection_latency, f.distribution_latency, f.recovery_time);
+  }
+  // Gated on beyond-f activity so every in-contract run keeps its
+  // pre-existing report bytes.
+  if (report.degradation.active()) {
+    line("degradation beyond_f=%" PRIu64 " fallback_switches=%" PRIu64
+         " degraded_time=%" PRId64 " coverage=%.6f",
+         report.degradation.beyond_f_lookups, report.degradation.fallback_switches,
+         report.degradation.degraded_time, report.degradation.coverage);
   }
   // Only rollout runs carry an install section, so pre-lifecycle
   // fingerprints of plain runs are unchanged.
@@ -300,6 +313,25 @@ StatusOr<RunReport> BtrSystem::Run(uint64_t periods) {
   report.install = runtime.install_report();
   for (size_t n = 0; n < scenario_->topology.node_count(); ++n) {
     report.per_node.push_back(runtime.node_stats(NodeId(static_cast<uint32_t>(n))));
+  }
+
+  // Degradation tallies, summed over nodes in id order. A node that went
+  // beyond f stays degraded until the run ends (fault sets are
+  // append-only), so its degraded window is [degraded_since, now).
+  for (size_t n = 0; n < scenario_->topology.node_count(); ++n) {
+    const NodeRuntime::DegradationStats& d =
+        runtime.node(NodeId(static_cast<uint32_t>(n)))->degradation();
+    report.degradation.beyond_f_lookups += d.beyond_f_lookups;
+    report.degradation.fallback_switches += d.fallback_switches;
+    if (d.degraded_since != kSimTimeNever) {
+      report.degradation.degraded_time += report.simulated_time - d.degraded_since;
+    }
+  }
+  const double node_time = static_cast<double>(report.simulated_time) *
+                           static_cast<double>(scenario_->topology.node_count());
+  if (node_time > 0.0) {
+    report.degradation.coverage =
+        1.0 - static_cast<double>(report.degradation.degraded_time) / node_time;
   }
 
   // One outcome per first manifestation per node.

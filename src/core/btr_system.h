@@ -74,6 +74,22 @@ struct RunReport {
   };
   std::vector<FaultOutcome> faults;
 
+  // Graceful degradation (beyond-f fallback): populated when some node's
+  // observed fault set exceeded the planned-for f and the runtime fell
+  // back to the nearest covered mode (see NodeRuntime::Convict). Aggregated
+  // over nodes in id order, so the values are shard-layout invariant.
+  // `coverage` is the fraction of node-time spent on an exactly-covered
+  // mode: 1.0 for a run that never left the strategy, lower the earlier and
+  // wider the beyond-f window.
+  struct Degradation {
+    uint64_t beyond_f_lookups = 0;   // exact plan lookups that missed
+    uint64_t fallback_switches = 0;  // switches onto a nearest-covered mode
+    SimDuration degraded_time = 0;   // summed over nodes
+    double coverage = 1.0;
+    bool active() const { return beyond_f_lookups != 0 || fallback_switches != 0; }
+  };
+  Degradation degradation;
+
   // Strategy-rollout cost when this run disseminated a staged delta (see
   // ApplyDelta); started_at == kSimTimeNever means no rollout ran.
   InstallRunReport install;

@@ -258,6 +258,67 @@ const Plan* Strategy::Lookup(const FaultSet& faults) const {
   return it->second;
 }
 
+namespace {
+
+// Shared nearest-covered walk (Strategy::LookupNearestCovered and
+// StrategyIndex::FindNearestCovered). Subset sizes are tried largest
+// first; within a size, subsets of the sorted node list are enumerated in
+// lexicographic order, so the first planned subset found is a pure
+// function of the fault set — every honest node converges on the same
+// fallback mode with no agreement round. The walk is exponential in the
+// fault-set size in the worst case, but it only runs on beyond-f sets,
+// which exceed f by however many extra faults actually manifested — a
+// handful of nodes, not the fleet.
+template <typename LookupFn>
+const Plan* NearestCovered(const FaultSet& faults, const LookupFn& lookup) {
+  if (const Plan* exact = lookup(faults)) {
+    return exact;
+  }
+  const std::vector<NodeId>& nodes = faults.nodes();
+  std::vector<uint32_t> pick;
+  std::vector<NodeId> subset;
+  for (size_t size = nodes.size(); size-- > 0;) {
+    if (size == 0) {
+      return lookup(FaultSet());
+    }
+    pick.resize(size);
+    for (size_t i = 0; i < size; ++i) {
+      pick[i] = static_cast<uint32_t>(i);
+    }
+    while (true) {
+      subset.clear();
+      for (uint32_t i : pick) {
+        subset.push_back(nodes[i]);
+      }
+      if (const Plan* p = lookup(FaultSet(subset))) {
+        return p;
+      }
+      // Next combination in lexicographic order.
+      size_t i = size;
+      while (i-- > 0) {
+        if (pick[i] < nodes.size() - (size - i)) {
+          ++pick[i];
+          for (size_t j = i + 1; j < size; ++j) {
+            pick[j] = pick[j - 1] + 1;
+          }
+          break;
+        }
+        if (i == 0) {
+          goto next_size;
+        }
+      }
+    }
+  next_size:;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const Plan* Strategy::LookupNearestCovered(const FaultSet& faults) const {
+  return NearestCovered(faults, [this](const FaultSet& fs) { return Lookup(fs); });
+}
+
 double Strategy::DedupRatio() const {
   const size_t expanded = ExpandedFootprintBytes();
   if (expanded == 0) {
@@ -342,6 +403,10 @@ const Plan* StrategyIndex::Find(const FaultSet& faults) const {
     i = (i + 1) & mask;
   }
   return nullptr;
+}
+
+const Plan* StrategyIndex::FindNearestCovered(const FaultSet& faults) const {
+  return NearestCovered(faults, [this](const FaultSet& fs) { return Find(fs); });
 }
 
 }  // namespace btr

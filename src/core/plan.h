@@ -206,6 +206,14 @@ class Strategy {
   // (e.g., more than f faults).
   const Plan* Lookup(const FaultSet& faults) const;
 
+  // Nearest covered mode for a (possibly beyond-f) fault set: the plan of
+  // the largest planned subset of `faults`, ties broken by taking the
+  // lexicographically first subset of the sorted node list. A pure function
+  // of the fault set, so every honest node degrades to the same mode
+  // without agreement. Equals Lookup(faults) when that set is planned;
+  // nullptr only if not even the empty set is.
+  const Plan* LookupNearestCovered(const FaultSet& faults) const;
+
   size_t mode_count() const { return by_faults_.size(); }
 
   // Number of physically distinct plan bodies backing the modes.
@@ -269,6 +277,10 @@ class StrategyIndex {
 
   // O(1) expected; nullptr if the fault set was not planned for.
   const Plan* Find(const FaultSet& faults) const;
+
+  // Nearest covered mode (same contract as Strategy::LookupNearestCovered):
+  // largest planned subset, lexicographic-first tie-break.
+  const Plan* FindNearestCovered(const FaultSet& faults) const;
 
   size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }

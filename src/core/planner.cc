@@ -39,6 +39,7 @@ uint64_t FingerprintScenario(const Topology& topo, const Dataflow& workload) {
   h.Add(topo.node_count());
   for (const LinkSpec& l : topo.links()) {
     h.AddString(l.name).Add(l.bandwidth_bps).Add(l.propagation);
+    h.Add(l.loss).Add(l.duty_on).Add(l.duty_period);
     for (NodeId n : l.endpoints) {
       h.Add(n.value());
     }

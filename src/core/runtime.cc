@@ -31,6 +31,15 @@ const Plan* LookupPlan(const RuntimeContext& ctx, const FaultSet& faults) {
   return ctx.strategy->Lookup(faults);
 }
 
+// Beyond-f fallback: the nearest covered mode (largest planned subset of
+// `faults`, lexicographic-first tie-break — see plan.h).
+const Plan* LookupNearestCoveredPlan(const RuntimeContext& ctx, const FaultSet& faults) {
+  if (ctx.strategy_index != nullptr) {
+    return ctx.strategy_index->FindNearestCovered(faults);
+  }
+  return ctx.strategy->LookupNearestCovered(faults);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -1875,9 +1884,33 @@ void NodeRuntime::Convict(NodeId node, EvidenceKind kind) {
                             << EvidenceKindName(kind) << ")";
   const Plan* next = LookupPlan(ctx_, fault_set_);
   if (next == nullptr) {
-    BTR_LOG(kWarning, "runtime")
-        << ToString(id_) << ": no plan for " << fault_set_.ToString() << " (beyond f)";
-    return;
+    // Beyond f: this fault set was never planned for. Instead of freezing
+    // on the stale plan, degrade to the nearest covered mode — the
+    // tie-break is a pure function of the fault set, so every honest node
+    // lands on the same fallback without an agreement round.
+    ++degradation_.beyond_f_lookups;
+    if (degradation_.degraded_since == kSimTimeNever) {
+      degradation_.degraded_since = ctx_.sim->Now();
+    }
+    if (beyond_f_warned_.Insert(fault_set_.Hash())) {
+      BTR_LOG(kWarning, "runtime")
+          << ToString(id_) << ": no plan for " << fault_set_.ToString()
+          << " (beyond f); falling back to nearest covered mode";
+    }
+    next = LookupNearestCoveredPlan(ctx_, fault_set_);
+    if (next == nullptr || next == plan_ || next == pending_plan_) {
+      return;  // already on (or adopting) the best covered mode
+    }
+    // Hysteresis: if the mode we're on (or adopting) already covers an
+    // equally large subset of the observed faults, a switch buys no extra
+    // coverage — and the tie-break could abandon the plan that handles the
+    // genuine culprit for a same-size subset that merely sorts earlier.
+    const Plan* cur = pending_plan_ != nullptr ? pending_plan_ : plan_;
+    if (cur != nullptr && fault_set_.Covers(cur->faults) &&
+        cur->faults.size() >= next->faults.size()) {
+      return;
+    }
+    ++degradation_.fallback_switches;
   }
   const Plan* old_plan = pending_plan_ != nullptr ? pending_plan_ : plan_;
   pending_plan_ = next;

@@ -307,6 +307,17 @@ class NodeRuntime {
   const Plan* current_plan() const { return plan_; }
   const InstallEngine& install_engine() const { return install_; }
 
+  // Graceful-degradation tallies: what happened when this node's observed
+  // fault set exceeded the planned-for f (see Convict). Node-local and
+  // written only by the node's own shard, so the per-run aggregates built
+  // from them are shard-layout invariant.
+  struct DegradationStats {
+    uint64_t beyond_f_lookups = 0;   // exact plan lookups that missed
+    uint64_t fallback_switches = 0;  // switches onto a nearest-covered mode
+    SimTime degraded_since = kSimTimeNever;  // first beyond-f observation
+  };
+  const DegradationStats& degradation() const { return degradation_; }
+
   // Called by BtrRuntime at every period boundary.
   void BeginPeriod(uint64_t period);
 
@@ -444,6 +455,10 @@ class NodeRuntime {
   FlatSet64 declared_;
   // Workload task ids whose migration state has not arrived yet.
   FlatSet64 awaiting_state_;
+  // Fault-set hashes already warned about as beyond-f (warn once per
+  // (node, fault set) — the set only grows, so this stays tiny).
+  FlatSet64 beyond_f_warned_;
+  DegradationStats degradation_;
 
   std::deque<PendingEvidence> evidence_queue_;
   EvidencePool pool_;

@@ -3,9 +3,24 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/hash.h"
 #include "src/common/log.h"
 
 namespace btr {
+namespace {
+
+// Counter-free loss draw: a uniform [0,1) value hashed from the run seed
+// and the transmission's layout-invariant identity (link, per-sender
+// message id, hop index). No RNG stream means no per-shard state and no
+// draw-order dependence, so lossy runs stay byte-identical for every shard
+// count — the same contract the rest of the data plane keeps.
+double LossUnit(uint64_t seed, LinkId link, MessageId id, uint32_t hop_index) {
+  Hasher h(seed);
+  h.Add(link.value()).Add(id.value()).Add(hop_index);
+  return static_cast<double>(h.Digest() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
 
 const char* TrafficClassName(TrafficClass cls) {
   switch (cls) {
@@ -34,10 +49,6 @@ Network::Network(Simulator* sim, const Topology* topo, NetworkConfig config)
   state_.reserve(shards);
   for (uint32_t s = 0; s < shards; ++s) {
     state_.push_back(std::make_unique<ShardState>());
-    // Per-shard loss streams. Single-shard runs keep drawing from the root
-    // RNG (legacy behavior); loss draws are the one place where sharded
-    // runs are only per-layout deterministic rather than layout-invariant.
-    state_.back()->loss_rng = Rng(sim_->seed() ^ (0x9e3779b97f4a7c15ULL * (s + 1)));
   }
 }
 
@@ -158,6 +169,18 @@ void Network::ForwardHop(Packet* packet, std::shared_ptr<const RoutingTable> rou
     ReleasePacket(st, packet);
     return;
   }
+  const LinkSpec& lspec = topo_->link(hop.link);
+  // Duty-cycled radio: departures are only legal during the first duty_on
+  // of each duty_period. The gate is a pure function of the departure
+  // instant (which the sender-partitioned guardian makes layout-invariant),
+  // so heal or wake events elsewhere can never reopen an off window early.
+  // Nothing is transmitted: the guardian does not advance and no bytes are
+  // charged to the medium.
+  if (lspec.duty_period > 0 && depart % lspec.duty_period >= lspec.duty_on) {
+    ++st.stats.packets_dropped_duty;
+    ReleasePacket(st, packet);
+    return;
+  }
   const SimDuration tx =
       CachedSerializationTime(st, hop.link, hop.sender, packet->cls, packet->size_bytes);
   next_free = depart + tx;
@@ -165,11 +188,14 @@ void Network::ForwardHop(Packet* packet, std::shared_ptr<const RoutingTable> rou
   st.stats.bytes_by_class[static_cast<int>(packet->cls)] += packet->size_bytes;
   st.stats.total_link_bytes += packet->size_bytes;
 
-  const SimTime arrival = depart + tx + topo_->link(hop.link).propagation;
+  const SimTime arrival = depart + tx + lspec.propagation;
+  // Global residual loss and the link's own loss model are independent
+  // processes; combine them into one per-hop probability.
+  const double loss_p =
+      config_.loss_probability + lspec.loss - config_.loss_probability * lspec.loss;
   const bool lost =
-      config_.loss_probability > 0.0 &&
-      (sim_->shard_count() == 1 ? sim_->rng()->NextBool(config_.loss_probability)
-                                : st.loss_rng.NextBool(config_.loss_probability));
+      loss_p > 0.0 && LossUnit(sim_->seed(), hop.link, packet->id,
+                               static_cast<uint32_t>(hop_index)) < loss_p;
   // Hop state is packed so the closure fits the event queue's inline
   // buffer; the receiver is resolved now (the captured routing table is
   // immutable, so the arrival-time lookup gave the same answer). The
@@ -225,6 +251,7 @@ NetworkStats Network::stats() const {
     total.packets_dropped_down += s.packets_dropped_down;
     total.packets_dropped_unreachable += s.packets_dropped_unreachable;
     total.packets_dropped_backlog += s.packets_dropped_backlog;
+    total.packets_dropped_duty += s.packets_dropped_duty;
     for (int c = 0; c < kTrafficClassCount; ++c) {
       total.backlog_drops_by_class[c] += s.backlog_drops_by_class[c];
       total.bytes_by_class[c] += s.bytes_by_class[c];

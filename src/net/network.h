@@ -24,6 +24,12 @@
 // which is what keeps reports bit-identical). Serialization caches, stats,
 // and packet pools are partitioned by the executing shard; stats aggregate
 // on read. Per-sender message counters are single-writer by construction.
+//
+// Loss draws carry no state at all: each hop's draw is a pure hash of
+// (seed, link, message id, hop index). Message ids are per-sender sequence
+// numbers assigned on the sender's shard, so the draw for a given physical
+// transmission is identical for every shard layout — lossy runs keep the
+// any-shard-count byte-identity contract.
 
 #ifndef BTR_SRC_NET_NETWORK_H_
 #define BTR_SRC_NET_NETWORK_H_
@@ -113,6 +119,7 @@ struct NetworkStats {
   uint64_t packets_dropped_down = 0;
   uint64_t packets_dropped_unreachable = 0;
   uint64_t packets_dropped_backlog = 0;
+  uint64_t packets_dropped_duty = 0;  // departure fell in a duty-cycle off phase
   uint64_t backlog_drops_by_class[kTrafficClassCount] = {0, 0, 0};
   uint64_t bytes_by_class[kTrafficClassCount] = {0, 0, 0};  // link-level bytes
   uint64_t total_link_bytes = 0;  // bytes * hops, i.e., actual medium usage
@@ -165,7 +172,6 @@ class Network {
     FlatMap64<SimTime> guardian_next_free;
     FlatMap64<SimDuration> serialization_cache;
     NetworkStats stats;
-    Rng loss_rng{0};
     // Freelist-pooled in-flight packets. A packet acquired on the sender's
     // shard is released to the shard that finishes it (the receiver's);
     // backing storage stays with the acquiring shard.

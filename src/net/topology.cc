@@ -50,6 +50,17 @@ LinkId Topology::AddLink(std::vector<NodeId> endpoints, int64_t bandwidth_bps,
   return id;
 }
 
+void Topology::SetLinkDynamics(LinkId link, double loss, SimDuration duty_on,
+                               SimDuration duty_period) {
+  assert(link.valid() && link.value() < links_.size());
+  assert(loss >= 0.0 && loss < 1.0);
+  assert(duty_period == 0 || (duty_on > 0 && duty_on <= duty_period));
+  LinkSpec& spec = links_[link.value()];
+  spec.loss = loss;
+  spec.duty_on = duty_on;
+  spec.duty_period = duty_period;
+}
+
 LinkId Topology::FindLink(const std::string& name) const {
   for (const LinkSpec& l : links_) {
     if (l.name == name) {
@@ -93,6 +104,12 @@ Status Topology::Validate() const {
     std::set<NodeId> uniq(l.endpoints.begin(), l.endpoints.end());
     if (uniq.size() != l.endpoints.size()) {
       return Status::InvalidArgument(l.name + " has duplicate endpoints");
+    }
+    if (l.loss < 0.0 || l.loss >= 1.0) {
+      return Status::InvalidArgument(l.name + " has loss outside [0, 1)");
+    }
+    if (l.duty_period < 0 || (l.duty_period > 0 && (l.duty_on <= 0 || l.duty_on > l.duty_period))) {
+      return Status::InvalidArgument(l.name + " has an invalid duty cycle");
     }
   }
   return Status::Ok();

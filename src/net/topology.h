@@ -22,6 +22,16 @@ struct LinkSpec {
   int64_t bandwidth_bps = 0;       // raw link capacity, bits per second
   SimDuration propagation = 0;     // one-hop propagation delay
   std::string name;
+  // Radio-link dynamics (lossy/duty-cycled scenario family). `loss` is the
+  // per-hop residual loss probability of this link alone, combined
+  // independently with NetworkConfig::loss_probability. A nonzero
+  // `duty_period` duty-cycles the radio: transmissions may only depart
+  // during the first `duty_on` of each period; departures in the off phase
+  // are dropped at the sender. The schedule is a pure function of simulated
+  // time, so heal/wake events cannot move the window.
+  double loss = 0.0;
+  SimDuration duty_on = 0;
+  SimDuration duty_period = 0;  // 0 = always on
 };
 
 class Topology {
@@ -44,6 +54,11 @@ class Topology {
   // First link with this name; invalid LinkId if absent. Names are the
   // stable link identity across topology edits (see strategy_delta.h).
   LinkId FindLink(const std::string& name) const;
+
+  // Sets the radio dynamics of an existing link (see LinkSpec). `loss` must
+  // be in [0, 1); a nonzero duty cycle needs 0 < duty_on <= duty_period.
+  void SetLinkDynamics(LinkId link, double loss, SimDuration duty_on,
+                       SimDuration duty_period);
 
   // Links attached to `node`.
   const std::vector<LinkId>& LinksAt(NodeId node) const;

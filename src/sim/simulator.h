@@ -60,8 +60,9 @@ class Simulator {
     return exec.worker ? *exec.now : now_;
   }
 
-  // Root RNG. Exclusive-path only (planning, scenario setup, the legacy
-  // single-shard loss draw); never touched by shard workers.
+  // Root RNG. Exclusive-path only (planning, scenario setup); never
+  // touched by shard workers. The data plane itself draws no randomness —
+  // loss draws are stateless hashes (see net/network.cc).
   Rng* rng() { return &rng_; }
   uint64_t seed() const { return seed_; }
 

@@ -20,7 +20,17 @@ StatusOr<Scenario> BuildScenario(const SpecScenario& spec) {
     if (spec.random_period != 0) {
       params.period = spec.random_period;
     }
-    return MakeNamedScenario(kind, spec.nodes, spec.scenario_seed, &params);
+    // Radio keys override the lossy/mobile generator defaults; a spec with
+    // none keeps the generator's own channel model.
+    RadioParams radio_storage;
+    const RadioParams* radio = nullptr;
+    if (spec.loss_pm != 0 || spec.duty_period != 0) {
+      radio_storage.loss = static_cast<double>(spec.loss_pm) / 1000.0;
+      radio_storage.duty_on = spec.duty_on;
+      radio_storage.duty_period = spec.duty_period;
+      radio = &radio_storage;
+    }
+    return MakeNamedScenario(kind, spec.nodes, spec.scenario_seed, &params, radio);
   }
 
   Scenario s;
@@ -37,8 +47,12 @@ StatusOr<Scenario> BuildScenario(const SpecScenario& spec) {
       }
       endpoints.push_back(NodeId(n));
     }
-    s.topology.AddLink(std::move(endpoints), link.bandwidth_bps, link.propagation,
-                       link.name);
+    const LinkId id = s.topology.AddLink(std::move(endpoints), link.bandwidth_bps,
+                                         link.propagation, link.name);
+    if (link.loss_pm != 0 || link.duty_period != 0) {
+      s.topology.SetLinkDynamics(id, static_cast<double>(link.loss_pm) / 1000.0,
+                                 link.duty_on, link.duty_period);
+    }
   }
   s.workload = Dataflow(spec.period);
   for (const SpecScenario::Task& task : spec.tasks) {

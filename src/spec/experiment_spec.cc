@@ -51,10 +51,29 @@ void AppendTaskAttrs(std::string* out, TaskKind kind, SimDuration wcet, Critical
   }
 }
 
+bool RadioKind(SpecScenario::Kind kind) {
+  return kind == SpecScenario::Kind::kConvoyMobile ||
+         kind == SpecScenario::Kind::kLossyMesh;
+}
+
+void AppendRadioAttrs(std::string* out, uint32_t loss_pm, SimDuration duty_on,
+                      SimDuration duty_period) {
+  if (loss_pm != 0) {
+    *out += " loss-pm=" + std::to_string(loss_pm);
+  }
+  if (duty_period != 0) {
+    *out += " duty-on-us=" + Us(duty_on);
+    *out += " duty-period-us=" + Us(duty_period);
+  }
+}
+
 void AppendScenario(std::string* out, const SpecScenario& s) {
   *out += "SCENARIO ";
   *out += ScenarioKindName(s.kind);
   *out += " nodes=" + std::to_string(s.nodes);
+  if (RadioKind(s.kind)) {
+    AppendRadioAttrs(out, s.loss_pm, s.duty_on, s.duty_period);
+  }
   if (s.kind == SpecScenario::Kind::kRandom) {
     if (s.scenario_seed != 1) {
       *out += " scenario-seed=" + std::to_string(s.scenario_seed);
@@ -79,7 +98,9 @@ void AppendScenario(std::string* out, const SpecScenario& s) {
   for (const SpecScenario::Link& link : s.links) {
     *out += "LINK name=" + link.name + " nodes=" + JoinU32(link.nodes) +
             " bw-bps=" + std::to_string(link.bandwidth_bps) +
-            " prop-us=" + Us(link.propagation) + '\n';
+            " prop-us=" + Us(link.propagation);
+    AppendRadioAttrs(out, link.loss_pm, link.duty_on, link.duty_period);
+    *out += '\n';
   }
   for (const SpecScenario::Task& task : s.tasks) {
     *out += "TASK name=" + task.name;
@@ -298,6 +319,44 @@ void ExtractRepeated(std::vector<std::string_view>* fields, std::string_view key
   }
 }
 
+// Shared by SCENARIO records (radio kinds) and inline LINK records: the
+// optional loss-pm= / duty-on-us= / duty-period-us= radio-dynamics keys,
+// with the same presence rules the serializer follows.
+Status ParseRadioAttrs(KeyValues* kv, size_t line_no, uint32_t* loss_pm,
+                       SimDuration* duty_on, SimDuration* duty_period) {
+  std::string_view value;
+  if (kv->Take("loss-pm", &value)) {
+    uint64_t pm = 0;
+    // 0 would serialize as an absent key; 1000 per-mille is a link that
+    // never delivers, which Topology::Validate rejects.
+    if (!ParseU64(value, &pm) || pm == 0 || pm >= 1000) {
+      return LineError(line_no, "loss-pm= must be in [1, 999]");
+    }
+    *loss_pm = static_cast<uint32_t>(pm);
+  }
+  SimDuration on = 0;
+  const bool has_on = kv->Take("duty-on-us", &value);
+  if (has_on && (!ParseDurationUs(value, &on) || on == 0)) {
+    return LineError(line_no, "malformed duty-on-us=");
+  }
+  SimDuration period = 0;
+  const bool has_period = kv->Take("duty-period-us", &value);
+  if (has_period && (!ParseDurationUs(value, &period) || period == 0)) {
+    return LineError(line_no, "malformed duty-period-us=");
+  }
+  if (has_on != has_period) {
+    return LineError(line_no, "duty-on-us= and duty-period-us= come as a pair");
+  }
+  if (has_on) {
+    if (on > period) {
+      return LineError(line_no, "duty-on-us= must not exceed duty-period-us=");
+    }
+    *duty_on = on;
+    *duty_period = period;
+  }
+  return Status::Ok();
+}
+
 struct TaskAttrs {
   TaskKind kind = TaskKind::kCompute;
   SimDuration wcet = 0;
@@ -395,6 +454,10 @@ const char* ScenarioKindName(SpecScenario::Kind kind) {
       return "random";
     case SpecScenario::Kind::kInline:
       return "inline";
+    case SpecScenario::Kind::kConvoyMobile:
+      return "convoy-mobile";
+    case SpecScenario::Kind::kLossyMesh:
+      return "lossy-mesh";
   }
   return "?";
 }
@@ -543,6 +606,12 @@ StatusOr<ExperimentSpec> ParseExperimentSpec(const std::string& text) {
         return LineError(line_no, "missing or malformed nodes= (1.." +
                                       std::to_string(kMaxSpecNodes) + ")");
       }
+      if (RadioKind(s.kind)) {
+        Status radio = ParseRadioAttrs(&kv, line_no, &s.loss_pm, &s.duty_on, &s.duty_period);
+        if (!radio.ok()) {
+          return radio;
+        }
+      }
       if (s.kind == SpecScenario::Kind::kRandom) {
         if (kv.Take("scenario-seed", &value) && !ParseU64(value, &s.scenario_seed)) {
           return LineError(line_no, "malformed scenario-seed=");
@@ -616,6 +685,11 @@ StatusOr<ExperimentSpec> ParseExperimentSpec(const std::string& text) {
       link.bandwidth_bps = static_cast<int64_t>(bw);
       if (!kv.Take("prop-us", &value) || !ParseDurationUs(value, &link.propagation)) {
         return LineError(line_no, "missing or malformed prop-us=");
+      }
+      Status radio =
+          ParseRadioAttrs(&kv, line_no, &link.loss_pm, &link.duty_on, &link.duty_period);
+      if (!radio.ok()) {
+        return radio;
       }
       Status done = kv.Done(line_no);
       if (!done.ok()) {

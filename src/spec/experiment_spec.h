@@ -6,8 +6,10 @@
 // an experiment end-to-end:
 //
 //   * the scenario: a named generator ("avionics", "scada", "convoy",
-//     "random") with parameters, or an inline system built from NODE-less
-//     LINK / TASK / FLOW records;
+//     "convoy-mobile", "lossy-mesh", "random") with parameters — the radio
+//     kinds take per-link loss (loss-pm=) and duty-cycle windows — or an
+//     inline system built from NODE-less LINK / TASK / FLOW records, whose
+//     LINK records accept the same radio keys;
 //   * the BTR configuration (fault bound f, recovery bound R, seed);
 //   * a timed script of phases, each a simulated run: fault injections
 //     (including transient faults that heal at `until-us`) and mid-run
@@ -49,12 +51,21 @@ namespace btr {
 
 // The scenario section: which system the experiment runs on.
 struct SpecScenario {
-  enum class Kind { kAvionics, kScada, kConvoy, kRandom, kInline };
-  static constexpr int kKindCount = 5;
+  enum class Kind {
+    kAvionics,
+    kScada,
+    kConvoy,
+    kRandom,
+    kInline,
+    kConvoyMobile,
+    kLossyMesh,
+  };
+  static constexpr int kKindCount = 7;
   Kind kind = Kind::kAvionics;
 
   // Generator parameter: compute nodes (avionics/scada/random), total
-  // nodes (convoy: vehicles = nodes / 2), inline: the full node count.
+  // nodes (convoy/convoy-mobile: vehicles = nodes / 2), inline: the full
+  // node count.
   uint64_t nodes = 6;
 
   // "random" generator only (0 = generator default).
@@ -63,6 +74,14 @@ struct SpecScenario {
   uint64_t tasks_per_layer = 0;
   SimDuration random_period = 0;
 
+  // Radio-link dynamics, "convoy-mobile" / "lossy-mesh" only (SCENARIO
+  // loss-pm= / duty-on-us= / duty-period-us=). loss_pm is per-mille so the
+  // format stays integer-only; 0 = generator default. The duty keys come
+  // as a pair: transmit duty_on out of every duty_period.
+  uint32_t loss_pm = 0;
+  SimDuration duty_on = 0;
+  SimDuration duty_period = 0;
+
   // Inline records. Node ids are 0..nodes-1; task identity is by name.
   SimDuration period = Milliseconds(10);
   struct Link {
@@ -70,6 +89,11 @@ struct SpecScenario {
     std::vector<uint32_t> nodes;
     int64_t bandwidth_bps = 0;
     SimDuration propagation = 0;
+    // Optional radio dynamics (loss-pm= / duty-on-us= / duty-period-us=),
+    // same semantics as the SCENARIO-level keys but per link.
+    uint32_t loss_pm = 0;
+    SimDuration duty_on = 0;
+    SimDuration duty_period = 0;
   };
   struct Task {
     std::string name;
@@ -150,8 +174,8 @@ struct ExperimentSpec {
 };
 
 // The SCENARIO record's kind token ("avionics", "scada", "convoy",
-// "random", "inline") and its inverse — the one name registry the
-// serializer, parser, runner, and CLI share.
+// "random", "inline", "convoy-mobile", "lossy-mesh") and its inverse — the
+// one name registry the serializer, parser, runner, and CLI share.
 const char* ScenarioKindName(SpecScenario::Kind kind);
 std::optional<SpecScenario::Kind> ParseScenarioKind(std::string_view name);
 

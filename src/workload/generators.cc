@@ -11,7 +11,7 @@ constexpr SimDuration kBusPropagation = Microseconds(2);
 }  // namespace
 
 StatusOr<Scenario> MakeNamedScenario(const std::string& kind, size_t nodes, uint64_t seed,
-                                     const RandomDagParams* params) {
+                                     const RandomDagParams* params, const RadioParams* radio) {
   if (kind == "avionics") {
     return MakeAvionicsScenario(std::max<size_t>(nodes, 2));
   }
@@ -20,6 +20,12 @@ StatusOr<Scenario> MakeNamedScenario(const std::string& kind, size_t nodes, uint
   }
   if (kind == "convoy") {
     return MakeConvoyScenario(std::max<size_t>(nodes / 2, 2));
+  }
+  if (kind == "convoy-mobile") {
+    return MakeConvoyMobileScenario(std::max<size_t>(nodes / 2, 2), radio);
+  }
+  if (kind == "lossy-mesh") {
+    return MakeLossyMeshScenario(nodes, radio);
   }
   if (kind == "random") {
     Rng rng(seed);
@@ -187,6 +193,104 @@ Scenario MakeConvoyScenario(size_t vehicles) {
     w.Connect(gap, acc, 128);
     w.Connect(acc, throttle, 32);
   }
+  return s;
+}
+
+Scenario MakeConvoyMobileScenario(size_t vehicles, const RadioParams* radio) {
+  Scenario s = MakeConvoyScenario(vehicles);
+  s.name = "convoy-mobile";
+  // Vehicles drift in and out of radio range: the v2v ring drops packets
+  // probabilistically (and, when duty-cycled, deterministically in the off
+  // window). The intra-vehicle veh<N> links are wired and stay ideal.
+  RadioParams r;
+  // Default hostility is milder than the lossy mesh's: the convoy's fused
+  // chains amplify one drop into many coincident path declarations, so a
+  // per-hop rate that the mesh absorbs can frame the platoon's relays.
+  // 0.1% sees real drops over a long run while a bare
+  // `--scenario convoy-mobile` still completes; specs that want a hotter
+  // channel say so with loss-pm=.
+  r.loss = 0.001;
+  if (radio != nullptr) {
+    r = *radio;
+  }
+  Topology& topo = s.topology;
+  for (size_t l = 0; l < topo.link_count(); ++l) {
+    const LinkId id(static_cast<uint32_t>(l));
+    if (topo.link(id).name.rfind("v2v", 0) == 0) {
+      topo.SetLinkDynamics(id, r.loss, r.duty_on, r.duty_period);
+    }
+  }
+  return s;
+}
+
+Scenario MakeLossyMeshScenario(size_t nodes, const RadioParams* radio) {
+  const size_t n = std::max<size_t>(nodes, 4);
+  Scenario s;
+  s.name = "lossy-mesh";
+  // 0.2% per hop: hostile enough that long runs see real drops, gentle
+  // enough that the path-blame rule is not guaranteed to frame the mesh's
+  // relay hubs (raise it deliberately to study that collapse).
+  RadioParams r;
+  r.loss = 0.002;
+  if (radio != nullptr) {
+    r = *radio;
+  }
+
+  // Near-square grid of motes, row-major; every hop is a slow lossy
+  // point-to-point radio. Multi-hop relay is the common case: the far
+  // corner's samples cross the whole mesh to reach the gateway.
+  size_t cols = 1;
+  while (cols * cols < n) {
+    ++cols;
+  }
+  Topology& topo = s.topology;
+  topo.AddNodes(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t row = i / cols;
+    const size_t col = i % cols;
+    const std::string tag = std::to_string(row) + "_" + std::to_string(col);
+    if (col + 1 < cols && i + 1 < n) {
+      const LinkId id = topo.AddLink({NodeId(static_cast<uint32_t>(i)),
+                                      NodeId(static_cast<uint32_t>(i + 1))},
+                                     10'000'000, Microseconds(5), "mesh" + tag + "e");
+      topo.SetLinkDynamics(id, r.loss, r.duty_on, r.duty_period);
+    }
+    if (i + cols < n) {
+      const LinkId id = topo.AddLink({NodeId(static_cast<uint32_t>(i)),
+                                      NodeId(static_cast<uint32_t>(i + cols))},
+                                     10'000'000, Microseconds(5), "mesh" + tag + "s");
+      topo.SetLinkDynamics(id, r.loss, r.duty_on, r.duty_period);
+    }
+  }
+
+  // WSN workload at 10 Hz: two corner sensors fused mid-mesh; the fused
+  // estimate drives a safety alarm at the gateway plus a low-criticality
+  // uplink report.
+  Dataflow& w = s.workload;
+  w = Dataflow(Milliseconds(100));
+  const NodeId gateway(0);
+  const NodeId far_corner(static_cast<uint32_t>(n - 1));
+  const NodeId near_corner(static_cast<uint32_t>(cols - 1));
+  const TaskId sense_far =
+      w.AddSource("sense_far", Microseconds(50), far_corner, Criticality::kHigh);
+  const TaskId sense_near =
+      w.AddSource("sense_near", Microseconds(50), near_corner, Criticality::kHigh);
+  const TaskId fuse =
+      w.AddCompute("fuse", Microseconds(400), 2048, Criticality::kSafetyCritical);
+  const TaskId alarm_logic =
+      w.AddCompute("alarm_logic", Microseconds(250), 1024, Criticality::kSafetyCritical);
+  const TaskId alarm = w.AddSink("alarm", Microseconds(60), gateway,
+                                 Criticality::kSafetyCritical, Milliseconds(60));
+  const TaskId report_fmt =
+      w.AddCompute("report_fmt", Microseconds(300), 4096, Criticality::kLow);
+  const TaskId uplink = w.AddSink("uplink", Microseconds(80), gateway,
+                                  Criticality::kLow, Milliseconds(100));
+  w.Connect(sense_far, fuse, 96);
+  w.Connect(sense_near, fuse, 96);
+  w.Connect(fuse, alarm_logic, 64);
+  w.Connect(alarm_logic, alarm, 32);
+  w.Connect(fuse, report_fmt, 128);
+  w.Connect(report_fmt, uplink, 512);
   return s;
 }
 

@@ -35,14 +35,40 @@ Scenario MakeScadaScenario(size_t compute_nodes = 4);
 // cruise-control command; exercises multi-hop (ring) communication.
 Scenario MakeConvoyScenario(size_t vehicles = 4);
 
-// Builds a scenario by generator name: "avionics", "scada", "convoy"
-// (nodes = vehicles * 2 rounded down, >= 2 vehicles), or "random" (seeded
-// layered DAG; `params` tweaks beyond compute_nodes are the caller's job —
-// pass nullptr for defaults). The one registry the btrsim CLI and the
-// experiment-spec runner both resolve scenario names through.
+// Radio-link dynamics for the lossy/mobile scenario family: applied to
+// every radio (non-wired) link the generator emits, via
+// Topology::SetLinkDynamics. Defaults model a mildly hostile channel; pass
+// an explicit struct (e.g. from a .btrx SCENARIO record's loss-pm= /
+// duty-on-us= / duty-period-us= keys) to sweep the hostility.
+struct RadioParams {
+  double loss = 0.0;            // per-hop drop probability, [0, 1)
+  SimDuration duty_on = 0;      // transmit window within each duty period
+  SimDuration duty_period = 0;  // 0 = always on
+};
+
+// Mobile convoy: the platoon of MakeConvoyScenario, but the inter-vehicle
+// v2v radio ring is lossy and (optionally) duty-cycled — vehicles drift in
+// and out of range, so links drop packets instead of failing cleanly. The
+// intra-vehicle wired links stay ideal.
+Scenario MakeConvoyMobileScenario(size_t vehicles = 4, const RadioParams* radio = nullptr);
+
+// Lossy sensor mesh: `nodes` field motes in a near-square grid of slow
+// point-to-point radio hops (every link lossy/duty-cycled), corner sensors
+// fused mid-mesh and delivered to a gateway sink — a WSN-flavored workload
+// where multi-hop relay is the common case, not the fallback.
+Scenario MakeLossyMeshScenario(size_t nodes = 9, const RadioParams* radio = nullptr);
+
+// Builds a scenario by generator name: "avionics", "scada", "convoy" /
+// "convoy-mobile" (nodes = vehicles * 2 rounded down, >= 2 vehicles),
+// "lossy-mesh", or "random" (seeded layered DAG; `params` tweaks beyond
+// compute_nodes are the caller's job — pass nullptr for defaults). `radio`
+// parameterizes the lossy/mobile kinds and is ignored elsewhere. The one
+// registry the btrsim CLI and the experiment-spec runner both resolve
+// scenario names through.
 struct RandomDagParams;
 StatusOr<Scenario> MakeNamedScenario(const std::string& kind, size_t nodes, uint64_t seed,
-                                     const RandomDagParams* params = nullptr);
+                                     const RandomDagParams* params = nullptr,
+                                     const RadioParams* radio = nullptr);
 
 // Random layered DAG for property tests and scalability sweeps.
 struct RandomDagParams {

@@ -167,6 +167,42 @@ TEST(ShardInvariance, FaultyE7ByteIdenticalAcrossShardCounts) {
   });
 }
 
+TEST(ShardInvariance, LossyRunByteIdenticalAcrossShardCounts) {
+  // Loss draws are stateless hashes of (seed, link, packet id, hop index) —
+  // never per-shard RNG state — so a lossy run must honor the same
+  // contract as a clean one: byte-identical reports at every shard count
+  // under real worker threads, and byte-identical to the sequential
+  // single-queue loop.
+  BtrConfig config = Config(11);
+  config.planner.network.loss_probability = 0.02;
+  setenv("BTR_SHARD_EXEC", "threads", 1);
+  std::string baseline;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    BtrSystem system(MakeAvionicsScenario(8), config);
+    system.set_shards(shards);
+    ASSERT_TRUE(system.Plan().ok());
+    auto report = system.Run(80);
+    ASSERT_TRUE(report.ok());
+    EXPECT_GT(report->network.packets_dropped_loss, 0u);
+    const std::string dump = SerializeRunReport(*report);
+    if (shards == 1) {
+      baseline = dump;
+      ASSERT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(dump, baseline) << "lossy report diverged at shards=" << shards;
+    }
+  }
+  setenv("BTR_SHARD_EXEC", "seq", 1);
+  BtrSystem system(MakeAvionicsScenario(8), config);
+  system.set_shards(1);
+  ASSERT_TRUE(system.Plan().ok());
+  auto report = system.Run(80);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(SerializeRunReport(*report), baseline)
+      << "sequential shards=1 diverged from the threaded runs";
+  unsetenv("BTR_SHARD_EXEC");
+}
+
 TEST(ShardInvariance, TransientHealingFaultByteIdenticalAcrossShardCounts) {
   // A transient corruption that heals (`until`): the heal edge and any
   // conviction racing it must land in the same canonical order regardless

@@ -118,9 +118,23 @@ SimDuration RandomUs(Rng* rng, int64_t lo_us, int64_t hi_us) {
   return Microseconds(rng->NextInRange(lo_us, hi_us));
 }
 
+// Optional radio-dynamics keys shared by the radio scenario kinds and
+// inline LINK records: loss alone, a duty pair alone, both, or neither.
+void RandomRadioAttrs(Rng* rng, uint32_t* loss_pm, SimDuration* duty_on,
+                      SimDuration* duty_period) {
+  if (rng->NextBool(0.5)) {
+    *loss_pm = static_cast<uint32_t>(rng->NextInRange(1, 999));
+  }
+  if (rng->NextBool(0.5)) {
+    const int64_t period_us = rng->NextInRange(2, 100000);
+    *duty_period = Microseconds(period_us);
+    *duty_on = Microseconds(rng->NextInRange(1, period_us));
+  }
+}
+
 SpecScenario RandomScenario(Rng* rng) {
   SpecScenario s;
-  switch (rng->NextBelow(5)) {
+  switch (rng->NextBelow(7)) {
     case 0:
       s.kind = SpecScenario::Kind::kAvionics;
       s.nodes = static_cast<uint64_t>(rng->NextInRange(2, 8));
@@ -149,6 +163,16 @@ SpecScenario RandomScenario(Rng* rng) {
         s.random_period = RandomUs(rng, 1000, 100000);
       }
       break;
+    case 5:
+      s.kind = SpecScenario::Kind::kConvoyMobile;
+      s.nodes = static_cast<uint64_t>(rng->NextInRange(4, 10));
+      RandomRadioAttrs(rng, &s.loss_pm, &s.duty_on, &s.duty_period);
+      break;
+    case 6:
+      s.kind = SpecScenario::Kind::kLossyMesh;
+      s.nodes = static_cast<uint64_t>(rng->NextInRange(4, 16));
+      RandomRadioAttrs(rng, &s.loss_pm, &s.duty_on, &s.duty_period);
+      break;
     default: {
       s.kind = SpecScenario::Kind::kInline;
       s.nodes = static_cast<uint64_t>(rng->NextInRange(2, 6));
@@ -164,6 +188,7 @@ SpecScenario RandomScenario(Rng* rng) {
         }
         link.bandwidth_bps = rng->NextInRange(1'000'000, 100'000'000);
         link.propagation = RandomUs(rng, 1, 50);
+        RandomRadioAttrs(rng, &link.loss_pm, &link.duty_on, &link.duty_period);
         s.links.push_back(std::move(link));
       }
       const size_t tasks = static_cast<size_t>(rng->NextInRange(2, 6));
