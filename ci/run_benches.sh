@@ -12,6 +12,10 @@
 #                                      #   and rollout latency vs pace_fraction)
 #   ci/run_benches.sh --scenarios      # + scenario-family rows (coverage vs
 #                                      #   churn rate on the mobile convoy)
+#   ci/run_benches.sh --format         # + strategy_format row (v4 image vs
+#                                      #   v2 text: blob/patch bytes, parse-
+#                                      #   vs-map install time, report-fp
+#                                      #   equality across strategy sources)
 #
 # The JSON is a single object:
 #   {
@@ -29,6 +33,7 @@ REPS=2
 SWEEP_SERVICE=0
 DISSEMINATION=0
 SCENARIOS=0
+FORMAT=0
 for arg in "$@"; do
   case "${arg}" in
     --full)
@@ -44,6 +49,9 @@ for arg in "$@"; do
     --scenarios)
       SCENARIOS=1
       ;;
+    --format)
+      FORMAT=1
+      ;;
     *)
       echo "unknown option: ${arg}" >&2
       exit 2
@@ -58,6 +66,9 @@ if [[ "${DISSEMINATION}" == "1" ]]; then
 fi
 if [[ "${SCENARIOS}" == "1" ]]; then
   BENCH_TARGETS+=(bench_scenarios)
+fi
+if [[ "${FORMAT}" == "1" ]]; then
+  BENCH_TARGETS+=(bench_format)
 fi
 cmake --build build-bench -j "$(nproc)" --target "${BENCH_TARGETS[@]}"
 
@@ -140,6 +151,21 @@ if [[ "${SCENARIOS}" == "1" ]]; then
   if [[ -n "${SCENARIO_ROWS}" ]]; then
     ROWS="${ROWS},
     ${SCENARIO_ROWS}"
+  fi
+fi
+
+# Strategy-format row (--format): v4 binary images vs v2 text — blob and
+# E7-edit patch bytes in both serializations, parse-vs-map install wall
+# clock, and the cross-source report-fingerprint equality assertion
+# (planned / v2-loaded / v4-mapped runs must serialize identically; the
+# bench exits nonzero on divergence — record it, don't kill the harness).
+if [[ "${FORMAT}" == "1" ]]; then
+  FORMAT_ROWS=$( (./build-bench/bench_format || \
+    echo "format bench exited $? (report divergence or failed pass)" >&2) \
+    | sed -n 's/^BENCH_JSON //p' | paste -sd, -)
+  if [[ -n "${FORMAT_ROWS}" ]]; then
+    ROWS="${ROWS},
+    ${FORMAT_ROWS}"
   fi
 fi
 

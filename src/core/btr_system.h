@@ -53,6 +53,11 @@ struct BtrConfig {
   // scenarios, 8 for >= 16 nodes). Reports are byte-identical for every
   // value — sharding is a speed knob, never a semantics knob.
   uint32_t shards = 0;
+  // Serialization strategy shipments travel in (see strategy_patch.h).
+  // The fingerprint chain stays in the text domain either way, so which
+  // strategy every node ends up on is format-invariant; only the wire
+  // byte counters (and therefore transfer timing) change.
+  StrategyWireFormat wire_format = StrategyWireFormat::kV2Text;
 };
 
 // Everything a run produced, for experiments and examples.

@@ -8,6 +8,7 @@
 #include "src/common/log.h"
 #include "src/core/golden.h"
 #include "src/core/strategy_io.h"
+#include "src/fmt/strategy_binary.h"
 
 namespace btr {
 namespace {
@@ -49,6 +50,7 @@ const Plan* LookupNearestCoveredPlan(const RuntimeContext& ctx, const FaultSet& 
 uint64_t InstallEngine::StateFingerprint() const {
   Hasher hasher;
   hasher.AddString(slice_);
+  hasher.AddString(image_);
   hasher.Add(strategy_fp_);
   hasher.Add(version_);
   hasher.Add(node_.value());
@@ -56,6 +58,39 @@ uint64_t InstallEngine::StateFingerprint() const {
 }
 
 Status InstallEngine::InstallFull(const std::string& slice_text, uint64_t expected_sfp) {
+  if (fmt::IsV4Image(slice_text)) {
+    // Image path: verify → map → swap, no text is parsed or rendered. The
+    // deep validation walks every section and body payload off to the
+    // side, so a forged-count / out-of-range-reference image is rejected
+    // here with the engine bit-identical (bit flips never get this far —
+    // the image seal catches them at Map).
+    StatusOr<fmt::BinaryStrategyView> view = fmt::BinaryStrategyView::Map(slice_text);
+    if (!view.ok()) {
+      ++stats_.patches_rejected;
+      return view.status();
+    }
+    if (!view->is_slice() || view->node() != node_.value()) {
+      ++stats_.patches_rejected;
+      return Status::InvalidArgument("image is not this node's strategy slice");
+    }
+    if (view->slice_sfp() != expected_sfp) {
+      ++stats_.patches_rejected;
+      return Status::FailedPrecondition(
+          "slice image does not chain to the expected strategy fingerprint");
+    }
+    const Status deep = fmt::ValidateStrategyImage(slice_text);
+    if (!deep.ok()) {
+      ++stats_.patches_rejected;
+      return deep;
+    }
+    image_ = slice_text;
+    slice_.clear();
+    strategy_fp_ = expected_sfp;
+    ++version_;
+    ++stats_.full_installs;
+    ++stats_.image_installs;
+    return Status::Ok();
+  }
   StatusOr<uint64_t> sfp = ValidateSliceText(slice_text, node_.value());
   if (!sfp.ok()) {
     ++stats_.patches_rejected;
@@ -67,6 +102,7 @@ Status InstallEngine::InstallFull(const std::string& slice_text, uint64_t expect
         "slice does not chain to the expected strategy fingerprint; refusing to install");
   }
   slice_ = slice_text;
+  image_.clear();
   strategy_fp_ = *sfp;
   ++version_;
   ++stats_.full_installs;
@@ -78,22 +114,41 @@ Status InstallEngine::ApplyPatch(const std::string& patch_text) {
     ++stats_.patches_rejected;
     return Status::FailedPrecondition("no base slice installed; patch has nothing to apply to");
   }
-  StatusOr<StrategyPatch> patch = ParseStrategyPatch(patch_text);
+  const bool patch_is_image = fmt::IsV4Image(patch_text);
+  StatusOr<StrategyPatch> patch =
+      patch_is_image ? fmt::DecodePatchImage(patch_text) : ParseStrategyPatch(patch_text);
   if (!patch.ok()) {
     ++stats_.patches_rejected;
     return patch.status();
   }
+  // An image-mode base materializes its canonical text off to the side;
+  // the installed image stays untouched until the patch fully verifies.
+  const std::string* base = &slice_;
+  std::string materialized;
+  if (!image_.empty()) {
+    StatusOr<std::string> text = fmt::DecodeStrategyImage(image_);
+    if (!text.ok()) {
+      ++stats_.patches_rejected;
+      return text.status();
+    }
+    materialized = std::move(*text);
+    base = &materialized;
+  }
   // Verify-then-swap: the new slice is fully assembled and fingerprint-
   // checked before the installed state changes.
-  StatusOr<std::string> applied = ApplyPatchToSlice(slice_, *patch);
+  StatusOr<std::string> applied = ApplyPatchToSlice(*base, *patch);
   if (!applied.ok()) {
     ++stats_.patches_rejected;
     return applied.status();
   }
   slice_ = std::move(*applied);
+  image_.clear();
   strategy_fp_ = patch->target_fp;
   ++version_;
   ++stats_.patches_applied;
+  if (patch_is_image) {
+    ++stats_.image_installs;
+  }
   return Status::Ok();
 }
 
@@ -267,8 +322,9 @@ void BtrRuntime::ShipNextInstall(uint32_t index, InstallShipMode mode) {
     auto msg = std::make_shared<StrategyFullMessage>();
     msg->slice = update_->target_blob;
     msg->target_fp = update_->target_fp;
-    // The blob's content fingerprint is the target fingerprint itself.
-    msg->content_fp = update_->target_fp;
+    // Fingerprint of the shipped bytes: the target fingerprint itself for
+    // a text blob, the image hash when the wire format is v4.
+    msg->content_fp = update_->target_blob_fp;
     msg->distributor = install_distributor_;
     bytes = static_cast<uint32_t>(msg->slice.size());
     install_report_.full_bytes_sent += bytes;
@@ -1238,10 +1294,32 @@ void NodeRuntime::HandleStrategyFull(const Packet& packet, const StrategyFullMes
   }
   // The fallback path ships this node's slice; the naive full-blob
   // baseline ships the whole strategy and the node carves its own slice.
+  // A v4 full-blob image decodes to its canonical text first (a slice
+  // image passes straight through to the engine's zero-parse path).
   const std::string* slice_text = &msg.slice;
   std::string carved;
+  std::string decoded;
+  const std::string* blob = nullptr;
   if (msg.slice.rfind("BTRSTRATEGY", 0) == 0) {
-    StatusOr<std::string> extracted = ExtractSlice(msg.slice, id_.value());
+    blob = &msg.slice;
+  } else if (fmt::IsV4Image(msg.slice)) {
+    StatusOr<fmt::BinaryStrategyView> view = fmt::BinaryStrategyView::Map(msg.slice);
+    if (!view.ok()) {
+      SendInstallNack(msg.distributor, msg.target_fp);
+      return;
+    }
+    if (!view->is_slice()) {
+      StatusOr<std::string> text = view->DecodeText();
+      if (!text.ok()) {
+        SendInstallNack(msg.distributor, msg.target_fp);
+        return;
+      }
+      decoded = std::move(*text);
+      blob = &decoded;
+    }
+  }
+  if (blob != nullptr) {
+    StatusOr<std::string> extracted = ExtractSlice(*blob, id_.value());
     if (!extracted.ok()) {
       SendInstallNack(msg.distributor, msg.target_fp);
       return;
@@ -1554,7 +1632,7 @@ void NodeRuntime::MaybeServeNext() {
           serve.content_fp = owner_->update_->patch_full_fp;
           break;
         case DissemContent::kBlobFull:
-          serve.content_fp = owner_->update_->target_fp;
+          serve.content_fp = owner_->update_->target_blob_fp;
           break;
         case DissemContent::kBlobSlice:
           serve.content_fp = owner_->update_->slice_fps[serve.to.value()];
@@ -1681,7 +1759,8 @@ void NodeRuntime::ApplyDissemArtifact(DissemContent content, const std::string& 
       st = install_.ApplyPatch(text);
       break;
     case DissemContent::kPatchFull: {
-      StatusOr<StrategyPatch> patch = ParseStrategyPatch(text);
+      StatusOr<StrategyPatch> patch =
+          fmt::IsV4Image(text) ? fmt::DecodePatchImage(text) : ParseStrategyPatch(text);
       if (patch.ok()) {
         StatusOr<std::string> sliced = SaveStrategyPatchSlice(*patch, id_.value());
         st = sliced.ok() ? install_.ApplyPatch(*sliced) : sliced.status();
@@ -1691,7 +1770,20 @@ void NodeRuntime::ApplyDissemArtifact(DissemContent content, const std::string& 
       break;
     }
     case DissemContent::kBlobFull: {
-      StatusOr<std::string> carved = ExtractSlice(text, id_.value());
+      // A v4 blob image decodes to canonical text before carving; the
+      // carved slice installs through the text path either way.
+      const std::string* blob = &text;
+      std::string decoded_text;
+      if (fmt::IsV4Image(text)) {
+        StatusOr<std::string> decoded = fmt::DecodeStrategyImage(text);
+        if (!decoded.ok()) {
+          st = decoded.status();
+          break;
+        }
+        decoded_text = std::move(*decoded);
+        blob = &decoded_text;
+      }
+      StatusOr<std::string> carved = ExtractSlice(*blob, id_.value());
       st = carved.ok() ? install_.InstallFull(*carved, g.target_fp) : carved.status();
       break;
     }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/core/strategy_text_internal.h"
+#include "src/fmt/strategy_binary.h"
 
 namespace btr {
 namespace {
@@ -91,6 +92,19 @@ std::string SaveStrategy(const Strategy& strategy, const AugmentedGraph& graph,
 
 StatusOr<Strategy> LoadStrategy(const std::string& text, const AugmentedGraph& graph,
                                 const Topology& topo) {
+  // v4 binary images auto-detect by magic and funnel through the text
+  // loader, so every caller accepts both formats transparently.
+  if (fmt::IsV4Image(text)) {
+    const StatusOr<std::string> decoded = fmt::DecodeStrategyImage(text);
+    if (!decoded.ok()) {
+      return decoded.status();
+    }
+    StatusOr<Strategy> loaded = LoadStrategy(*decoded, graph, topo);
+    if (loaded.ok()) {
+      loaded->set_source_format(4);
+    }
+    return loaded;
+  }
   // The writer always terminates the blob with a newline; a blob whose last
   // line is cut short would otherwise parse successfully because the token
   // reader below is newline-insensitive (found by the zero-degraded-modes
@@ -252,7 +266,13 @@ StatusOr<Strategy> LoadStrategy(const std::string& text, const AugmentedGraph& g
   if (provenance.present) {
     strategy.set_provenance(provenance.max_faults, provenance.planner_fingerprint);
   }
+  strategy.set_source_format(2);
   return strategy;
+}
+
+StatusOr<std::string> SaveStrategyV4(const Strategy& strategy, const AugmentedGraph& graph,
+                                     const Topology& topo) {
+  return fmt::EncodeStrategyImage(SaveStrategy(strategy, graph, topo));
 }
 
 // --- install-plane records -------------------------------------------------

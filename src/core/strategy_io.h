@@ -34,9 +34,19 @@ std::string SaveStrategy(const Strategy& strategy, const AugmentedGraph& graph,
                          const Topology& topo);
 
 // Parses a serialized strategy and rebuilds per-mode routing from `topo`.
-// Fails if the header's dimensions do not match `graph`/`topo`.
+// Fails if the header's dimensions do not match `graph`/`topo`. Accepts
+// both the v2/v3 text blob and the v4 binary image (auto-detected by
+// magic); the loaded strategy records which format it came from in its
+// provenance (`source_format`).
 StatusOr<Strategy> LoadStrategy(const std::string& text, const AugmentedGraph& graph,
                                 const Topology& topo);
+
+// Serializes to the v4 binary image (see src/fmt/strategy_binary.h): the
+// canonical v3 text, delta-encoded against the wave DAG, dictionary-packed,
+// and sealed into an mmap-able sectioned image. LoadStrategy auto-detects
+// the magic, so the two formats interchange freely on disk and on the wire.
+StatusOr<std::string> SaveStrategyV4(const Strategy& strategy, const AugmentedGraph& graph,
+                                     const Topology& topo);
 
 // --- install-plane records (see strategy_patch.h for the semantics) ------
 

@@ -6,6 +6,8 @@
 
 #include "src/common/hash.h"
 #include "src/core/strategy_io.h"
+#include "src/fmt/strategy_binary.h"
+#include "src/core/strategy_parts_internal.h"
 #include "src/core/strategy_text_internal.h"
 
 namespace btr {
@@ -25,32 +27,17 @@ using strategy_text::ValidFaultNodeList;
 
 uint64_t FingerprintStrategyText(const std::string& text) { return HashString(text); }
 
+using strategy_text::Parts;
+using strategy_text::ParseParts;
+using strategy_text::RenderSliceOfBlob;
+using strategy_text::RenderSliceText;
+using strategy_text::SplitChunk;
+
+namespace strategy_text {
 namespace {
 
 constexpr char kBlobMagic[] = "BTRSTRATEGY v3";
 constexpr char kSliceMagic[] = "BTRSLICE v1";
-
-// A canonical strategy blob or per-node slice, decomposed into verbatim
-// body chunks and parsed mode lines. The decomposition is lossless: the
-// matching renderer reproduces the input byte-for-byte.
-struct Parts {
-  bool is_slice = false;
-  uint64_t node = 0;        // slices only
-  uint64_t slice_sfp = 0;   // slices only: fingerprint of the source blob
-  uint64_t aug_count = 0;
-  uint64_t node_count = 0;
-  uint64_t edge_count = 0;
-  bool has_prov = false;
-  uint64_t prov_max_faults = 0;
-  uint64_t prov_planner_fp = 0;
-  // Verbatim record chunks, one per body, up to and including "END\n".
-  std::vector<std::string> bodies;
-  struct Mode {
-    std::vector<uint32_t> fault_nodes;
-    uint64_t ref = 0;
-  };
-  std::vector<Mode> modes;
-};
 
 Status Truncated(const char* what) {
   return Status::InvalidArgument(std::string("truncated strategy text (") + what + ")");
@@ -63,6 +50,8 @@ Status NextLine(LineScanner* scan, std::string_view* line, const char* what) {
   }
   return Status::Ok();
 }
+
+}  // namespace
 
 StatusOr<Parts> ParseParts(const std::string& text) {
   Parts parts;
@@ -303,7 +292,27 @@ void SplitChunk(const std::string& chunk, std::string* pre, std::string* t_rows,
   }
 }
 
-}  // namespace
+std::string RenderBlobText(const Parts& blob) {
+  std::string out = std::string(kBlobMagic) + "\n";
+  out += "DIM " + std::to_string(blob.aug_count) + " " + std::to_string(blob.node_count) +
+         " " + std::to_string(blob.edge_count) + "\n";
+  if (blob.has_prov) {
+    out += "PROV " + std::to_string(blob.prov_max_faults) + " " +
+           HexCanonical(blob.prov_planner_fp) + "\n";
+  }
+  out += "PLANS " + std::to_string(blob.bodies.size()) + "\n";
+  for (size_t id = 0; id < blob.bodies.size(); ++id) {
+    out += "PLAN " + std::to_string(id) + "\n";
+    out += blob.bodies[id];
+  }
+  out += "MODES " + std::to_string(blob.modes.size()) + "\n";
+  for (const Parts::Mode& mode : blob.modes) {
+    out += RenderModeLine(mode.fault_nodes, mode.ref);
+  }
+  return out;
+}
+
+}  // namespace strategy_text
 
 StatusOr<std::string> ExtractSlice(const std::string& blob_text, uint32_t node) {
   StatusOr<Parts> parts = ParseParts(blob_text);
@@ -334,6 +343,195 @@ StatusOr<uint64_t> ValidateSliceText(const std::string& slice_text, uint32_t nod
 }
 
 namespace {
+
+// Splits a body chunk once into (prefix, per-node T rows, suffix) for bulk
+// slicing. Returns false when the chunk is not in canonical record order
+// (all T rows contiguous) — callers then fall back to FilterBodyForNode per
+// node, which handles any record order. For a canonical chunk,
+//   pre + buckets[node] + post == FilterBodyForNode(chunk, node)
+// byte-for-byte (T lines with an unparsable node field are dropped from
+// every slice, exactly as FilterBodyForNode drops them).
+bool BucketChunkByNode(const std::string& chunk, std::string* pre, std::string* post,
+                       std::unordered_map<uint64_t, std::string>* buckets) {
+  pre->clear();
+  post->clear();
+  buckets->clear();
+  size_t pos = 0;
+  int section = 0;  // 0 = pre, 1 = T rows, 2 = post
+  while (pos < chunk.size()) {
+    size_t nl = chunk.find('\n', pos);
+    if (nl == std::string::npos) {
+      nl = chunk.size() - 1;  // defensive; validated chunks end with '\n'
+    }
+    const std::string_view line(chunk.data() + pos, nl - pos);
+    const bool is_t = line.size() > 2 && line[0] == 'T' && line[1] == ' ';
+    if (is_t) {
+      if (section == 2) {
+        return false;  // T row after the T section: non-canonical order
+      }
+      section = 1;
+      uint64_t node = 0;
+      const size_t sp = line.find(' ', 2);
+      const std::string_view field =
+          sp == std::string_view::npos ? line.substr(2) : line.substr(2, sp - 2);
+      if (ParseU64(field, &node)) {
+        (*buckets)[node].append(chunk, pos, nl - pos + 1);
+      }
+    } else {
+      if (section == 1) {
+        section = 2;
+      }
+      (section == 0 ? pre : post)->append(chunk, pos, nl - pos + 1);
+    }
+    pos = nl + 1;
+  }
+  return true;
+}
+
+// Renders every node's slice of a parsed blob in one pass: each body chunk
+// is split and bucketed once, so total work is O(blob + total slice bytes)
+// instead of the per-node re-filtering's O(blob x nodes).
+std::vector<std::string> RenderAllSlicesOfBlob(const Parts& blob, uint64_t sfp) {
+  const size_t body_count = blob.bodies.size();
+  std::vector<std::string> pres(body_count);
+  std::vector<std::string> posts(body_count);
+  std::vector<std::unordered_map<uint64_t, std::string>> buckets(body_count);
+  std::vector<char> bucketed(body_count, 0);
+  for (size_t id = 0; id < body_count; ++id) {
+    bucketed[id] =
+        BucketChunkByNode(blob.bodies[id], &pres[id], &posts[id], &buckets[id]) ? 1 : 0;
+  }
+  std::vector<std::string> slices;
+  slices.reserve(blob.node_count);
+  std::vector<std::string> chunks(body_count);
+  std::vector<const std::string*> chunk_ptrs(body_count);
+  for (uint64_t node = 0; node < blob.node_count; ++node) {
+    for (size_t id = 0; id < body_count; ++id) {
+      if (bucketed[id] != 0) {
+        const auto it = buckets[id].find(node);
+        chunks[id] = pres[id];
+        if (it != buckets[id].end()) {
+          chunks[id] += it->second;
+        }
+        chunks[id] += posts[id];
+      } else {
+        chunks[id] = FilterBodyForNode(blob.bodies[id], node);
+      }
+      chunk_ptrs[id] = &chunks[id];
+    }
+    slices.push_back(RenderSliceText(node, blob.aug_count, blob.node_count, blob.edge_count,
+                                     blob.has_prov, blob.prov_max_faults,
+                                     blob.prov_planner_fp, sfp, chunk_ptrs, blob.modes));
+  }
+  return slices;
+}
+
+// Renders SaveStrategyPatch(MakeStrategyPatchSlice(patch, n)) for every
+// node n without re-serializing the shared sections per slice: the header,
+// BCOPY/BDEL/MODES tail, and each BNEW body's shared records render once,
+// and only the NODE/NSLICE lines plus each node's own T rows vary.
+StatusOr<std::vector<std::string>> RenderPatchSliceTexts(const StrategyPatch& patch) {
+  if (patch.sliced) {
+    return Status::InvalidArgument("patch is already sliced");
+  }
+  std::string header = "BTRPATCH v1\n";
+  header += "DIM " + std::to_string(patch.aug_count) + " " + std::to_string(patch.node_count) +
+            " " + std::to_string(patch.edge_count) + "\n";
+  header += "BASE " + Hex16(patch.base_fp) + "\n";
+  header += "TARGET " + Hex16(patch.target_fp) + "\n";
+  if (patch.has_prov) {
+    header += "PROV " + std::to_string(patch.prov_max_faults) + " " +
+              HexCanonical(patch.prov_planner_fp) + "\n";
+  }
+  const std::string bodies_line = "BODIES " + std::to_string(patch.bodies.size()) + " " +
+                                  std::to_string(patch.old_body_count) + "\n";
+
+  // Per body: the BCOPY line / BNEW header plus the one-pass split of the
+  // new body's records.
+  const size_t body_count = patch.bodies.size();
+  std::vector<std::string> heads(body_count);
+  std::vector<std::string> posts(body_count);
+  std::vector<std::unordered_map<uint64_t, std::string>> buckets(body_count);
+  std::vector<char> bucketed(body_count, 0);
+  for (size_t id = 0; id < body_count; ++id) {
+    const StrategyPatch::BodyDef& def = patch.bodies[id];
+    if (def.copy) {
+      heads[id] =
+          "BCOPY " + std::to_string(id) + " " + std::to_string(def.old_id) + "\n";
+      bucketed[id] = 1;  // nothing node-dependent
+      continue;
+    }
+    heads[id] = "BNEW " + std::to_string(id) + "\n";
+    std::string pre;
+    if (BucketChunkByNode(def.text, &pre, &posts[id], &buckets[id])) {
+      heads[id] += pre;
+      bucketed[id] = 1;
+    }
+  }
+
+  std::string tail;
+  for (uint32_t old_id : patch.deleted_old) {
+    tail += "BDEL " + std::to_string(old_id) + "\n";
+  }
+  tail += "MODES " + std::to_string(patch.final_mode_count) + " " +
+          std::to_string(patch.sets.size()) + " " + std::to_string(patch.dels.size()) + "\n";
+  for (const StrategyPatch::ModeRef& set : patch.sets) {
+    tail += "MSET " + std::to_string(set.fault_nodes.size());
+    for (uint32_t n : set.fault_nodes) {
+      tail += ' ';
+      tail += std::to_string(n);
+    }
+    tail += " REF " + std::to_string(set.ref) + "\n";
+  }
+  for (const std::vector<uint32_t>& del : patch.dels) {
+    tail += "MDEL " + std::to_string(del.size());
+    for (uint32_t n : del) {
+      tail += ' ';
+      tail += std::to_string(n);
+    }
+    tail += "\n";
+  }
+  tail += "PATCHEND\n";
+
+  std::vector<std::string> out;
+  out.reserve(patch.node_count);
+  for (uint32_t node = 0; node < patch.node_count; ++node) {
+    uint64_t slice_fp = 0;
+    bool have_fp = false;
+    for (const auto& [n, fp] : patch.slice_fps) {
+      if (n == node) {
+        slice_fp = fp;
+        have_fp = true;
+        break;
+      }
+    }
+    if (!have_fp) {
+      return Status::InvalidArgument("patch has no slice fingerprint for the node");
+    }
+    std::string text = header;
+    text += "NODE " + std::to_string(node) + "\n";
+    text += "NSLICE " + std::to_string(node) + " " + Hex16(slice_fp) + "\n";
+    text += bodies_line;
+    for (size_t id = 0; id < body_count; ++id) {
+      if (patch.bodies[id].copy) {
+        text += heads[id];
+      } else if (bucketed[id] != 0) {
+        text += heads[id];
+        const auto it = buckets[id].find(node);
+        if (it != buckets[id].end()) {
+          text += it->second;
+        }
+        text += posts[id];
+      } else {
+        text += heads[id];
+        text += FilterBodyForNode(patch.bodies[id].text, node);
+      }
+    }
+    text += tail;
+    out.push_back(std::move(text));
+  }
+  return out;
+}
 
 // Shared core of MakeStrategyPatch and BuildStrategyUpdate: diffs two
 // already-parsed blobs. When `target_slices` is non-null it receives the
@@ -422,12 +620,12 @@ StatusOr<StrategyPatch> MakePatchFromParts(const Parts& base, const Parts& targe
     }
   }
 
+  std::vector<std::string> slices = RenderAllSlicesOfBlob(target, patch.target_fp);
   for (uint32_t n = 0; n < target.node_count; ++n) {
-    std::string slice = RenderSliceOfBlob(target, n, patch.target_fp);
-    patch.slice_fps.emplace_back(n, FingerprintStrategyText(slice));
-    if (target_slices != nullptr) {
-      target_slices->push_back(std::move(slice));
-    }
+    patch.slice_fps.emplace_back(n, FingerprintStrategyText(slices[n]));
+  }
+  if (target_slices != nullptr) {
+    *target_slices = std::move(slices);
   }
   return patch;
 }
@@ -667,14 +865,14 @@ StatusOr<std::string> ReassembleStrategy(const std::vector<std::string>& slices)
     }
   }
 
-  std::string out = std::string(kBlobMagic) + "\n";
-  out += "DIM " + std::to_string(first.aug_count) + " " + std::to_string(n) + " " +
-         std::to_string(first.edge_count) + "\n";
-  if (first.has_prov) {
-    out += "PROV " + std::to_string(first.prov_max_faults) + " " +
-           HexCanonical(first.prov_planner_fp) + "\n";
-  }
-  out += "PLANS " + std::to_string(first.bodies.size()) + "\n";
+  Parts merged;
+  merged.aug_count = first.aug_count;
+  merged.node_count = n;
+  merged.edge_count = first.edge_count;
+  merged.has_prov = first.has_prov;
+  merged.prov_max_faults = first.prov_max_faults;
+  merged.prov_planner_fp = first.prov_planner_fp;
+  merged.modes = first.modes;
   std::string pre;
   std::string t_rows;
   std::string post;
@@ -682,22 +880,19 @@ StatusOr<std::string> ReassembleStrategy(const std::vector<std::string>& slices)
   std::string other_post;
   for (size_t id = 0; id < first.bodies.size(); ++id) {
     SplitChunk(first.bodies[id], &pre, &t_rows, &post);
-    out += "PLAN " + std::to_string(id) + "\n";
-    out += pre;
-    out += t_rows;  // node 0's rows come first in the writer's node order
+    std::string chunk = pre;
+    chunk += t_rows;  // node 0's rows come first in the writer's node order
     for (size_t i = 1; i < n; ++i) {
       SplitChunk(by_node[i]->bodies[id], &other_pre, &t_rows, &other_post);
       if (other_pre != pre || other_post != post) {
         return Status::InvalidArgument("slices disagree on shared plan records");
       }
-      out += t_rows;
+      chunk += t_rows;
     }
-    out += post;
+    chunk += post;
+    merged.bodies.push_back(std::move(chunk));
   }
-  out += "MODES " + std::to_string(first.modes.size()) + "\n";
-  for (const Parts::Mode& mode : first.modes) {
-    out += RenderModeLine(mode.fault_nodes, mode.ref);
-  }
+  const std::string out = strategy_text::RenderBlobText(merged);
   if (FingerprintStrategyText(out) != first.slice_sfp) {
     return Status::InvalidArgument("reassembled blob does not match the recorded fingerprint");
   }
@@ -705,7 +900,8 @@ StatusOr<std::string> ReassembleStrategy(const std::vector<std::string>& slices)
 }
 
 StatusOr<StrategyUpdate> BuildStrategyUpdate(const std::string& base_blob,
-                                             const std::string& target_blob) {
+                                             const std::string& target_blob,
+                                             StrategyWireFormat format) {
   StatusOr<Parts> base = ParseParts(base_blob);
   if (!base.ok()) {
     return base.status();
@@ -715,6 +911,7 @@ StatusOr<StrategyUpdate> BuildStrategyUpdate(const std::string& base_blob,
     return target.status();
   }
   StrategyUpdate update;
+  update.format = format;
   update.target_blob = target_blob;
   update.base_fp = FingerprintStrategyText(base_blob);
   update.target_fp = FingerprintStrategyText(target_blob);
@@ -724,19 +921,48 @@ StatusOr<StrategyUpdate> BuildStrategyUpdate(const std::string& base_blob,
     return patch.status();
   }
   update.patch_full = SaveStrategyPatch(*patch);
-  update.patch_full_fp = FingerprintStrategyText(update.patch_full);
   const uint32_t n = static_cast<uint32_t>(patch->node_count);
-  update.base_slices.reserve(n);
-  update.patch_slices.reserve(n);
+  // Base slices describe the already-installed state, so they are always
+  // rendered in the text domain regardless of the wire format.
+  update.base_slices = RenderAllSlicesOfBlob(*base, update.base_fp);
+  StatusOr<std::vector<std::string>> patch_slices = RenderPatchSliceTexts(*patch);
+  if (!patch_slices.ok()) {
+    return patch_slices.status();
+  }
+  update.patch_slices = std::move(*patch_slices);
+  if (format == StrategyWireFormat::kV4Binary) {
+    StatusOr<std::string> blob_img = fmt::EncodeStrategyImage(update.target_blob);
+    if (!blob_img.ok()) {
+      return blob_img.status();
+    }
+    update.target_blob = std::move(*blob_img);
+    StatusOr<std::string> patch_img = fmt::EncodePatchImage(*patch);
+    if (!patch_img.ok()) {
+      return patch_img.status();
+    }
+    update.patch_full = std::move(*patch_img);
+    for (uint32_t node = 0; node < n; ++node) {
+      StatusOr<std::string> slice_img = fmt::EncodeStrategyImage(update.full_slices[node]);
+      if (!slice_img.ok()) {
+        return slice_img.status();
+      }
+      update.full_slices[node] = std::move(*slice_img);
+      StatusOr<StrategyPatch> sliced = MakeStrategyPatchSlice(*patch, node);
+      if (!sliced.ok()) {
+        return sliced.status();
+      }
+      StatusOr<std::string> ps_img = fmt::EncodePatchImage(*sliced);
+      if (!ps_img.ok()) {
+        return ps_img.status();
+      }
+      update.patch_slices[node] = std::move(*ps_img);
+    }
+  }
+  update.target_blob_fp = FingerprintStrategyText(update.target_blob);
+  update.patch_full_fp = FingerprintStrategyText(update.patch_full);
   update.slice_fps.reserve(n);
   for (uint32_t node = 0; node < n; ++node) {
-    update.base_slices.push_back(RenderSliceOfBlob(*base, node, update.base_fp));
-    update.slice_fps.push_back(patch->slice_fps[node].second);
-    StatusOr<StrategyPatch> sliced = MakeStrategyPatchSlice(*patch, node);
-    if (!sliced.ok()) {
-      return sliced.status();
-    }
-    update.patch_slices.push_back(SaveStrategyPatch(*sliced));
+    update.slice_fps.push_back(FingerprintStrategyText(update.full_slices[node]));
   }
   return update;
 }

@@ -137,32 +137,47 @@ StatusOr<std::string> ApplyPatchToSlice(const std::string& slice_text,
 // and that the result hashes to the SFP the slices claim.
 StatusOr<std::string> ReassembleStrategy(const std::vector<std::string>& slices);
 
+// Serialization the install plane ships strategy artifacts in. The
+// fingerprint CHAIN (SFP / BASE / TARGET / NSLICE) always lives in the
+// canonical text domain, so reports and provenance are format-invariant;
+// the wire format only changes the bytes a shipment carries.
+enum class StrategyWireFormat {
+  kV2Text = 0,   // canonical BTRSTRATEGY/BTRSLICE/BTRPATCH text
+  kV4Binary = 4, // v4 binary images (see src/fmt/strategy_binary.h)
+};
+
 // Everything a distributor needs to roll a strategy edit out to the nodes
 // (see BtrRuntime::ScheduleStrategyInstall): per-node base slices (the
 // pre-deployed install), per-node patch slices (the delta shipment), and
 // per-node full target slices (the fallback a node requests when a patch
 // fails to apply).
 struct StrategyUpdate {
+  StrategyWireFormat format = StrategyWireFormat::kV2Text;
   uint64_t base_fp = 0;
   uint64_t target_fp = 0;
   std::string target_blob;               // what the naive path would ship
-  std::vector<std::string> base_slices;  // per node: installed-before state
-  std::vector<std::string> patch_slices; // per node: sliced patch text
-  std::vector<std::string> full_slices;  // per node: full target slice
-  // Per node: FingerprintStrategyText(full_slices[n]). Travels with a
-  // fallback shipment so the receiver can content-verify the slice text —
+  // Fingerprint of target_blob's shipped bytes (== target_fp under v2 text;
+  // the image hash under v4). Shipments content-verify against this; the
+  // text-domain target_fp stays the install chain's identity.
+  uint64_t target_blob_fp = 0;
+  std::vector<std::string> base_slices;  // per node: installed-before state (always text)
+  std::vector<std::string> patch_slices; // per node: sliced patch, wire format
+  std::vector<std::string> full_slices;  // per node: full target slice, wire format
+  // Per node: fingerprint of full_slices[n]'s shipped bytes. Travels with a
+  // fallback shipment so the receiver can content-verify the artifact —
   // the slice's own SFP record chains to the parent blob, not to its own
   // bytes, so it cannot detect in-transit corruption of a table row.
   std::vector<uint64_t> slice_fps;
-  // Unsliced BTRPATCH text. Gossip relays receive this (instead of N
-  // per-node slices), carve their own slice locally, and re-serve it to the
-  // next hop.
+  // Unsliced patch in the wire format. Gossip relays receive this (instead
+  // of N per-node slices), carve their own slice locally, and re-serve it
+  // to the next hop.
   std::string patch_full;
   uint64_t patch_full_fp = 0;
 };
 
-StatusOr<StrategyUpdate> BuildStrategyUpdate(const std::string& base_blob,
-                                             const std::string& target_blob);
+StatusOr<StrategyUpdate> BuildStrategyUpdate(
+    const std::string& base_blob, const std::string& target_blob,
+    StrategyWireFormat format = StrategyWireFormat::kV2Text);
 
 }  // namespace btr
 

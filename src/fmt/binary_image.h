@@ -1,0 +1,200 @@
+// Container layout for v4 binary strategy images ("BTRIMG4").
+//
+// An image is a single contiguous byte buffer designed to be mapped and
+// used in place: a fixed header, a section table of relative offsets, the
+// section payloads at 8-byte alignment, and a fingerprint trailer that
+// seals the whole buffer. Nothing in the layout is position-dependent, so
+// the same bytes are valid on disk, in an mmap, or inside a network
+// message.
+//
+//   offset 0    magic "BTRIMG4\n" (8 bytes)
+//   offset 8    u8 kind (1 = blob, 2 = slice, 3 = patch), 3 zero pad bytes
+//   offset 12   u32 section count (always 7)
+//   offset 16   u64 image size in bytes
+//   offset 24   section table: 7 entries of {u32 id, u32 zero, u64 offset,
+//               u64 size}, ids strictly ascending
+//   offset 192  section payloads, each at an 8-byte-aligned offset with
+//               zero padding between; the TRAILER section ends exactly at
+//               image size
+//
+// The TRAILER's final 8 bytes are HashBytes over [0, image_size - 8), so
+// any flipped bit anywhere in the image — header, table, padding, payload —
+// breaks the seal. Validation here is purely structural (bounds, alignment,
+// contiguity, seal); section payload grammar belongs to strategy_binary.cc.
+
+#ifndef BTR_SRC_FMT_BINARY_IMAGE_H_
+#define BTR_SRC_FMT_BINARY_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/hash.h"
+#include "src/common/status.h"
+#include "src/fmt/varint.h"
+
+namespace btr {
+namespace fmt {
+
+inline constexpr std::string_view kImageMagic = "BTRIMG4\n";
+
+inline constexpr uint8_t kKindBlob = 1;
+inline constexpr uint8_t kKindSlice = 2;
+inline constexpr uint8_t kKindPatch = 3;
+
+// Section ids, in the order they appear in every image.
+inline constexpr uint32_t kSecMeta = 1;     // dims, node/sfp, patch header fields
+inline constexpr uint32_t kSecStrDict = 2;  // deduped strings (U texts, ...)
+inline constexpr uint32_t kSecTabDict = 3;  // deduped schedule-table row groups
+inline constexpr uint32_t kSecBodyIdx = 4;  // fixed-width (offset, size) per body
+inline constexpr uint32_t kSecBodies = 5;   // body payloads, raw or delta
+inline constexpr uint32_t kSecModes = 6;    // mode table (fault sets -> body refs)
+inline constexpr uint32_t kSecTrailer = 7;  // provenance + fingerprint seal
+
+inline constexpr uint32_t kSectionCount = 7;
+inline constexpr size_t kSectionEntryBytes = 24;
+inline constexpr size_t kHeaderBytes = 24 + kSectionCount * kSectionEntryBytes;  // 192
+
+// Fast sniff: does this buffer claim to be a v4 image? (Magic only; callers
+// still validate before trusting anything else.)
+inline bool LooksLikeImage(std::string_view data) {
+  return data.size() >= kImageMagic.size() &&
+         data.substr(0, kImageMagic.size()) == kImageMagic;
+}
+
+// Parsed section table of a structurally valid image. Views point into the
+// validated buffer.
+struct ImageIndex {
+  uint8_t kind = 0;
+  std::string_view sections[kSectionCount];  // indexed by id - 1
+
+  std::string_view section(uint32_t id) const { return sections[id - 1]; }
+};
+
+// Structural validation: magic, kind, exact section count, table bounds,
+// ascending ids, 8-byte alignment, contiguity with zero padding, trailer
+// placed last and ending at image size, and the fingerprint seal over
+// everything before the final 8 bytes. Returns views into `data`.
+inline StatusOr<ImageIndex> IndexImage(std::string_view data) {
+  const auto bad = [](const std::string& why) {
+    return Status::InvalidArgument("strategy image: " + why);
+  };
+  if (!LooksLikeImage(data)) {
+    return bad("bad magic");
+  }
+  if (data.size() < kHeaderBytes + 8) {
+    return bad("truncated header");
+  }
+  ByteReader reader(data.substr(kImageMagic.size()));
+  uint32_t kind_word = 0;
+  uint32_t section_count = 0;
+  uint64_t image_size = 0;
+  if (!reader.ReadFixed32(&kind_word) || !reader.ReadFixed32(&section_count) ||
+      !reader.ReadFixed64(&image_size)) {
+    return bad("truncated header");
+  }
+  const uint8_t kind = static_cast<uint8_t>(kind_word & 0xFF);
+  if ((kind_word >> 8) != 0) {
+    return bad("nonzero header padding");
+  }
+  if (kind != kKindBlob && kind != kKindSlice && kind != kKindPatch) {
+    return bad("unknown image kind");
+  }
+  if (section_count != kSectionCount) {
+    return bad("unexpected section count");
+  }
+  if (image_size != data.size()) {
+    return bad("image size mismatch");
+  }
+
+  ImageIndex index;
+  index.kind = kind;
+  uint64_t cursor = kHeaderBytes;  // end of the last section seen so far
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    uint32_t id = 0;
+    uint32_t zero = 0;
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    if (!reader.ReadFixed32(&id) || !reader.ReadFixed32(&zero) ||
+        !reader.ReadFixed64(&offset) || !reader.ReadFixed64(&size)) {
+      return bad("truncated section table");
+    }
+    if (id != i + 1 || zero != 0) {
+      return bad("bad section table entry");
+    }
+    if (offset % 8 != 0 || offset < cursor || offset > data.size() ||
+        size > data.size() - offset) {
+      return bad("section out of bounds");
+    }
+    if (offset - cursor >= 8) {
+      return bad("oversized section gap");
+    }
+    for (uint64_t p = cursor; p < offset; ++p) {
+      if (data[p] != '\0') {
+        return bad("nonzero section padding");
+      }
+    }
+    index.sections[i] = data.substr(offset, size);
+    cursor = offset + size;
+  }
+  if (cursor != data.size()) {
+    return bad("trailing bytes after last section");
+  }
+  const std::string_view trailer = index.section(kSecTrailer);
+  if (trailer.size() < 8) {
+    return bad("trailer too small");
+  }
+  uint64_t sealed_fp = 0;
+  ByteReader seal_reader(trailer.substr(trailer.size() - 8));
+  seal_reader.ReadFixed64(&sealed_fp);
+  if (HashBytes(data.data(), data.size() - 8) != sealed_fp) {
+    return bad("fingerprint seal mismatch");
+  }
+  return index;
+}
+
+// Assembles an image from section payloads (indexed by id - 1), appending
+// alignment padding, patching the size field, and computing the seal. The
+// TRAILER payload must already reserve its final 8 bytes (zeros) for the
+// seal.
+inline std::string SealImage(uint8_t kind, const std::string (&payloads)[kSectionCount]) {
+  std::string out(kImageMagic);
+  AppendFixed32(&out, kind);
+  AppendFixed32(&out, kSectionCount);
+  AppendFixed64(&out, 0);  // image size, patched below
+
+  // Lay out payload offsets first so the table can be written in one pass.
+  uint64_t offsets[kSectionCount];
+  uint64_t cursor = kHeaderBytes;
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    cursor = (cursor + 7) & ~uint64_t{7};
+    offsets[i] = cursor;
+    cursor += payloads[i].size();
+  }
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    AppendFixed32(&out, i + 1);
+    AppendFixed32(&out, 0);
+    AppendFixed64(&out, offsets[i]);
+    AppendFixed64(&out, payloads[i].size());
+  }
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    out.resize(offsets[i], '\0');
+    out += payloads[i];
+  }
+
+  // Patch image size, then seal.
+  const uint64_t image_size = out.size();
+  std::string size_bytes;
+  AppendFixed64(&size_bytes, image_size);
+  out.replace(16, 8, size_bytes);
+  const uint64_t seal = HashBytes(out.data(), out.size() - 8);
+  std::string seal_bytes;
+  AppendFixed64(&seal_bytes, seal);
+  out.replace(out.size() - 8, 8, seal_bytes);
+  return out;
+}
+
+}  // namespace fmt
+}  // namespace btr
+
+#endif  // BTR_SRC_FMT_BINARY_IMAGE_H_

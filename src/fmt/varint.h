@@ -1,0 +1,125 @@
+// Byte-level primitives for the v4 binary strategy image: LEB128 varints
+// and explicit little-endian fixed-width fields, written into std::string
+// buffers and read back through a bounds-checked cursor.
+//
+// Every integer a v4 image carries is either a varint (counts, ids, table
+// rows — values the delta encoder makes small) or a fixed64 (fingerprints,
+// which are uniformly random and gain nothing from packing). Varints are
+// canonical: the encoder emits the minimal length and the reader rejects
+// padded encodings, so a given value has exactly one byte sequence — the
+// same one-encoding discipline the text formats enforce line by line, and
+// what makes encode(decode(image)) byte-identical.
+//
+// Byte order is explicit (shift-and-mask, never memcpy of host integers),
+// so images are portable across endianness and the on-disk bytes are a
+// pure function of the values.
+
+#ifndef BTR_SRC_FMT_VARINT_H_
+#define BTR_SRC_FMT_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace btr {
+namespace fmt {
+
+inline void AppendVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>(static_cast<unsigned char>(value) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(static_cast<unsigned char>(value)));
+}
+
+inline void AppendFixed64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(static_cast<unsigned char>(value >> (8 * i))));
+  }
+}
+
+inline void AppendFixed32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(static_cast<unsigned char>(value >> (8 * i))));
+  }
+}
+
+// Bounds-checked forward reader over an image span. Every accessor returns
+// false instead of reading past the end, so a truncated or forged image can
+// never walk the cursor out of the buffer — callers turn false into their
+// format's Status error.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  // Canonical LEB128: minimal length, at most 10 bytes, no 64-bit overflow.
+  bool ReadVarint(uint64_t* value) {
+    uint64_t v = 0;
+    for (int i = 0; i < 10; ++i) {
+      if (pos_ >= data_.size()) {
+        return false;
+      }
+      const uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      if (i == 9 && byte > 1) {
+        return false;  // would overflow 64 bits
+      }
+      v |= static_cast<uint64_t>(byte & 0x7F) << (7 * i);
+      if ((byte & 0x80) == 0) {
+        if (i > 0 && byte == 0) {
+          return false;  // padded (non-minimal) encoding
+        }
+        *value = v;
+        return true;
+      }
+    }
+    return false;  // continuation bit on the 10th byte
+  }
+
+  bool ReadFixed64(uint64_t* value) {
+    if (remaining() < 8) {
+      return false;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    *value = v;
+    return true;
+  }
+
+  bool ReadFixed32(uint32_t* value) {
+    if (remaining() < 4) {
+      return false;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    *value = v;
+    return true;
+  }
+
+  bool ReadBytes(size_t len, std::string_view* out) {
+    if (remaining() < len) {
+      return false;
+    }
+    *out = data_.substr(pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fmt
+}  // namespace btr
+
+#endif  // BTR_SRC_FMT_VARINT_H_

@@ -119,6 +119,7 @@ void RunJob(const ExperimentSpec& spec, bool use_cache, bool keep_report,
   const uint64_t t1 = NowUs();
   rec->plan_us = t1 - t0;
   rec->modes = system.strategy().mode_count();
+  rec->strategy_format = system.strategy().provenance().source_format;
 
   StatusOr<ExperimentReport> report = RunExperimentPhases(system, spec);
   rec->run_us = NowUs() - t1;
@@ -231,6 +232,7 @@ std::string SerializeSweepResults(const SweepServiceReport& report,
            " planner-fp=" + Hex16(job.planner_fingerprint) +
            " scenario-fp=" + Hex16(job.scenario_fingerprint) +
            " f=" + std::to_string(job.max_faults) +
+           " fmt=v" + std::to_string(job.strategy_format) +
            " cache=" + (job.cache_hit ? "hit" : "miss") +
            " plan-us=" + std::to_string(job.plan_us) +
            " run-us=" + std::to_string(job.run_us) + '\n';
@@ -362,20 +364,35 @@ StatusOr<std::vector<SweepResultsRecord>> ParseResultsStore(const std::string& t
         }
         SweepResultsRecord::Job job;
         uint64_t f = 0;
-        if (fields.size() != 10 || fields[0] != "JOB" ||
+        if ((fields.size() != 10 && fields.size() != 11) || fields[0] != "JOB" ||
             !TakeKeyBool(fields[2], "ok", &job.ok) ||
             !TakeKeyHex16(fields[3], "fp", &job.fingerprint) ||
             !TakeKeyHex16(fields[4], "planner-fp", &job.planner_fingerprint) ||
             !TakeKeyHex16(fields[5], "scenario-fp", &job.scenario_fingerprint) ||
-            !TakeKeyU64(fields[6], "f", &f) || f > UINT32_MAX ||
-            (fields[7] != "cache=hit" && fields[7] != "cache=miss") ||
-            !TakeKeyU64(fields[8], "plan-us", &job.plan_us) ||
-            !TakeKeyU64(fields[9], "run-us", &job.run_us)) {
+            !TakeKeyU64(fields[6], "f", &f) || f > UINT32_MAX) {
+          return LineError(line_no, "malformed JOB record");
+        }
+        // fmt= postdates the first stores: records without it parse as
+        // format 0 so appended history stays readable.
+        size_t i = 7;
+        if (fields.size() == 11) {
+          std::string_view fmt = fields[7];
+          uint64_t version = 0;
+          if (fmt.substr(0, 5) != "fmt=v" || !ParseU64(fmt.substr(5), &version) ||
+              version > UINT32_MAX) {
+            return LineError(line_no, "malformed JOB record");
+          }
+          job.strategy_format = static_cast<uint32_t>(version);
+          i = 8;
+        }
+        if ((fields[i] != "cache=hit" && fields[i] != "cache=miss") ||
+            !TakeKeyU64(fields[i + 1], "plan-us", &job.plan_us) ||
+            !TakeKeyU64(fields[i + 2], "run-us", &job.run_us)) {
           return LineError(line_no, "malformed JOB record");
         }
         job.name = std::string(fields[1]);
         job.max_faults = static_cast<uint32_t>(f);
-        job.cache_hit = (fields[7] == "cache=hit");
+        job.cache_hit = (fields[i] == "cache=hit");
         current.jobs.push_back(std::move(job));
         break;
       }
